@@ -1,0 +1,131 @@
+// A1 — ablation of the HProver's edge-choice search (DESIGN.md §4).
+//
+// Two knobs are measured on synthetic hypergraphs with controlled vertex
+// degree and edge arity:
+//   * positive-literal ordering: fewest-incident-edges-first vs clause
+//     order (fail-fast pruning of the backtracking search);
+//   * clause length and degree: edge choices explored per falsifiability
+//     check, confirming the "exponential only in query size" bound.
+#include "bench/bench_common.h"
+
+#include "common/str_util.h"
+
+#include "common/rng.h"
+#include "cqa/prover.h"
+#include "hypergraph/hypergraph.h"
+
+namespace hippo::bench {
+namespace {
+
+using cqa::Clause;
+using cqa::HProver;
+using cqa::Literal;
+
+/// Random hypergraph over `n` vertices: `edges` edges of the given arity.
+ConflictHypergraph RandomGraph(size_t n, size_t edges, size_t arity,
+                               uint64_t seed) {
+  Rng rng(seed);
+  ConflictHypergraph g;
+  for (size_t e = 0; e < edges; ++e) {
+    std::vector<RowId> edge;
+    for (size_t i = 0; i < arity; ++i) {
+      edge.push_back(RowId{0, static_cast<uint32_t>(rng.Uniform(n))});
+    }
+    g.AddEdge(std::move(edge), 0);
+  }
+  return g;
+}
+
+/// Random clause with `pos` positive and `neg` negative literals over
+/// conflicting vertices (conflict-free positives short-circuit the search).
+Clause RandomClause(const ConflictHypergraph& g, size_t pos, size_t neg,
+                    Rng* rng) {
+  std::vector<RowId> vertices = g.ConflictingVertices();
+  std::sort(vertices.begin(), vertices.end());
+  Clause c;
+  for (size_t i = 0; i < pos + neg && !vertices.empty(); ++i) {
+    RowId v = vertices[rng->Uniform(vertices.size())];
+    c.literals.push_back(Literal{v, i < pos});
+  }
+  return c;
+}
+
+// state.range(0): clause length (positives); range(1): 1 = degree-ordered.
+void BM_ProverSearch(benchmark::State& state) {
+  ConflictHypergraph g = RandomGraph(2000, 4000, 2, 7);
+  HProver prover(g);
+  prover.set_order_positives_by_degree(state.range(1) == 1);
+  Rng rng(11);
+  std::vector<Clause> clauses;
+  for (int i = 0; i < 256; ++i) {
+    clauses.push_back(
+        RandomClause(g, static_cast<size_t>(state.range(0)), 1, &rng));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prover.IsFalsifiable(clauses[i % 256]));
+    ++i;
+  }
+  state.counters["edge_choices_per_clause"] =
+      static_cast<double>(prover.stats().edge_choices_tried) /
+      static_cast<double>(prover.stats().clauses_checked);
+}
+BENCHMARK(BM_ProverSearch)
+    ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1})
+    ->Args({1, 0})->Args({2, 0})->Args({4, 0})->Args({8, 0});
+
+// Edge arity sweep: ternary+ edges add more blockers per choice.
+void BM_ProverArity(benchmark::State& state) {
+  ConflictHypergraph g =
+      RandomGraph(2000, 3000, static_cast<size_t>(state.range(0)), 9);
+  HProver prover(g);
+  Rng rng(13);
+  std::vector<Clause> clauses;
+  for (int i = 0; i < 256; ++i) clauses.push_back(RandomClause(g, 3, 1, &rng));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prover.IsFalsifiable(clauses[i % 256]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ProverArity)->Arg(2)->Arg(3)->Arg(4)->Arg(6);
+
+void PrintTable() {
+  TextTable table({"clause positives", "ordering", "edge choices / clause",
+                   "time / clause"});
+  for (size_t len : {1u, 2u, 4u, 8u}) {
+    for (bool ordered : {true, false}) {
+      ConflictHypergraph g = RandomGraph(2000, 4000, 2, 7);
+      HProver prover(g);
+      prover.set_order_positives_by_degree(ordered);
+      Rng rng(11);
+      std::vector<Clause> clauses;
+      for (int i = 0; i < 512; ++i) {
+        clauses.push_back(RandomClause(g, len, 1, &rng));
+      }
+      double t = TimeOnce([&] {
+        for (const Clause& c : clauses) {
+          benchmark::DoNotOptimize(prover.IsFalsifiable(c));
+        }
+      });
+      table.AddRow(
+          {std::to_string(len), ordered ? "degree-first" : "clause order",
+           StrFormat("%.1f", static_cast<double>(
+                                 prover.stats().edge_choices_tried) /
+                                 static_cast<double>(
+                                     prover.stats().clauses_checked)),
+           FormatSeconds(t / 512.0)});
+    }
+  }
+  table.Print("A1: prover backtracking ablation (random degree-2 graphs)");
+}
+
+}  // namespace
+}  // namespace hippo::bench
+
+int main(int argc, char** argv) {
+  hippo::bench::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared helpers for the benchmark binaries.
+//
+// Each binary regenerates one table/figure of the evaluation (see DESIGN.md
+// §4 and EXPERIMENTS.md): it first prints the paper-style data table
+// (single timed runs via steady_clock), then runs the registered
+// google-benchmark series for statistically robust timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "benchutil/report.h"
+#include "benchutil/workload.h"
+#include "common/macros.h"
+#include "db/database.h"
+
+namespace hippo::bench {
+
+/// Wall-clock time of one invocation of `fn`, in seconds.
+inline double TimeOnce(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Cache of generated databases keyed by (builder tag, n, conflict%*10000),
+/// so google-benchmark iterations do not re-generate data.
+class DbCache {
+ public:
+  using Builder = Status (*)(Database*, const WorkloadSpec&);
+
+  static Database* Get(const std::string& tag, Builder builder, size_t n,
+                       double conflict_rate, uint64_t seed = 42) {
+    static std::map<std::string, std::unique_ptr<Database>> cache;
+    std::string key =
+        tag + "/" + std::to_string(n) + "/" +
+        std::to_string(static_cast<int>(conflict_rate * 10000)) + "/" +
+        std::to_string(seed);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      auto db = std::make_unique<Database>();
+      WorkloadSpec spec;
+      spec.tuples_per_relation = n;
+      spec.conflict_rate = conflict_rate;
+      spec.seed = seed;
+      Status st = builder(db.get(), spec);
+      HIPPO_CHECK_MSG(st.ok(), st.ToString().c_str());
+      it = cache.emplace(key, std::move(db)).first;
+    }
+    return it->second.get();
+  }
+};
+
+/// Forces hypergraph construction so detection cost is not billed to the
+/// first consistent-answer call.
+inline void WarmHypergraph(Database* db) {
+  auto g = db->Hypergraph();
+  HIPPO_CHECK_MSG(g.ok(), g.status().ToString().c_str());
+}
+
+inline cqa::HippoOptions KgOptions(bool filtering = true) {
+  cqa::HippoOptions opt;
+  opt.membership = cqa::HippoOptions::MembershipMode::kKnowledgeGathering;
+  opt.use_filtering = filtering;
+  return opt;
+}
+
+inline cqa::HippoOptions BaseOptions(bool filtering = false) {
+  cqa::HippoOptions opt;
+  opt.membership = cqa::HippoOptions::MembershipMode::kQuery;
+  opt.use_filtering = filtering;
+  return opt;
+}
+
+}  // namespace hippo::bench

@@ -1,0 +1,47 @@
+#include "benchutil/report.h"
+
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace hippo::bench {
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      out += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+
+  std::string out = render_row(header_);
+  std::string sep = "|";
+  for (size_t w : widths) sep += std::string(w + 2, '-') + "|";
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TextTable::Print(const std::string& caption) const {
+  std::printf("\n== %s ==\n%s\n", caption.c_str(), Render().c_str());
+  std::fflush(stdout);
+}
+
+std::string FormatSeconds(double s) {
+  if (s < 1e-3) return StrFormat("%.1f us", s * 1e6);
+  if (s < 1.0) return StrFormat("%.2f ms", s * 1e3);
+  return StrFormat("%.3f s", s);
+}
+
+}  // namespace hippo::bench

@@ -1,0 +1,178 @@
+#include "benchutil/workload.h"
+
+#include "common/str_util.h"
+
+namespace hippo::bench {
+
+namespace {
+
+/// Inserts `n` rows into a two-column integer table: keys 0..n-1 with value
+/// derived from the key, then overlays conflicts: for `conflict_pairs` keys,
+/// a second row with the same key and a different value. `offset_odd_keys`
+/// shifts the values of odd keys so that two generated relations overlap on
+/// roughly half their tuples — keeping difference/union queries selective
+/// while joins on the key column stay 1:1.
+Status FillTwoColumn(Database* db, const std::string& table, size_t n,
+                     double conflict_rate, bool offset_odd_keys, Rng* rng) {
+  size_t conflict_pairs =
+      static_cast<size_t>(static_cast<double>(n) * conflict_rate / 2.0);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t value = static_cast<int64_t>(i % 1000);
+    if (offset_odd_keys && (i % 2 == 1)) value += 5000;
+    HIPPO_RETURN_NOT_OK(db->InsertRow(
+        table, Row{Value::Int(static_cast<int64_t>(i)), Value::Int(value)}));
+  }
+  for (size_t c = 0; c < conflict_pairs; ++c) {
+    // Conflicting partner for a random key: same a, different b.
+    int64_t key = rng->UniformInt(0, static_cast<int64_t>(n) - 1);
+    int64_t other = (key % 1000) + 1000 + rng->UniformInt(0, 9);
+    HIPPO_RETURN_NOT_OK(db->InsertRow(
+        table, Row{Value::Int(key), Value::Int(other)}));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BuildTwoRelationWorkload(Database* db, const WorkloadSpec& spec) {
+  HIPPO_RETURN_NOT_OK(db->Execute(
+      "CREATE TABLE p (a INTEGER, b INTEGER);"
+      "CREATE TABLE q (a INTEGER, b INTEGER);"
+      "CREATE CONSTRAINT fd_p FD ON p (a -> b);"
+      "CREATE CONSTRAINT fd_q FD ON q (a -> b)"));
+  Rng rng(spec.seed);
+  HIPPO_RETURN_NOT_OK(FillTwoColumn(db, "p", spec.tuples_per_relation,
+                                    spec.conflict_rate,
+                                    /*offset_odd_keys=*/false, &rng));
+  HIPPO_RETURN_NOT_OK(FillTwoColumn(db, "q", spec.tuples_per_relation,
+                                    spec.conflict_rate,
+                                    /*offset_odd_keys=*/true, &rng));
+  return Status::OK();
+}
+
+Status BuildEmployeeWorkload(Database* db, const WorkloadSpec& spec) {
+  HIPPO_RETURN_NOT_OK(db->Execute(
+      "CREATE TABLE emp (name VARCHAR, dept VARCHAR, salary INTEGER);"
+      "CREATE CONSTRAINT fd_emp FD ON emp (name -> salary)"));
+  Rng rng(spec.seed);
+  static const char* kDepts[] = {"sales", "engineering", "hr", "finance",
+                                 "ops"};
+  size_t n = spec.tuples_per_relation;
+  size_t conflict_pairs =
+      static_cast<size_t>(static_cast<double>(n) * spec.conflict_rate / 2.0);
+  for (size_t i = 0; i < n; ++i) {
+    std::string name = StrFormat("emp%06zu", i);
+    const char* dept = kDepts[rng.Uniform(5)];
+    int64_t salary = 40000 + rng.UniformInt(0, 80) * 1000;
+    HIPPO_RETURN_NOT_OK(db->InsertRow(
+        "emp", Row{Value::String(name), Value::String(dept),
+                   Value::Int(salary)}));
+  }
+  for (size_t c = 0; c < conflict_pairs; ++c) {
+    // A second record for an existing employee with a different salary
+    // (e.g. two merged payroll sources disagreeing). Injected salaries are
+    // unique per record so that all records of one employee are PAIRWISE
+    // conflicting — keeping the conflict components cliques, which the
+    // range-aggregation closed form relies on.
+    size_t i = rng.Uniform(n);
+    std::string name = StrFormat("emp%06zu", i);
+    const char* dept = kDepts[rng.Uniform(5)];
+    int64_t salary = 130000 + static_cast<int64_t>(c) * 1000;
+    HIPPO_RETURN_NOT_OK(db->InsertRow(
+        "emp", Row{Value::String(name), Value::String(dept),
+                   Value::Int(salary)}));
+  }
+  return Status::OK();
+}
+
+Status BuildIntegrationWorkload(Database* db, const WorkloadSpec& spec) {
+  HIPPO_RETURN_NOT_OK(db->Execute(
+      "CREATE TABLE vendors (vid INTEGER, rating INTEGER);"
+      "CREATE TABLE certified (vid INTEGER);"
+      "CREATE TABLE revoked (vid INTEGER);"
+      "CREATE TABLE blacklist (vid INTEGER, rating INTEGER);"
+      "CREATE CONSTRAINT fd_vendors FD ON vendors (vid -> rating);"
+      "CREATE CONSTRAINT excl_cert EXCLUSION ON certified (vid), revoked (vid);"
+      "CREATE CONSTRAINT fd_blacklist FD ON blacklist (vid -> rating)"));
+  Rng rng(spec.seed);
+  size_t n = spec.tuples_per_relation;
+  size_t conflict_pairs =
+      static_cast<size_t>(static_cast<double>(n) * spec.conflict_rate / 2.0);
+
+  // Consistent bulk. Remember ratings so blacklist conflicts can mirror
+  // the exact vendor tuple.
+  std::vector<int64_t> rating(n);
+  for (size_t i = 0; i < n; ++i) {
+    rating[i] = rng.UniformInt(1, 5);
+    HIPPO_RETURN_NOT_OK(db->InsertRow(
+        "vendors", Row{Value::Int(static_cast<int64_t>(i)),
+                       Value::Int(rating[i])}));
+    if (rng.Chance(0.3)) {
+      HIPPO_RETURN_NOT_OK(db->InsertRow(
+          "certified", Row{Value::Int(static_cast<int64_t>(i))}));
+    } else if (rng.Chance(0.1)) {
+      HIPPO_RETURN_NOT_OK(db->InsertRow(
+          "revoked", Row{Value::Int(static_cast<int64_t>(i))}));
+    }
+  }
+
+  // Three conflict flavours in disjoint vid ranges (so one flavour never
+  // accidentally resolves another).
+  size_t third = std::max<size_t>(1, conflict_pairs / 3);
+  auto range_vid = [&](size_t lo_third) {
+    int64_t lo = static_cast<int64_t>(n) * static_cast<int64_t>(lo_third) / 4;
+    int64_t hi =
+        static_cast<int64_t>(n) * (static_cast<int64_t>(lo_third) + 1) / 4 - 1;
+    return rng.UniformInt(lo, std::max(lo, hi));
+  };
+  for (size_t c = 0; c < third; ++c) {
+    // (1) Rating disagreement between the sources: vendors FD pair.
+    int64_t vid = range_vid(0);
+    HIPPO_RETURN_NOT_OK(db->InsertRow(
+        "vendors", Row{Value::Int(vid), Value::Int(rng.UniformInt(6, 9))}));
+    // (2) Contradictory certification status: exclusion pair — the
+    // union-query separation (certainly certified-or-revoked).
+    vid = range_vid(1);
+    HIPPO_RETURN_NOT_OK(db->InsertRow("certified", Row{Value::Int(vid)}));
+    HIPPO_RETURN_NOT_OK(db->InsertRow("revoked", Row{Value::Int(vid)}));
+    // (3) Disputed blacklisting: the blacklist pair mirrors the vendor
+    // tuple plus a contradicting row — the difference-query separation
+    // (the core resurrects the vendor; CQA correctly withholds it).
+    vid = range_vid(2);
+    HIPPO_RETURN_NOT_OK(db->InsertRow(
+        "blacklist", Row{Value::Int(vid),
+                         Value::Int(rating[static_cast<size_t>(vid)])}));
+    HIPPO_RETURN_NOT_OK(db->InsertRow(
+        "blacklist",
+        Row{Value::Int(vid),
+            Value::Int(rating[static_cast<size_t>(vid)] + 10)}));
+  }
+  return Status::OK();
+}
+
+std::string QuerySet::Selection() {
+  return "SELECT * FROM p WHERE b < 500";
+}
+
+std::string QuerySet::Join() {
+  return "SELECT * FROM p, q WHERE p.a = q.a";
+}
+
+std::string QuerySet::SelectiveJoin() {
+  return "SELECT * FROM p, q WHERE p.a = q.a AND p.b < 200";
+}
+
+std::string QuerySet::Union() {
+  return "SELECT * FROM p UNION SELECT * FROM q";
+}
+
+std::string QuerySet::Difference() {
+  return "SELECT * FROM p EXCEPT SELECT * FROM q";
+}
+
+std::string QuerySet::UnionOfDifferences() {
+  return "(SELECT * FROM p EXCEPT SELECT * FROM q) UNION "
+         "(SELECT * FROM q EXCEPT SELECT * FROM p)";
+}
+
+}  // namespace hippo::bench

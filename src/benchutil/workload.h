@@ -1,0 +1,73 @@
+// Synthetic workload generation for the benchmarks and property tests.
+//
+// The generators reproduce the experimental design of the Hippo evaluation:
+// relations with a configurable number of tuples and a controlled fraction
+// of integrity violations (conflict pairs inserted on top of a consistent
+// bulk), under functional dependencies and exclusion constraints. The RNG
+// is deterministic, so every benchmark row is reproducible.
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "db/database.h"
+
+namespace hippo::bench {
+
+/// Parameters of the two-relation employee/payroll style workload.
+struct WorkloadSpec {
+  size_t tuples_per_relation = 10000;
+  /// Fraction of tuples that participate in an FD conflict (each conflict
+  /// is a pair of tuples agreeing on the key and differing on the value,
+  /// so conflict_rate * n tuples are conflicting ⇒ conflict_rate*n/2 pairs).
+  double conflict_rate = 0.05;
+  uint64_t seed = 42;
+};
+
+/// Builds the canonical benchmark schema:
+///
+///   p(a INTEGER, b INTEGER)  with FD  a -> b
+///   q(a INTEGER, b INTEGER)  with FD  a -> b
+///
+/// `p` and `q` share the `a` domain so joins/unions/differences between
+/// them are selective but non-empty. Key values are dense in [0, n).
+Status BuildTwoRelationWorkload(Database* db, const WorkloadSpec& spec);
+
+/// Employee-style workload used by T1 and the examples:
+///
+///   emp(name VARCHAR, dept VARCHAR, salary INTEGER)  with FD name -> salary
+Status BuildEmployeeWorkload(Database* db, const WorkloadSpec& spec);
+
+/// Two autonomous sources merged — the data-integration scenario of the
+/// paper's motivation. Four relations and three constraints:
+///
+///   vendors(vid, rating)    FD vid -> rating
+///   certified(vid) / revoked(vid)   EXCLUSION on vid
+///   blacklist(vid, rating)  FD vid -> rating
+///
+/// Conflicts are injected in three disjoint vid ranges so each experiment
+/// sees every flavour: vendor-rating FD pairs, contradictory
+/// certified/revoked memberships (the union-query separation of T1), and
+/// blacklist FD pairs whose first element mirrors the vendor row (the
+/// difference-query separation of T1: the cleaned "core" resurrects
+/// vendors whose blacklisting is merely uncertain).
+Status BuildIntegrationWorkload(Database* db, const WorkloadSpec& spec);
+
+/// Canonical query set used across benches (T2/F1/F2/F3).
+struct QuerySet {
+  /// S: selection on one relation.
+  static std::string Selection();
+  /// SJ: equi-join of p and q.
+  static std::string Join();
+  /// SJ with extra selection.
+  static std::string SelectiveJoin();
+  /// U: union of p and q.
+  static std::string Union();
+  /// D: difference p − q.
+  static std::string Difference();
+  /// SJUD: union of differences (the disjunctive-information query).
+  static std::string UnionOfDifferences();
+};
+
+}  // namespace hippo::bench

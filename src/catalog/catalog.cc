@@ -1,0 +1,61 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace hippo {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  std::string key = ToLower(name);
+  if (by_name_.count(key)) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  uint32_t id = static_cast<uint32_t>(tables_.size());
+  tables_.push_back(std::make_unique<Table>(id, key, std::move(schema)));
+  by_name_.emplace(key, id);
+  return tables_.back().get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = by_name_.find(ToLower(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  // Release the rows (the slot survives only to keep table ids stable).
+  tables_[it->second]->Clear();
+  by_name_.erase(it);
+  return Status::OK();
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  auto it = by_name_.find(ToLower(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return tables_[it->second].get();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = by_name_.find(ToLower(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return static_cast<const Table*>(tables_[it->second].get());
+}
+
+size_t Catalog::TotalRows() const {
+  size_t n = 0;
+  for (const auto& [name, id] : by_name_) n += tables_[id]->NumLiveRows();
+  return n;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, id] : by_name_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace hippo

@@ -1,0 +1,54 @@
+// The catalog: named tables of the database instance.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace hippo {
+
+/// \brief Owns all base tables; names are case-insensitive.
+class Catalog {
+ public:
+  Catalog() = default;
+  HIPPO_DISALLOW_COPY(Catalog);
+
+  /// Creates a table; AlreadyExists if the name is taken. Re-creating a
+  /// dropped name allocates a fresh table id — slots are never reused,
+  /// since table ids are RowId components.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Unregisters a table by name. The storage slot is retained so existing
+  /// table ids (and RowIds) stay valid, but the name no longer resolves.
+  /// NotFound if absent. Constraint-reference checks are the caller's job
+  /// (Database::Execute refuses to drop constrained tables).
+  Status DropTable(const std::string& name);
+
+  /// NotFound if absent.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Table by ordinal id (as stored in RowId::table).
+  const Table& table(uint32_t id) const { return *tables_[id]; }
+  Table& table(uint32_t id) { return *tables_[id]; }
+
+  size_t NumTables() const { return tables_.size(); }
+
+  /// Total number of rows across all tables.
+  size_t TotalRows() const;
+
+  /// Fetches the row behind a RowId.
+  const Row& RowOf(RowId rid) const { return tables_[rid.table]->row(rid.row); }
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, uint32_t> by_name_;  // lower-cased name
+};
+
+}  // namespace hippo

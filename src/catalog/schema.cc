@@ -1,0 +1,64 @@
+#include "catalog/schema.h"
+
+#include "common/str_util.h"
+
+namespace hippo {
+
+Result<size_t> Schema::ResolveColumn(const std::string& qualifier,
+                                     const std::string& name) const {
+  std::optional<size_t> found;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    const Column& c = cols_[i];
+    if (!EqualsIgnoreCase(c.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(c.qualifier, qualifier)) {
+      continue;
+    }
+    if (found.has_value()) {
+      return Status::InvalidArgument(
+          "ambiguous column reference: " +
+          (qualifier.empty() ? name : qualifier + "." + name));
+    }
+    found = i;
+  }
+  if (!found.has_value()) {
+    return Status::NotFound("column not found: " +
+                            (qualifier.empty() ? name : qualifier + "." + name));
+  }
+  return *found;
+}
+
+Schema Schema::WithQualifier(const std::string& q) const {
+  Schema out;
+  for (const Column& c : cols_) {
+    out.AddColumn(Column(c.name, c.type, q));
+  }
+  return out;
+}
+
+Schema Schema::Concat(const Schema& a, const Schema& b) {
+  Schema out = a;
+  for (const Column& c : b.columns()) out.AddColumn(c);
+  return out;
+}
+
+bool Schema::UnionCompatible(const Schema& other) const {
+  if (cols_.size() != other.cols_.size()) return false;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].type != other.cols_[i].type) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += cols_[i].QualifiedName();
+    out += " ";
+    out += TypeIdToString(cols_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace hippo

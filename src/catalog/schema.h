@@ -1,0 +1,71 @@
+// Column and Schema: the shape of relations and of intermediate results.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace hippo {
+
+/// \brief A column of a relation or intermediate result.
+///
+/// `qualifier` is the table alias the column is visible under during binding
+/// ("e" in `FROM emp AS e`); it is empty for computed columns and for
+/// set-operation outputs.
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kNull;
+  std::string qualifier;
+
+  Column() = default;
+  Column(std::string n, TypeId t, std::string q = "")
+      : name(std::move(n)), type(t), qualifier(std::move(q)) {}
+
+  /// "q.name" or "name".
+  std::string QualifiedName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// \brief An ordered list of columns with name-based lookup.
+///
+/// Lookup is case-insensitive (identifiers are normalized to lower case by
+/// the parser, but programmatic callers may use any case).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
+
+  size_t NumColumns() const { return cols_.size(); }
+  const Column& column(size_t i) const { return cols_[i]; }
+  const std::vector<Column>& columns() const { return cols_; }
+
+  void AddColumn(Column c) { cols_.push_back(std::move(c)); }
+
+  /// Finds the index of a column referred to as [qualifier.]name.
+  /// Errors: NotFound when no column matches; InvalidArgument when the
+  /// reference is ambiguous (matches more than one column).
+  Result<size_t> ResolveColumn(const std::string& qualifier,
+                               const std::string& name) const;
+
+  /// Re-qualifies every column with a new alias (used by `FROM t AS a`).
+  Schema WithQualifier(const std::string& q) const;
+
+  /// Concatenation (for products/joins).
+  static Schema Concat(const Schema& a, const Schema& b);
+
+  /// True if the column types match position-wise (names may differ) —
+  /// the requirement for UNION/EXCEPT/INTERSECT compatibility.
+  bool UnionCompatible(const Schema& other) const;
+
+  /// "(a INTEGER, b VARCHAR, ...)" with qualifiers if present.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+}  // namespace hippo

@@ -1,0 +1,29 @@
+// Hash combinators used by value hashing, hash joins and hypergraph indexes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace hippo {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hashes any std::hash-able value into the running seed.
+template <typename T>
+void HashCombineValue(size_t* seed, const T& v) {
+  HashCombine(seed, std::hash<T>{}(v));
+}
+
+/// 64-bit finalizer (splitmix64) for integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace hippo

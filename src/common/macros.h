@@ -1,0 +1,37 @@
+// Assertion and utility macros used across the Hippo codebase.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// Fatal invariant check. Used for programmer errors (broken internal
+// invariants), never for user input; user errors travel through Status.
+#define HIPPO_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "HIPPO_CHECK failed: %s at %s:%d\n", #cond,       \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define HIPPO_CHECK_MSG(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "HIPPO_CHECK failed: %s (%s) at %s:%d\n", #cond,  \
+                   (msg), __FILE__, __LINE__);                               \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define HIPPO_DCHECK(cond) HIPPO_CHECK(cond)
+#else
+#define HIPPO_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#endif
+
+#define HIPPO_DISALLOW_COPY(ClassName)      \
+  ClassName(const ClassName&) = delete;     \
+  ClassName& operator=(const ClassName&) = delete

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random generator for workload generation and
+// property-based tests. Fixed algorithm (xoshiro256**) so that benchmark
+// inputs and test cases are reproducible across platforms and standard
+// library versions (std::mt19937 distributions are not portable).
+#pragma once
+
+#include <cstdint>
+
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace hippo {
+
+/// Small, fast, deterministic PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      si = Mix64(x);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    HIPPO_DCHECK(bound > 0);
+    // Lemire-style rejection-free-enough reduction; bias is negligible for
+    // the bounds used here, but we reject to stay exactly uniform.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    HIPPO_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability `p`.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace hippo

@@ -1,0 +1,129 @@
+// Status and Result<T>: error propagation without exceptions, in the style of
+// Arrow / RocksDB. All user-facing failures (SQL syntax errors, binding
+// errors, unsupported query classes) are carried through these types.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace hippo {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (bad SQL, bad constraint spec)
+  kNotFound,          ///< unknown table / column / constraint
+  kAlreadyExists,     ///< duplicate table / constraint name
+  kNotSupported,      ///< outside the supported query/constraint class
+  kTypeError,         ///< expression type mismatch
+  kInternal,          ///< invariant violation surfaced as a status
+};
+
+/// Returns a short human-readable name of the code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation that produces no value.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Statuses are cheap to copy (message is shared via std::string's
+/// value semantics; errors are rare and not on hot paths).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessors check that the result holds what is asked for; violating that is
+/// a programmer error (HIPPO_CHECK).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {    // NOLINT(runtime/explicit)
+    HIPPO_CHECK_MSG(!std::get<Status>(data_).ok(),
+                    "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  T& value() & {
+    HIPPO_CHECK_MSG(ok(), "Result::value() on error result");
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    HIPPO_CHECK_MSG(ok(), "Result::value() on error result");
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    HIPPO_CHECK_MSG(ok(), "Result::value() on error result");
+    return std::get<T>(std::move(data_));
+  }
+
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace hippo
+
+/// Propagate a non-OK Status to the caller.
+#define HIPPO_RETURN_NOT_OK(expr)          \
+  do {                                     \
+    ::hippo::Status _st = (expr);          \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+#define HIPPO_CONCAT_IMPL(a, b) a##b
+#define HIPPO_CONCAT(a, b) HIPPO_CONCAT_IMPL(a, b)
+
+/// Assign the value of a Result expression to `lhs`, or propagate its error.
+#define HIPPO_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  auto HIPPO_CONCAT(_res_, __LINE__) = (rexpr);                          \
+  if (!HIPPO_CONCAT(_res_, __LINE__).ok())                               \
+    return HIPPO_CONCAT(_res_, __LINE__).status();                       \
+  lhs = std::move(HIPPO_CONCAT(_res_, __LINE__)).value()

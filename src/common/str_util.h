@@ -1,0 +1,26 @@
+// Small string helpers shared by the SQL front end and error reporting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hippo {
+
+/// Lower-cases ASCII characters; SQL identifiers/keywords are
+/// case-insensitive throughout Hippo.
+std::string ToLower(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` equals `t` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view s, std::string_view t);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Escapes a string for inclusion in a SQL single-quoted literal.
+std::string SqlQuote(std::string_view s);
+
+}  // namespace hippo

@@ -1,0 +1,170 @@
+#include "constraints/constraint.h"
+
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "expr/binder.h"
+
+namespace hippo {
+
+Result<DenialConstraint> DenialConstraint::Make(
+    const Catalog& catalog, std::string name,
+    std::vector<sql::TableRef> atom_refs, ExprPtr where) {
+  if (atom_refs.empty()) {
+    return Status::InvalidArgument("denial constraint needs at least one atom");
+  }
+  DenialConstraint dc;
+  dc.name_ = ToLower(name);
+  std::unordered_set<std::string> seen_aliases;
+  for (const sql::TableRef& ref : atom_refs) {
+    HIPPO_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(ref.table));
+    ConstraintAtom atom;
+    atom.table_id = table->id();
+    atom.table_name = table->name();
+    atom.alias = ToLower(ref.EffectiveAlias());
+    if (!seen_aliases.insert(atom.alias).second) {
+      return Status::InvalidArgument("duplicate atom alias in constraint " +
+                                     dc.name_ + ": " + atom.alias);
+    }
+    dc.offsets_.push_back(dc.combined_schema_.NumColumns());
+    dc.widths_.push_back(table->schema().NumColumns());
+    Schema qualified = table->schema().WithQualifier(atom.alias);
+    for (const Column& c : qualified.columns()) {
+      dc.combined_schema_.AddColumn(c);
+    }
+    dc.atoms_.push_back(std::move(atom));
+  }
+  if (where != nullptr) {
+    ExprBinder binder(dc.combined_schema_);
+    HIPPO_RETURN_NOT_OK(binder.BindPredicate(where.get()));
+    dc.condition_ = std::move(where);
+  }
+  return dc;
+}
+
+Result<DenialConstraint> DenialConstraint::FromFd(const Catalog& catalog,
+                                                  std::string name,
+                                                  const sql::FdSpec& spec) {
+  HIPPO_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(spec.table));
+  const Schema& schema = table->schema();
+  if (spec.lhs.empty() || spec.rhs.empty()) {
+    return Status::InvalidArgument(
+        "FD needs non-empty determinant and dependent column lists");
+  }
+
+  FdInfo info;
+  info.table_id = table->id();
+  auto resolve = [&](const std::vector<std::string>& names,
+                     std::vector<size_t>* out) -> Status {
+    for (const std::string& n : names) {
+      HIPPO_ASSIGN_OR_RETURN(size_t idx, schema.ResolveColumn("", n));
+      out->push_back(idx);
+    }
+    return Status::OK();
+  };
+  HIPPO_RETURN_NOT_OK(resolve(spec.lhs, &info.lhs));
+  HIPPO_RETURN_NOT_OK(resolve(spec.rhs, &info.rhs));
+
+  // Build: t1.lhs = t2.lhs ∧ (t1.rhs1 <> t2.rhs1 ∨ ...). Indexes are bound
+  // directly over the two-copy combined schema (t2's copy offset by width).
+  size_t width = schema.NumColumns();
+  std::vector<ExprPtr> conjuncts;
+  for (size_t idx : info.lhs) {
+    conjuncts.push_back(std::make_unique<ComparisonExpr>(
+        CompareOp::kEq,
+        ColumnRefExpr::Bound(idx, schema.column(idx).type,
+                             schema.column(idx).name, "t1"),
+        ColumnRefExpr::Bound(width + idx, schema.column(idx).type,
+                             schema.column(idx).name, "t2")));
+    conjuncts.back()->set_result_type(TypeId::kBool);
+  }
+  std::vector<ExprPtr> disjuncts;
+  for (size_t idx : info.rhs) {
+    disjuncts.push_back(std::make_unique<ComparisonExpr>(
+        CompareOp::kNe,
+        ColumnRefExpr::Bound(idx, schema.column(idx).type,
+                             schema.column(idx).name, "t1"),
+        ColumnRefExpr::Bound(width + idx, schema.column(idx).type,
+                             schema.column(idx).name, "t2")));
+    disjuncts.back()->set_result_type(TypeId::kBool);
+  }
+  ExprPtr differ;
+  if (disjuncts.size() == 1) {
+    differ = std::move(disjuncts[0]);
+  } else {
+    differ = std::make_unique<LogicalExpr>(LogicalOp::kOr,
+                                           std::move(disjuncts));
+    differ->set_result_type(TypeId::kBool);
+  }
+  conjuncts.push_back(std::move(differ));
+  ExprPtr condition = AndAll(std::move(conjuncts));
+
+  std::vector<sql::TableRef> atoms;
+  atoms.push_back(sql::TableRef{spec.table, "t1"});
+  atoms.push_back(sql::TableRef{spec.table, "t2"});
+  HIPPO_ASSIGN_OR_RETURN(
+      DenialConstraint dc,
+      Make(catalog, std::move(name), std::move(atoms), std::move(condition)));
+  dc.fd_info_ = std::move(info);
+  return dc;
+}
+
+Result<DenialConstraint> DenialConstraint::FromExclusion(
+    const Catalog& catalog, std::string name, const sql::ExclusionSpec& spec) {
+  HIPPO_ASSIGN_OR_RETURN(const Table* t1, catalog.GetTable(spec.table1));
+  HIPPO_ASSIGN_OR_RETURN(const Table* t2, catalog.GetTable(spec.table2));
+  if (spec.cols1.size() != spec.cols2.size() || spec.cols1.empty()) {
+    return Status::InvalidArgument(
+        "exclusion constraint needs matching non-empty column lists");
+  }
+  size_t width1 = t1->schema().NumColumns();
+  std::vector<ExprPtr> conjuncts;
+  for (size_t i = 0; i < spec.cols1.size(); ++i) {
+    HIPPO_ASSIGN_OR_RETURN(size_t i1,
+                           t1->schema().ResolveColumn("", spec.cols1[i]));
+    HIPPO_ASSIGN_OR_RETURN(size_t i2,
+                           t2->schema().ResolveColumn("", spec.cols2[i]));
+    conjuncts.push_back(std::make_unique<ComparisonExpr>(
+        CompareOp::kEq,
+        ColumnRefExpr::Bound(i1, t1->schema().column(i1).type,
+                             t1->schema().column(i1).name, "t1"),
+        ColumnRefExpr::Bound(width1 + i2, t2->schema().column(i2).type,
+                             t2->schema().column(i2).name, "t2")));
+    conjuncts.back()->set_result_type(TypeId::kBool);
+  }
+  std::vector<sql::TableRef> atoms;
+  atoms.push_back(sql::TableRef{spec.table1, "t1"});
+  atoms.push_back(sql::TableRef{spec.table2, "t2"});
+  return Make(catalog, std::move(name), std::move(atoms),
+              AndAll(std::move(conjuncts)));
+}
+
+Result<DenialConstraint> DenialConstraint::FromStatement(
+    const Catalog& catalog, const sql::CreateConstraintStmt& stmt) {
+  if (const auto* fd = std::get_if<sql::FdSpec>(&stmt.spec)) {
+    return FromFd(catalog, stmt.name, *fd);
+  }
+  if (const auto* ex = std::get_if<sql::ExclusionSpec>(&stmt.spec)) {
+    return FromExclusion(catalog, stmt.name, *ex);
+  }
+  const auto& denial = std::get<sql::DenialSpec>(stmt.spec);
+  std::vector<sql::TableRef> atoms = denial.atoms;
+  ExprPtr where =
+      denial.where == nullptr ? nullptr : denial.where->Clone();
+  return Make(catalog, stmt.name, std::move(atoms), std::move(where));
+}
+
+std::string DenialConstraint::ToString() const {
+  std::string out = name_ + ": NOT (";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += atoms_[i].table_name + " AS " + atoms_[i].alias;
+  }
+  if (condition_ != nullptr) {
+    out += " WHERE " + condition_->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace hippo

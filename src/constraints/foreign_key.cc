@@ -1,0 +1,53 @@
+#include "constraints/foreign_key.h"
+
+#include "common/str_util.h"
+
+namespace hippo {
+
+Result<ForeignKeyConstraint> ForeignKeyConstraint::Make(
+    const Catalog& catalog, std::string name, const std::string& child,
+    const std::vector<std::string>& child_cols, const std::string& parent,
+    const std::vector<std::string>& parent_cols) {
+  if (child_cols.empty() || child_cols.size() != parent_cols.size()) {
+    return Status::InvalidArgument(
+        "foreign key needs matching non-empty column lists");
+  }
+  HIPPO_ASSIGN_OR_RETURN(const Table* child_t, catalog.GetTable(child));
+  HIPPO_ASSIGN_OR_RETURN(const Table* parent_t, catalog.GetTable(parent));
+  if (child_t->id() == parent_t->id()) {
+    return Status::NotSupported(
+        "self-referencing foreign keys are outside the restricted class "
+        "(the parent relation must be immutable across repairs)");
+  }
+  ForeignKeyConstraint fk;
+  fk.name_ = ToLower(name);
+  fk.child_table_ = child_t->id();
+  fk.parent_table_ = parent_t->id();
+  fk.child_name_ = child_t->name();
+  fk.parent_name_ = parent_t->name();
+  for (size_t i = 0; i < child_cols.size(); ++i) {
+    HIPPO_ASSIGN_OR_RETURN(size_t ci,
+                           child_t->schema().ResolveColumn("", child_cols[i]));
+    HIPPO_ASSIGN_OR_RETURN(
+        size_t pi, parent_t->schema().ResolveColumn("", parent_cols[i]));
+    TypeId ct = child_t->schema().column(ci).type;
+    TypeId pt = parent_t->schema().column(pi).type;
+    bool numeric_pair = (ct == TypeId::kInt || ct == TypeId::kDouble) &&
+                        (pt == TypeId::kInt || pt == TypeId::kDouble);
+    if (ct != pt && !numeric_pair) {
+      return Status::TypeError(StrFormat(
+          "foreign key column type mismatch: %s.%s (%s) vs %s.%s (%s)",
+          child.c_str(), child_cols[i].c_str(), TypeIdToString(ct),
+          parent.c_str(), parent_cols[i].c_str(), TypeIdToString(pt)));
+    }
+    fk.child_cols_.push_back(ci);
+    fk.parent_cols_.push_back(pi);
+  }
+  return fk;
+}
+
+std::string ForeignKeyConstraint::ToString() const {
+  return name_ + ": FOREIGN KEY " + child_name_ + " -> " + parent_name_;
+}
+
+}  // namespace hippo

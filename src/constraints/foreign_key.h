@@ -1,0 +1,53 @@
+// Restricted foreign-key constraints — the first item of the paper's
+// future-work list ("support for restricted foreign key constraints").
+//
+// A foreign key child(cols) REFERENCES parent(cols) is *not* a denial
+// constraint: a violation is a child tuple with no matching parent, and in
+// general deletion-repairs cascade (removing a parent tuple orphans
+// children), which the conflict hypergraph cannot express. The restriction
+// that keeps repairs hypergraph-representable — and which Hippo enforces —
+// is that the PARENT relation is immutable across repairs: it may not
+// appear in any denial constraint, be the child of any foreign key, or be
+// the parent of one while carrying other constraints. Then an orphaned
+// child tuple is inconsistent on its own (no repair can give it a parent),
+// i.e. a unary hyperedge, and all of Hippo's machinery applies unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace hippo {
+
+class ForeignKeyConstraint {
+ public:
+  /// Validates tables/columns and type compatibility.
+  static Result<ForeignKeyConstraint> Make(
+      const Catalog& catalog, std::string name, const std::string& child,
+      const std::vector<std::string>& child_cols, const std::string& parent,
+      const std::vector<std::string>& parent_cols);
+
+  const std::string& name() const { return name_; }
+  uint32_t child_table() const { return child_table_; }
+  uint32_t parent_table() const { return parent_table_; }
+  const std::vector<size_t>& child_columns() const { return child_cols_; }
+  const std::vector<size_t>& parent_columns() const { return parent_cols_; }
+
+  std::string ToString() const;
+
+ private:
+  ForeignKeyConstraint() = default;
+
+  std::string name_;
+  uint32_t child_table_ = 0;
+  uint32_t parent_table_ = 0;
+  std::vector<size_t> child_cols_;
+  std::vector<size_t> parent_cols_;
+  std::string child_name_;
+  std::string parent_name_;
+};
+
+}  // namespace hippo

@@ -1,0 +1,505 @@
+#include "cqa/aggregates.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "repairs/repair_enumerator.h"
+
+namespace hippo::cqa {
+
+const char* AggFnToString(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+    case AggFn::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+Result<AggFn> AggFnFromString(const std::string& name) {
+  std::string n = ToLower(name);
+  if (n == "count") return AggFn::kCount;
+  if (n == "sum") return AggFn::kSum;
+  if (n == "min") return AggFn::kMin;
+  if (n == "max") return AggFn::kMax;
+  if (n == "avg") return AggFn::kAvg;
+  return Status::InvalidArgument("unknown aggregate function: " + name);
+}
+
+namespace {
+
+/// Aggregates a plain list of numeric values (SQL semantics; empty -> NULL
+/// except COUNT -> 0).
+Value Aggregate(AggFn fn, const std::vector<double>& values, bool as_double) {
+  if (fn == AggFn::kCount) {
+    return Value::Int(static_cast<int64_t>(values.size()));
+  }
+  if (values.empty()) return Value::Null();
+  double acc = 0;
+  switch (fn) {
+    case AggFn::kSum:
+      acc = 0;
+      for (double v : values) acc += v;
+      break;
+    case AggFn::kMin:
+      acc = *std::min_element(values.begin(), values.end());
+      break;
+    case AggFn::kMax:
+      acc = *std::max_element(values.begin(), values.end());
+      break;
+    case AggFn::kAvg:
+      acc = 0;
+      for (double v : values) acc += v;
+      acc /= static_cast<double>(values.size());
+      return Value::Double(acc);
+    case AggFn::kCount:
+      return Value::Null();  // unreachable
+  }
+  if (as_double) return Value::Double(acc);
+  return Value::Int(static_cast<int64_t>(acc));
+}
+
+struct CliqueAnalysis {
+  bool applicable = false;
+  // Vertices deleted in every repair (unary edges).
+  std::unordered_set<uint32_t> always_deleted;
+  // Disjoint cliques of pairwise-conflicting row indexes (size >= 2).
+  std::vector<std::vector<uint32_t>> cliques;
+  // Rows involved in some clique (the rest, minus always_deleted, are
+  // conflict-free).
+  std::unordered_set<uint32_t> in_clique;
+};
+
+/// Checks the clique-partition property for `table_id` and extracts the
+/// cliques. Not applicable when an incident edge crosses tables or when a
+/// connected component is not a clique.
+CliqueAnalysis AnalyzeCliques(const ConflictHypergraph& graph,
+                              uint32_t table_id) {
+  CliqueAnalysis out;
+  // Pass 1: unary deletions and applicability of every incident edge.
+  std::unordered_map<uint32_t, std::unordered_set<uint32_t>> adj;
+  for (size_t e = 0; e < graph.NumEdgeSlots(); ++e) {
+    if (!graph.EdgeAlive(static_cast<ConflictHypergraph::EdgeId>(e))) continue;
+    const std::vector<RowId>& edge =
+        graph.edge(static_cast<ConflictHypergraph::EdgeId>(e));
+    bool touches = false;
+    bool inside = true;
+    for (const RowId& v : edge) {
+      if (v.table == table_id) {
+        touches = true;
+      } else {
+        inside = false;
+      }
+    }
+    if (!touches) continue;
+    if (!inside) return out;  // cross-table conflict: bail to enumeration
+    if (edge.size() == 1) {
+      out.always_deleted.insert(edge[0].row);
+    }
+  }
+  // Pass 2: adjacency over surviving edges (edges with an always-deleted
+  // vertex can never be completed, so they impose nothing).
+  for (size_t e = 0; e < graph.NumEdgeSlots(); ++e) {
+    if (!graph.EdgeAlive(static_cast<ConflictHypergraph::EdgeId>(e))) continue;
+    const std::vector<RowId>& edge =
+        graph.edge(static_cast<ConflictHypergraph::EdgeId>(e));
+    if (edge.empty() || edge[0].table != table_id) continue;
+    bool vacuous = false;
+    for (const RowId& v : edge) {
+      if (out.always_deleted.count(v.row)) vacuous = true;
+    }
+    if (vacuous || edge.size() == 1) continue;
+    if (edge.size() != 2) return out;  // k-ary conflicts: not a clique graph
+    adj[edge[0].row].insert(edge[1].row);
+    adj[edge[1].row].insert(edge[0].row);
+  }
+  // Pass 3: connected components must be cliques.
+  std::unordered_set<uint32_t> visited;
+  for (const auto& [v, _] : adj) {
+    if (visited.count(v)) continue;
+    std::vector<uint32_t> component;
+    std::vector<uint32_t> stack = {v};
+    visited.insert(v);
+    while (!stack.empty()) {
+      uint32_t u = stack.back();
+      stack.pop_back();
+      component.push_back(u);
+      for (uint32_t w : adj[u]) {
+        if (visited.insert(w).second) stack.push_back(w);
+      }
+    }
+    for (uint32_t u : component) {
+      if (adj[u].size() != component.size() - 1) {
+        return out;  // not pairwise conflicting
+      }
+    }
+    for (uint32_t u : component) out.in_clique.insert(u);
+    out.cliques.push_back(std::move(component));
+  }
+  out.applicable = true;
+  return out;
+}
+
+/// The [glb, lub] interval in closed form, given the conflict-free
+/// ("fixed") values, and each clique's min/max of the aggregated column.
+/// `fixed_count` is the number of conflict-free rows (fixed is empty for
+/// COUNT, which does not read the column).
+AggRange ClosedFormRange(AggFn fn, const std::vector<double>& fixed,
+                         size_t fixed_count,
+                         const std::vector<double>& clique_min,
+                         const std::vector<double>& clique_max,
+                         bool as_double) {
+  size_t n_repair_rows = fixed_count + clique_min.size();
+  if (fn == AggFn::kCount) {
+    // Every repair keeps exactly one tuple per clique: COUNT is certain.
+    Value v = Value::Int(static_cast<int64_t>(n_repair_rows));
+    return AggRange{v, v};
+  }
+  if (n_repair_rows == 0) {
+    return AggRange{Value::Null(), Value::Null()};
+  }
+
+  auto pack = [as_double](double v) {
+    return as_double ? Value::Double(v) : Value::Int(static_cast<int64_t>(v));
+  };
+  double fixed_sum = 0;
+  for (double v : fixed) fixed_sum += v;
+
+  switch (fn) {
+    case AggFn::kSum: {
+      double glb = fixed_sum, lub = fixed_sum;
+      for (double v : clique_min) glb += v;
+      for (double v : clique_max) lub += v;
+      return AggRange{pack(glb), pack(lub)};
+    }
+    case AggFn::kAvg: {
+      double glb = fixed_sum, lub = fixed_sum;
+      for (double v : clique_min) glb += v;
+      for (double v : clique_max) lub += v;
+      double n = static_cast<double>(n_repair_rows);
+      return AggRange{Value::Double(glb / n), Value::Double(lub / n)};
+    }
+    case AggFn::kMin: {
+      // glb: smallest value any repair can contain = global min.
+      double glb = fixed.empty() ? clique_min[0]
+                                 : *std::min_element(fixed.begin(),
+                                                     fixed.end());
+      for (double v : clique_min) glb = std::min(glb, v);
+      // lub: maximize the minimum — pick each clique's max.
+      double lub = fixed.empty()
+                       ? clique_max[0]
+                       : *std::min_element(fixed.begin(), fixed.end());
+      for (double v : clique_max) lub = std::min(lub, v);
+      if (fixed.empty()) {
+        lub = *std::min_element(clique_max.begin(), clique_max.end());
+      }
+      return AggRange{pack(glb), pack(lub)};
+    }
+    case AggFn::kMax: {
+      double lub = fixed.empty() ? clique_max[0]
+                                 : *std::max_element(fixed.begin(),
+                                                     fixed.end());
+      for (double v : clique_max) lub = std::max(lub, v);
+      // glb: minimize the maximum — pick each clique's min.
+      double glb = fixed.empty()
+                       ? clique_min[0]
+                       : *std::max_element(fixed.begin(), fixed.end());
+      for (double v : clique_min) glb = std::max(glb, v);
+      if (fixed.empty()) {
+        glb = clique_min[0];
+        for (double v : clique_min) glb = std::max(glb, v);
+      }
+      return AggRange{pack(glb), pack(lub)};
+    }
+    case AggFn::kCount:
+      break;  // handled above
+  }
+  return AggRange{Value::Null(), Value::Null()};
+}
+
+}  // namespace
+
+Result<AggRange> RangeAggregator::RangeByEnumeration(
+    const Table& table, AggFn fn, size_t column, size_t repair_limit) const {
+  RepairEnumerator repairs(catalog_, graph_);
+  HIPPO_ASSIGN_OR_RETURN(std::vector<RowMask> masks,
+                         repairs.EnumerateMasks(repair_limit));
+  bool as_double = fn == AggFn::kAvg ||
+                   table.schema().column(column).type == TypeId::kDouble;
+  AggRange range;
+  bool first = true;
+  for (const RowMask& mask : masks) {
+    std::vector<double> values;
+    values.reserve(table.NumRows());
+    for (uint32_t i = 0; i < table.NumRows(); ++i) {
+      if (!table.IsLive(i)) continue;
+      if (!mask.Allows(RowId{table.id(), i})) continue;
+      values.push_back(fn == AggFn::kCount
+                           ? 0.0
+                           : table.row(i)[column].NumericAsDouble());
+    }
+    Value v = Aggregate(fn, values, as_double);
+    if (first) {
+      range.glb = v;
+      range.lub = v;
+      first = false;
+      continue;
+    }
+    if (v.Compare(range.glb) < 0) range.glb = v;
+    if (v.Compare(range.lub) > 0) range.lub = v;
+  }
+  return range;
+}
+
+Result<size_t> RangeAggregator::CheckAggColumn(
+    const Table& table, AggFn fn, const std::string& column) const {
+  if (fn == AggFn::kCount) return size_t{0};  // COUNT(*) reads no column
+  HIPPO_ASSIGN_OR_RETURN(size_t col,
+                         table.schema().ResolveColumn("", column));
+  TypeId t = table.schema().column(col).type;
+  if (t != TypeId::kInt && t != TypeId::kDouble) {
+    return Status::TypeError(
+        StrFormat("%s requires a numeric column; %s.%s is %s",
+                  AggFnToString(fn), table.name().c_str(), column.c_str(),
+                  TypeIdToString(t)));
+  }
+  for (uint32_t i = 0; i < table.NumRows(); ++i) {
+    if (!table.IsLive(i)) continue;
+    if (table.row(i)[col].is_null()) {
+      return Status::NotSupported(
+          "NULLs in the aggregated column are not supported for "
+          "range-consistent aggregation");
+    }
+  }
+  return col;
+}
+
+Result<AggRange> RangeAggregator::Range(const std::string& table_name,
+                                        AggFn fn, const std::string& column,
+                                        AggStats* stats,
+                                        size_t repair_limit) const {
+  HIPPO_ASSIGN_OR_RETURN(const Table* table, catalog_.GetTable(table_name));
+  HIPPO_ASSIGN_OR_RETURN(size_t col, CheckAggColumn(*table, fn, column));
+
+  CliqueAnalysis cliques = AnalyzeCliques(graph_, table->id());
+  if (!cliques.applicable) {
+    if (stats != nullptr) stats->used_clique_partition = false;
+    return RangeByEnumeration(*table, fn, col, repair_limit);
+  }
+  if (stats != nullptr) {
+    stats->used_clique_partition = true;
+    stats->cliques = cliques.cliques.size();
+  }
+
+  bool as_double = fn == AggFn::kAvg ||
+                   (fn != AggFn::kCount &&
+                    table->schema().column(col).type == TypeId::kDouble);
+
+  // Fixed part: conflict-free rows (not always-deleted, not in a clique).
+  std::vector<double> fixed;
+  size_t fixed_count = 0;
+  for (uint32_t i = 0; i < table->NumRows(); ++i) {
+    if (!table->IsLive(i)) continue;
+    if (cliques.always_deleted.count(i) || cliques.in_clique.count(i)) {
+      continue;
+    }
+    ++fixed_count;
+    if (fn != AggFn::kCount) {
+      fixed.push_back(table->row(i)[col].NumericAsDouble());
+    }
+  }
+  if (stats != nullptr) stats->conflict_free = fixed_count;
+
+  // Per-clique min/max of the aggregated column.
+  std::vector<double> clique_min, clique_max;
+  for (const std::vector<uint32_t>& clique : cliques.cliques) {
+    double lo = 0, hi = 0;
+    if (fn != AggFn::kCount) {
+      lo = hi = table->row(clique[0])[col].NumericAsDouble();
+      for (uint32_t r : clique) {
+        double v = table->row(r)[col].NumericAsDouble();
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    clique_min.push_back(lo);
+    clique_max.push_back(hi);
+  }
+
+  return ClosedFormRange(fn, fixed, fixed_count, clique_min, clique_max,
+                         as_double);
+}
+
+std::string GroupRange::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group[i].ToString();
+  }
+  out += ") -> " + range.ToString();
+  if (!certain) out += " [group uncertain]";
+  return out;
+}
+
+Result<std::vector<GroupRange>> RangeAggregator::GroupedByEnumeration(
+    const Table& table, AggFn fn, size_t column,
+    const std::vector<size_t>& group_cols, size_t repair_limit) const {
+  RepairEnumerator repairs(catalog_, graph_);
+  HIPPO_ASSIGN_OR_RETURN(std::vector<RowMask> masks,
+                         repairs.EnumerateMasks(repair_limit));
+  bool as_double = fn == AggFn::kAvg ||
+                   (fn != AggFn::kCount &&
+                    table.schema().column(column).type == TypeId::kDouble);
+
+  struct State {
+    AggRange range;
+    size_t appearances = 0;
+  };
+  std::map<Row, State, bool (*)(const Row&, const Row&)> groups(&RowLess);
+  for (const RowMask& mask : masks) {
+    // Per-repair aggregation.
+    std::map<Row, std::vector<double>, bool (*)(const Row&, const Row&)>
+        per_group(&RowLess);
+    for (uint32_t i = 0; i < table.NumRows(); ++i) {
+      if (!table.IsLive(i)) continue;
+      if (!mask.Allows(RowId{table.id(), i})) continue;
+      Row key;
+      key.reserve(group_cols.size());
+      for (size_t c : group_cols) key.push_back(table.row(i)[c]);
+      per_group[std::move(key)].push_back(
+          fn == AggFn::kCount ? 0.0
+                              : table.row(i)[column].NumericAsDouble());
+    }
+    for (auto& [key, values] : per_group) {
+      Value v = Aggregate(fn, values, as_double);
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        groups.emplace(key, State{AggRange{v, v}, 1});
+        continue;
+      }
+      if (v.Compare(it->second.range.glb) < 0) it->second.range.glb = v;
+      if (v.Compare(it->second.range.lub) > 0) it->second.range.lub = v;
+      ++it->second.appearances;
+    }
+  }
+  std::vector<GroupRange> out;
+  out.reserve(groups.size());
+  for (auto& [key, state] : groups) {
+    out.push_back(
+        GroupRange{key, state.range, state.appearances == masks.size()});
+  }
+  return out;
+}
+
+Result<std::vector<GroupRange>> RangeAggregator::GroupedRange(
+    const std::string& table_name, AggFn fn, const std::string& column,
+    const std::vector<std::string>& group_columns, AggStats* stats,
+    size_t repair_limit) const {
+  HIPPO_ASSIGN_OR_RETURN(const Table* table, catalog_.GetTable(table_name));
+  HIPPO_ASSIGN_OR_RETURN(size_t col, CheckAggColumn(*table, fn, column));
+  if (group_columns.empty()) {
+    return Status::InvalidArgument(
+        "GroupedRange requires at least one grouping column; use Range for "
+        "the scalar form");
+  }
+  std::vector<size_t> group_cols;
+  for (const std::string& g : group_columns) {
+    HIPPO_ASSIGN_OR_RETURN(size_t idx, table->schema().ResolveColumn("", g));
+    group_cols.push_back(idx);
+  }
+
+  auto key_of = [&](uint32_t row) {
+    Row key;
+    key.reserve(group_cols.size());
+    for (size_t c : group_cols) key.push_back(table->row(row)[c]);
+    return key;
+  };
+
+  // Closed form requires the clique partition AND cliques confined to one
+  // group each (tuples of a clique agree on the grouping columns —
+  // guaranteed when grouping by a subset of the FD determinant).
+  CliqueAnalysis cliques = AnalyzeCliques(graph_, table->id());
+  bool closed_form = cliques.applicable;
+  if (closed_form) {
+    for (const std::vector<uint32_t>& clique : cliques.cliques) {
+      Row first = key_of(clique[0]);
+      for (uint32_t r : clique) {
+        if (!(RowEq()(key_of(r), first))) {
+          closed_form = false;  // clique straddles groups
+          break;
+        }
+      }
+      if (!closed_form) break;
+    }
+  }
+  if (!closed_form) {
+    if (stats != nullptr) stats->used_clique_partition = false;
+    return GroupedByEnumeration(*table, fn, col, group_cols, repair_limit);
+  }
+  if (stats != nullptr) {
+    stats->used_clique_partition = true;
+    stats->cliques = cliques.cliques.size();
+  }
+
+  bool as_double = fn == AggFn::kAvg ||
+                   (fn != AggFn::kCount &&
+                    table->schema().column(col).type == TypeId::kDouble);
+
+  struct GroupData {
+    std::vector<double> fixed;
+    size_t fixed_count = 0;
+    std::vector<double> clique_min, clique_max;
+  };
+  std::map<Row, GroupData, bool (*)(const Row&, const Row&)> groups(&RowLess);
+
+  for (uint32_t i = 0; i < table->NumRows(); ++i) {
+    if (!table->IsLive(i)) continue;
+    if (cliques.always_deleted.count(i) || cliques.in_clique.count(i)) {
+      continue;
+    }
+    GroupData& g = groups[key_of(i)];
+    ++g.fixed_count;
+    if (fn != AggFn::kCount) {
+      g.fixed.push_back(table->row(i)[col].NumericAsDouble());
+    }
+  }
+  for (const std::vector<uint32_t>& clique : cliques.cliques) {
+    double lo = 0, hi = 0;
+    if (fn != AggFn::kCount) {
+      lo = hi = table->row(clique[0])[col].NumericAsDouble();
+      for (uint32_t r : clique) {
+        double v = table->row(r)[col].NumericAsDouble();
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    GroupData& g = groups[key_of(clique[0])];
+    g.clique_min.push_back(lo);
+    g.clique_max.push_back(hi);
+  }
+
+  std::vector<GroupRange> out;
+  out.reserve(groups.size());
+  for (auto& [key, g] : groups) {
+    // Closed form: every group here holds a fixed row or a whole clique,
+    // so it exists (non-empty) in every repair.
+    out.push_back(GroupRange{
+        key,
+        ClosedFormRange(fn, g.fixed, g.fixed_count, g.clique_min,
+                        g.clique_max, as_double),
+        /*certain=*/true});
+  }
+  return out;
+}
+
+}  // namespace hippo::cqa

@@ -1,0 +1,110 @@
+// Range-consistent answers to scalar aggregation queries.
+//
+// Aggregates have no single consistent answer over an inconsistent database
+// (different repairs aggregate to different values); following Arenas,
+// Bertossi, Chomicki, He, Raghavan, Spinrad — "Scalar Aggregation in
+// Inconsistent Databases" (TCS 296(3), 2003; the Hippo demo's reference
+// [3]) — the right notion is the RANGE: the greatest lower bound and least
+// upper bound of the aggregate value across all repairs.
+//
+// Tractable case implemented in closed form: when the conflicts touching
+// the aggregated relation partition into disjoint cliques of pairwise
+// conflicting tuples (always true for a single FD: tuples sharing a key are
+// pairwise in conflict). Every repair then keeps exactly one tuple per
+// clique plus every conflict-free tuple, giving:
+//
+//   SUM   glb = fixed + Σ_clique min     lub = fixed + Σ_clique max
+//   COUNT glb = lub = #conflict-free + #cliques
+//   MIN   glb = min over all tuples      lub = min(fixed-min, min_clique max)
+//   MAX   lub = max over all tuples      glb = max(fixed-max, max_clique min)
+//   AVG   = SUM range / COUNT            (COUNT is constant)
+//
+// For hypergraphs without the clique-partition property (general denial
+// constraints) the computation falls back to exact repair enumeration
+// (exponential, bounded) — mirroring the paper family's hardness results
+// for multiple constraints.
+#pragma once
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "hypergraph/hypergraph.h"
+
+namespace hippo::cqa {
+
+enum class AggFn : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggFnToString(AggFn fn);
+Result<AggFn> AggFnFromString(const std::string& name);
+
+/// The [glb, lub] interval of an aggregate across all repairs.
+struct AggRange {
+  Value glb;
+  Value lub;
+
+  std::string ToString() const {
+    return "[" + glb.ToString() + ", " + lub.ToString() + "]";
+  }
+};
+
+struct AggStats {
+  bool used_clique_partition = false;  ///< closed form vs enumeration
+  size_t cliques = 0;
+  size_t conflict_free = 0;
+};
+
+/// One group of a grouped range-consistent aggregate.
+struct GroupRange {
+  Row group;      ///< values of the grouping columns
+  AggRange range; ///< [glb, lub] over the repairs containing the group
+  /// True when the group exists in EVERY repair. Groups existing in no
+  /// repair are omitted.
+  bool certain = true;
+
+  std::string ToString() const;
+};
+
+class RangeAggregator {
+ public:
+  RangeAggregator(const Catalog& catalog, const ConflictHypergraph& graph)
+      : catalog_(catalog), graph_(graph) {}
+
+  /// Range of `fn` over column `column` of `table` across all repairs.
+  /// COUNT ignores the column (COUNT(*)). NULLs in the aggregated column
+  /// are NotSupported (they would make SQL aggregate semantics diverge
+  /// from the repair semantics). `repair_limit` bounds the enumeration
+  /// fallback.
+  Result<AggRange> Range(const std::string& table, AggFn fn,
+                         const std::string& column, AggStats* stats = nullptr,
+                         size_t repair_limit = 100000) const;
+
+  /// Grouped variant (extension): the [glb, lub] interval of `fn` per value
+  /// of `group_columns`, ordered by group key. Closed form when the
+  /// clique-partition property holds AND no clique straddles two groups
+  /// (guaranteed when the grouping columns are a subset of the FD
+  /// determinant); exact enumeration otherwise. A group absent from some
+  /// repairs is flagged `certain = false`.
+  Result<std::vector<GroupRange>> GroupedRange(
+      const std::string& table, AggFn fn, const std::string& column,
+      const std::vector<std::string>& group_columns,
+      AggStats* stats = nullptr, size_t repair_limit = 100000) const;
+
+ private:
+  Result<AggRange> RangeByEnumeration(const Table& table, AggFn fn,
+                                      size_t column, size_t repair_limit)
+      const;
+
+  Result<std::vector<GroupRange>> GroupedByEnumeration(
+      const Table& table, AggFn fn, size_t column,
+      const std::vector<size_t>& group_cols, size_t repair_limit) const;
+
+  /// Resolves and validates the aggregated column (numeric, NULL-free).
+  Result<size_t> CheckAggColumn(const Table& table, AggFn fn,
+                                const std::string& column) const;
+
+  const Catalog& catalog_;
+  const ConflictHypergraph& graph_;
+};
+
+}  // namespace hippo::cqa

@@ -1,0 +1,128 @@
+#include "cqa/cnf.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace hippo::cqa {
+
+std::string Clause::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < literals.size(); ++i) {
+    if (i > 0) out += " | ";
+    if (!literals[i].positive) out += "!";
+    out += literals[i].fact.ToString();
+  }
+  out += ")";
+  return out;
+}
+
+namespace {
+
+// Internal clause form during conversion: fact -> sign. A clause becomes a
+// tautology when a fact occurs with both signs.
+using MapClause = std::map<RowId, bool>;
+
+/// NNF + distribution. `negated` pushes negation down (De Morgan).
+/// Returns the clause set of the (possibly negated) subformula.
+std::vector<MapClause> Convert(const GroundFormula& f, bool negated);
+
+std::vector<MapClause> DistributeOr(const std::vector<MapClause>& a,
+                                    const std::vector<MapClause>& b) {
+  std::vector<MapClause> out;
+  out.reserve(a.size() * b.size());
+  for (const MapClause& ca : a) {
+    for (const MapClause& cb : b) {
+      MapClause merged = ca;
+      bool tautology = false;
+      for (const auto& [fact, sign] : cb) {
+        auto it = merged.find(fact);
+        if (it != merged.end() && it->second != sign) {
+          tautology = true;
+          break;
+        }
+        merged.emplace(fact, sign);
+      }
+      if (!tautology) out.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+std::vector<MapClause> Convert(const GroundFormula& f, bool negated) {
+  switch (f.kind) {
+    case GroundFormula::Kind::kConst: {
+      bool v = negated ? !f.const_value : f.const_value;
+      if (v) return {};                    // TRUE: empty clause set
+      return {MapClause{}};                // FALSE: one empty clause
+    }
+    case GroundFormula::Kind::kLit: {
+      MapClause c;
+      c.emplace(f.fact, !negated);
+      return {std::move(c)};
+    }
+    case GroundFormula::Kind::kNot:
+      return Convert(f.children[0], !negated);
+    case GroundFormula::Kind::kAnd:
+    case GroundFormula::Kind::kOr: {
+      bool is_and =
+          (f.kind == GroundFormula::Kind::kAnd) != negated;  // De Morgan
+      if (is_and) {
+        std::vector<MapClause> out;
+        for (const GroundFormula& c : f.children) {
+          std::vector<MapClause> sub = Convert(c, negated);
+          out.insert(out.end(), std::make_move_iterator(sub.begin()),
+                     std::make_move_iterator(sub.end()));
+        }
+        return out;
+      }
+      // OR: distribute.
+      std::vector<MapClause> acc = {MapClause{}};
+      for (const GroundFormula& c : f.children) {
+        acc = DistributeOr(acc, Convert(c, negated));
+        if (acc.empty()) return acc;  // a TRUE disjunct absorbs everything
+      }
+      return acc;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+CnfResult ToCnf(const GroundFormula& formula) {
+  CnfResult result;
+  if (formula.IsConst()) {
+    result.is_constant = true;
+    result.constant_value = formula.const_value;
+    return result;
+  }
+  std::vector<MapClause> raw = Convert(formula, /*negated=*/false);
+  if (raw.empty()) {
+    // All clauses were tautologies: true in every repair.
+    result.is_constant = true;
+    result.constant_value = true;
+    return result;
+  }
+  // Dedup clauses (and detect an empty clause = constant FALSE).
+  std::set<std::vector<std::pair<RowId, bool>>> seen;
+  for (MapClause& mc : raw) {
+    if (mc.empty()) {
+      result.is_constant = true;
+      result.constant_value = false;
+      result.clauses.clear();
+      return result;
+    }
+    std::vector<std::pair<RowId, bool>> key(mc.begin(), mc.end());
+    if (!seen.insert(key).second) continue;
+    Clause clause;
+    clause.literals.reserve(mc.size());
+    for (const auto& [fact, sign] : mc) {
+      clause.literals.push_back(Literal{fact, sign});
+    }
+    result.clauses.push_back(std::move(clause));
+  }
+  return result;
+}
+
+}  // namespace hippo::cqa

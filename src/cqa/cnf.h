@@ -1,0 +1,44 @@
+// CNF conversion of ground formulas.
+//
+// "Q true in every repair" distributes over conjunction, so the engine
+// converts the ground formula to CNF and asks the Prover one clause at a
+// time: the candidate is a consistent answer iff no clause can be falsified
+// by any repair. CNF blow-up is exponential only in the query size (the
+// formula shape mirrors the query), never in the data.
+#pragma once
+
+#include <vector>
+
+#include "cqa/ground_formula.h"
+
+namespace hippo::cqa {
+
+struct Literal {
+  RowId fact;
+  bool positive = true;
+
+  bool operator==(const Literal& o) const {
+    return fact == o.fact && positive == o.positive;
+  }
+};
+
+/// A disjunction of literals.
+struct Clause {
+  std::vector<Literal> literals;
+
+  std::string ToString() const;
+};
+
+/// Result of CNF conversion. When `is_constant`, the formula needed no
+/// clauses (`constant_value` gives its truth in every repair).
+struct CnfResult {
+  bool is_constant = false;
+  bool constant_value = false;
+  std::vector<Clause> clauses;
+};
+
+/// Converts to CNF with simplifications: duplicate literals collapse,
+/// tautological clauses (p ∨ ¬p) are dropped, duplicate clauses are merged.
+CnfResult ToCnf(const GroundFormula& formula);
+
+}  // namespace hippo::cqa

@@ -1,0 +1,83 @@
+// HippoEngine: the end-to-end pipeline of the paper's Figure 1.
+//
+//   Query ─► Enveloping ─► Evaluation ─► Candidates ─► Prover ─► Answer Set
+//                              ▲                          ▲
+//                             DB ◄── Conflict Detection ──┘ (hypergraph)
+//
+// Given a bound SJUD plan and the conflict hypergraph, the engine evaluates
+// the envelope to obtain candidates, grounds each candidate into a formula
+// over base facts, converts to CNF and lets the HProver decide, clause by
+// clause, whether any repair falsifies it. Candidates surviving all clauses
+// form the consistent answer set.
+#pragma once
+
+#include <chrono>
+
+#include "catalog/catalog.h"
+#include "cqa/cnf.h"
+#include "cqa/ground_formula.h"
+#include "cqa/knowledge.h"
+#include "cqa/prover.h"
+#include "exec/executor.h"
+#include "hypergraph/hypergraph.h"
+#include "plan/logical_plan.h"
+
+namespace hippo::cqa {
+
+struct HippoOptions {
+  enum class MembershipMode {
+    kQuery,               ///< base system: membership via engine queries
+    kKnowledgeGathering,  ///< KG: in-memory indexes, no queries
+  };
+  MembershipMode membership = MembershipMode::kKnowledgeGathering;
+
+  /// Conflict-free shortcut: candidates whose ground formula touches only
+  /// conflict-free facts skip CNF + Prover entirely.
+  bool use_filtering = true;
+
+  /// Prover-loop parallelism: candidates are decided independently, so the
+  /// loop shards across this many worker threads (1 = sequential). Results
+  /// are deterministic regardless of the thread count.
+  size_t num_threads = 1;
+};
+
+struct HippoStats {
+  size_t candidates = 0;
+  size_t answers = 0;
+  size_t filtered_shortcuts = 0;   ///< candidates decided by filtering
+  size_t constant_formulas = 0;    ///< candidates decided during grounding
+  size_t prover_invocations = 0;   ///< candidates that reached the Prover
+  size_t clauses_checked = 0;
+  size_t membership_checks = 0;    ///< total lookups (queries or index hits)
+  size_t edge_choices_tried = 0;
+  double envelope_seconds = 0;
+  double prove_seconds = 0;        ///< grounding + CNF + prover
+  double total_seconds = 0;
+};
+
+class HippoEngine {
+ public:
+  HippoEngine(const Catalog& catalog, const ConflictHypergraph& graph)
+      : catalog_(catalog), graph_(graph) {}
+
+  /// Computes the consistent answers to a bound plan. The plan must pass
+  /// CheckSjudSupported; a top-level SortNode is honored on the output.
+  Result<ResultSet> ConsistentAnswers(const PlanNode& plan,
+                                      const HippoOptions& options,
+                                      HippoStats* stats = nullptr);
+
+  /// Decides whether a single candidate tuple is a consistent answer.
+  Result<bool> IsConsistentAnswer(const PlanNode& plan, const Row& tuple,
+                                  const HippoOptions& options,
+                                  HippoStats* stats = nullptr);
+
+ private:
+  Result<bool> DecideCandidate(Grounder* grounder, HProver* prover,
+                               const Row& tuple, const HippoOptions& options,
+                               HippoStats* stats);
+
+  const Catalog& catalog_;
+  const ConflictHypergraph& graph_;
+};
+
+}  // namespace hippo::cqa

@@ -1,0 +1,53 @@
+#include "cqa/envelope.h"
+
+#include "common/macros.h"
+
+namespace hippo::cqa {
+
+PlanNodePtr BuildEnvelope(const PlanNode& plan) {
+  switch (plan.kind()) {
+    case PlanKind::kSort:
+      return BuildEnvelope(plan.child(0));
+    case PlanKind::kDifference:
+      // Candidates for E1 − E2 are candidates for E1: a tuple absent from
+      // env(E1) is in E1 of no repair, hence in E1 − E2 of no repair.
+      return BuildEnvelope(plan.child(0));
+    case PlanKind::kScan:
+      return plan.Clone();
+    case PlanKind::kFilter: {
+      const auto& f = static_cast<const FilterNode&>(plan);
+      return std::make_unique<FilterNode>(BuildEnvelope(plan.child(0)),
+                                          f.predicate().Clone());
+    }
+    case PlanKind::kProject: {
+      const auto& p = static_cast<const ProjectNode&>(plan);
+      std::vector<ExprPtr> exprs;
+      for (size_t i = 0; i < p.NumExprs(); ++i) {
+        exprs.push_back(p.expr(i).Clone());
+      }
+      return std::make_unique<ProjectNode>(BuildEnvelope(plan.child(0)),
+                                           std::move(exprs), p.schema());
+    }
+    case PlanKind::kProduct:
+      return std::make_unique<ProductNode>(BuildEnvelope(plan.child(0)),
+                                           BuildEnvelope(plan.child(1)));
+    case PlanKind::kJoin: {
+      const auto& j = static_cast<const JoinNode&>(plan);
+      return std::make_unique<JoinNode>(BuildEnvelope(plan.child(0)),
+                                        BuildEnvelope(plan.child(1)),
+                                        j.condition().Clone());
+    }
+    case PlanKind::kUnion:
+    case PlanKind::kIntersect:
+      return std::make_unique<SetOpNode>(plan.kind(),
+                                         BuildEnvelope(plan.child(0)),
+                                         BuildEnvelope(plan.child(1)));
+    case PlanKind::kAntiJoin:
+    case PlanKind::kAggregate:
+      break;
+  }
+  HIPPO_CHECK_MSG(false, "unsupported node in envelope construction");
+  return nullptr;
+}
+
+}  // namespace hippo::cqa

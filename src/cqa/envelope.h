@@ -1,0 +1,24 @@
+// Enveloping (the first step of Hippo's query pipeline).
+//
+// The envelope of a query Q is a query env(Q) whose answer set over the
+// *current* (inconsistent) database is a superset of Q's answers over every
+// repair — hence a superset of the consistent answers. Since repairs are
+// subsets of the instance and all operators except difference are monotone,
+// env is the homomorphic rewrite that drops subtrahends:
+//
+//     env(E1 − E2)   = env(E1)
+//     env(op(E...))  = op(env(E)...)        for all other operators
+//
+// The envelope is evaluated once by the relational engine; its result rows
+// are the Candidates handed to the Prover.
+#pragma once
+
+#include "plan/logical_plan.h"
+
+namespace hippo::cqa {
+
+/// Builds the envelope plan of a bound SJUD plan (a SortNode root, if
+/// present, is dropped — ordering does not affect membership).
+PlanNodePtr BuildEnvelope(const PlanNode& plan);
+
+}  // namespace hippo::cqa

@@ -1,0 +1,194 @@
+#include "cqa/ground_formula.h"
+
+#include <unordered_set>
+
+#include "expr/evaluator.h"
+#include "plan/sjud.h"
+
+namespace hippo::cqa {
+
+GroundFormula GroundFormula::Not(GroundFormula a) {
+  if (a.IsConst()) return Constant(!a.const_value);
+  GroundFormula f;
+  f.kind = Kind::kNot;
+  f.children.push_back(std::move(a));
+  return f;
+}
+
+GroundFormula GroundFormula::And(GroundFormula a, GroundFormula b) {
+  if (a.IsConst()) return a.const_value ? std::move(b) : False();
+  if (b.IsConst()) return b.const_value ? std::move(a) : False();
+  GroundFormula f;
+  f.kind = Kind::kAnd;
+  f.children.push_back(std::move(a));
+  f.children.push_back(std::move(b));
+  return f;
+}
+
+GroundFormula GroundFormula::Or(GroundFormula a, GroundFormula b) {
+  if (a.IsConst()) return a.const_value ? True() : std::move(b);
+  if (b.IsConst()) return b.const_value ? True() : std::move(a);
+  GroundFormula f;
+  f.kind = Kind::kOr;
+  f.children.push_back(std::move(a));
+  f.children.push_back(std::move(b));
+  return f;
+}
+
+bool GroundFormula::Eval(const std::function<bool(RowId)>& truth) const {
+  switch (kind) {
+    case Kind::kConst:
+      return const_value;
+    case Kind::kLit:
+      return truth(fact);
+    case Kind::kNot:
+      return !children[0].Eval(truth);
+    case Kind::kAnd:
+      for (const GroundFormula& c : children) {
+        if (!c.Eval(truth)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const GroundFormula& c : children) {
+        if (c.Eval(truth)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+void GroundFormula::CollectFacts(std::vector<RowId>* out) const {
+  switch (kind) {
+    case Kind::kConst:
+      return;
+    case Kind::kLit:
+      out->push_back(fact);
+      return;
+    default:
+      for (const GroundFormula& c : children) c.CollectFacts(out);
+  }
+}
+
+std::string GroundFormula::ToString() const {
+  switch (kind) {
+    case Kind::kConst:
+      return const_value ? "TRUE" : "FALSE";
+    case Kind::kLit:
+      return fact.ToString();
+    case Kind::kNot:
+      return "!" + children[0].ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string out = "(";
+      const char* sep = kind == Kind::kAnd ? " & " : " | ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+Result<GroundFormula> Grounder::Ground(const Row& tuple) {
+  const PlanNode* root = &plan_;
+  if (root->kind() == PlanKind::kSort) root = &root->child(0);
+  return GroundNode(*root, tuple);
+}
+
+Result<GroundFormula> Grounder::GroundNode(const PlanNode& node,
+                                           const Row& tuple) {
+  switch (node.kind()) {
+    case PlanKind::kScan: {
+      const auto& scan = static_cast<const ScanNode&>(node);
+      HIPPO_ASSIGN_OR_RETURN(std::optional<RowId> rid,
+                             membership_->Lookup(scan.table_id(), tuple));
+      if (!rid.has_value()) return GroundFormula::False();
+      return GroundFormula::Lit(*rid);
+    }
+    case PlanKind::kFilter: {
+      const auto& f = static_cast<const FilterNode&>(node);
+      if (!EvalPredicate(f.predicate(), tuple)) {
+        return GroundFormula::False();
+      }
+      return GroundNode(node.child(0), tuple);
+    }
+    case PlanKind::kProject: {
+      const auto& p = static_cast<const ProjectNode&>(node);
+      const size_t child_width = node.child(0).schema().NumColumns();
+      Row inverse(child_width, Value::Null());
+      std::vector<bool> assigned(child_width, false);
+      for (size_t i = 0; i < p.NumExprs(); ++i) {
+        HIPPO_CHECK_MSG(p.expr(i).kind() == ExprKind::kColumnRef,
+                        "grounding requires a safe projection");
+        size_t idx = static_cast<size_t>(
+            static_cast<const ColumnRefExpr&>(p.expr(i)).index());
+        if (assigned[idx]) {
+          // Two output columns map to the same input; the tuple must agree.
+          if (!(inverse[idx] == tuple[i])) return GroundFormula::False();
+        } else {
+          inverse[idx] = tuple[i];
+          assigned[idx] = true;
+        }
+      }
+      for (bool a : assigned) {
+        HIPPO_CHECK_MSG(a, "grounding requires a safe projection");
+      }
+      return GroundNode(node.child(0), inverse);
+    }
+    case PlanKind::kProduct:
+    case PlanKind::kJoin: {
+      if (node.kind() == PlanKind::kJoin) {
+        const auto& j = static_cast<const JoinNode&>(node);
+        if (!EvalPredicate(j.condition(), tuple)) {
+          return GroundFormula::False();
+        }
+      }
+      const size_t left_width = node.child(0).schema().NumColumns();
+      Row left(tuple.begin(), tuple.begin() + static_cast<long>(left_width));
+      Row right(tuple.begin() + static_cast<long>(left_width), tuple.end());
+      HIPPO_ASSIGN_OR_RETURN(GroundFormula lf,
+                             GroundNode(node.child(0), left));
+      // Short-circuit: FALSE left makes the product FALSE without probing
+      // the right side.
+      if (lf.IsConst() && !lf.const_value) return GroundFormula::False();
+      HIPPO_ASSIGN_OR_RETURN(GroundFormula rf,
+                             GroundNode(node.child(1), right));
+      return GroundFormula::And(std::move(lf), std::move(rf));
+    }
+    case PlanKind::kUnion: {
+      HIPPO_ASSIGN_OR_RETURN(GroundFormula lf,
+                             GroundNode(node.child(0), tuple));
+      if (lf.IsConst() && lf.const_value) return GroundFormula::True();
+      HIPPO_ASSIGN_OR_RETURN(GroundFormula rf,
+                             GroundNode(node.child(1), tuple));
+      return GroundFormula::Or(std::move(lf), std::move(rf));
+    }
+    case PlanKind::kDifference: {
+      HIPPO_ASSIGN_OR_RETURN(GroundFormula lf,
+                             GroundNode(node.child(0), tuple));
+      if (lf.IsConst() && !lf.const_value) return GroundFormula::False();
+      HIPPO_ASSIGN_OR_RETURN(GroundFormula rf,
+                             GroundNode(node.child(1), tuple));
+      return GroundFormula::And(std::move(lf),
+                                GroundFormula::Not(std::move(rf)));
+    }
+    case PlanKind::kIntersect: {
+      HIPPO_ASSIGN_OR_RETURN(GroundFormula lf,
+                             GroundNode(node.child(0), tuple));
+      if (lf.IsConst() && !lf.const_value) return GroundFormula::False();
+      HIPPO_ASSIGN_OR_RETURN(GroundFormula rf,
+                             GroundNode(node.child(1), tuple));
+      return GroundFormula::And(std::move(lf), std::move(rf));
+    }
+    case PlanKind::kSort:
+    case PlanKind::kAntiJoin:
+    case PlanKind::kAggregate:
+      break;
+  }
+  return Status::Internal("unsupported plan node in grounding");
+}
+
+}  // namespace hippo::cqa

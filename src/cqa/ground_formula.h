@@ -1,0 +1,103 @@
+// Grounding: expressing "tuple t belongs to Q(repair)" as a propositional
+// formula over base-relation facts.
+//
+// Because the supported query class contains no existential quantification
+// (projections are permutations), the membership of t in every subexpression
+// is decided by t itself (split across products). Recursion over the plan:
+//
+//   t ∈ R          ↦  literal over the fact R(t)  (FALSE if R(t) ∉ DB,
+//                      since repairs only delete tuples)
+//   t ∈ σθ(E)      ↦  θ(t) ∧ (t ∈ E)              (θ(t) is a constant)
+//   t ∈ π(E)       ↦  t' ∈ E   where t' is the inverse image of t
+//   t ∈ E1 × E2    ↦  (t1 ∈ E1) ∧ (t2 ∈ E2)
+//   t ∈ E1 ∪ E2    ↦  (t ∈ E1) ∨ (t ∈ E2)
+//   t ∈ E1 − E2    ↦  (t ∈ E1) ∧ ¬(t ∈ E2)
+//   t ∈ E1 ∩ E2    ↦  (t ∈ E1) ∧ (t ∈ E2)
+//
+// The truth value of a literal in a repair is "the fact survived". The
+// formula is later converted to CNF and each clause checked by the Prover.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/logical_plan.h"
+#include "storage/table.h"
+
+namespace hippo::cqa {
+
+/// \brief A ground propositional formula over database facts.
+struct GroundFormula {
+  enum class Kind : uint8_t { kConst, kLit, kNot, kAnd, kOr };
+
+  Kind kind = Kind::kConst;
+  bool const_value = false;          ///< for kConst
+  RowId fact{};                      ///< for kLit (always an existing row)
+  std::vector<GroundFormula> children;
+
+  static GroundFormula True() { return Constant(true); }
+  static GroundFormula False() { return Constant(false); }
+  static GroundFormula Constant(bool v) {
+    GroundFormula f;
+    f.kind = Kind::kConst;
+    f.const_value = v;
+    return f;
+  }
+  static GroundFormula Lit(RowId fact) {
+    GroundFormula f;
+    f.kind = Kind::kLit;
+    f.fact = fact;
+    return f;
+  }
+  /// Constant-folding connectives.
+  static GroundFormula Not(GroundFormula a);
+  static GroundFormula And(GroundFormula a, GroundFormula b);
+  static GroundFormula Or(GroundFormula a, GroundFormula b);
+
+  bool IsConst() const { return kind == Kind::kConst; }
+
+  /// Evaluates under a truth assignment for facts.
+  bool Eval(const std::function<bool(RowId)>& truth) const;
+
+  /// Collects the distinct facts mentioned.
+  void CollectFacts(std::vector<RowId>* out) const;
+
+  std::string ToString() const;
+};
+
+/// \brief Answers "does base table `table_id` contain this row, and at which
+/// RowId?" during grounding.
+///
+/// The two implementations realize the paper's two modes: issuing membership
+/// queries against the database engine (base system) vs. answering from
+/// structures computed alongside the envelope (knowledge gathering).
+class MembershipProvider {
+ public:
+  virtual ~MembershipProvider() = default;
+  virtual Result<std::optional<RowId>> Lookup(uint32_t table_id,
+                                              const Row& values) = 0;
+  /// Number of membership requests served.
+  virtual size_t NumLookups() const = 0;
+};
+
+/// \brief Grounds candidate tuples against a bound SJUD plan.
+class Grounder {
+ public:
+  Grounder(const PlanNode& plan, MembershipProvider* membership)
+      : plan_(plan), membership_(membership) {}
+
+  /// Builds the ground formula for "tuple ∈ plan" (tuple has the plan's
+  /// output schema). The formula is constant-folded on the fly.
+  Result<GroundFormula> Ground(const Row& tuple);
+
+ private:
+  Result<GroundFormula> GroundNode(const PlanNode& node, const Row& tuple);
+
+  const PlanNode& plan_;
+  MembershipProvider* membership_;
+};
+
+}  // namespace hippo::cqa

@@ -1,0 +1,76 @@
+#include "cqa/knowledge.h"
+
+#include "exec/executor.h"
+#include "expr/evaluator.h"
+
+namespace hippo::cqa {
+
+Result<std::optional<RowId>> QueryMembershipProvider::Lookup(
+    uint32_t table_id, const Row& values) {
+  ++lookups_;
+  const Table& table = catalog_.table(table_id);
+  if (values.size() != table.schema().NumColumns()) {
+    return Status::Internal("membership probe arity mismatch");
+  }
+  // Build σ_{c1=v1 ∧ ...}(R) with a rowid-emitting scan and execute it —
+  // a genuine query through the engine, as the base system would issue.
+  PlanNodePtr scan = ScanNode::Make(table.id(), table.name(), table.name(),
+                                    table.schema(), /*emit_rowid=*/true);
+  std::vector<ExprPtr> conjuncts;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].is_null()) {
+      conjuncts.push_back(std::make_unique<IsNullExpr>(
+          ColumnRefExpr::Bound(i, table.schema().column(i).type), false));
+      conjuncts.back()->set_result_type(TypeId::kBool);
+      continue;
+    }
+    conjuncts.push_back(std::make_unique<ComparisonExpr>(
+        CompareOp::kEq,
+        ColumnRefExpr::Bound(i, table.schema().column(i).type),
+        std::make_unique<LiteralExpr>(values[i])));
+    conjuncts.back()->set_result_type(TypeId::kBool);
+  }
+  PlanNodePtr probe = std::make_unique<FilterNode>(
+      std::move(scan), AndAll(std::move(conjuncts)));
+  ExecContext ctx{&catalog_, nullptr};
+  HIPPO_ASSIGN_OR_RETURN(ResultSet rs, Execute(*probe, ctx));
+  // NULL values: the IS NULL filter above matches them, but a row whose
+  // non-null values match under `=` with nulls elsewhere must compare
+  // structurally; re-verify to keep set identity exact.
+  for (const Row& row : rs.rows) {
+    Row stored(row.begin(), row.end() - 1);
+    if (stored == values) {
+      return std::optional<RowId>(RowId{
+          table_id, static_cast<uint32_t>(row.back().AsInt())});
+    }
+  }
+  return std::optional<RowId>(std::nullopt);
+}
+
+Result<std::optional<RowId>> IndexMembershipProvider::Lookup(
+    uint32_t table_id, const Row& values) {
+  ++lookups_;
+  indexed_.insert(table_id);  // tables' own hash index serves as the gather
+  const Table& table = catalog_.table(table_id);
+  if (values.size() != table.schema().NumColumns()) {
+    return Status::Internal("membership probe arity mismatch");
+  }
+  return std::optional<RowId>(table.Find(values));
+}
+
+bool AllFactsConflictFree(const GroundFormula& formula,
+                          const ConflictHypergraph& graph) {
+  switch (formula.kind) {
+    case GroundFormula::Kind::kConst:
+      return true;
+    case GroundFormula::Kind::kLit:
+      return !graph.IsConflicting(formula.fact);
+    default:
+      for (const GroundFormula& c : formula.children) {
+        if (!AllFactsConflictFree(c, graph)) return false;
+      }
+      return true;
+  }
+}
+
+}  // namespace hippo::cqa

@@ -1,0 +1,63 @@
+// Membership providers: how grounding answers "is R(t) in the database?".
+//
+// The base system issues a membership query against the relational engine
+// for every check — the costly path the paper describes ("this is done by
+// simply executing the appropriate membership queries on the database").
+// The knowledge-gathering (KG) optimization instead builds, alongside the
+// envelope evaluation, an in-memory index per relation touched by the
+// query, so membership checks execute without any queries on the database.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "catalog/catalog.h"
+#include "cqa/ground_formula.h"
+#include "hypergraph/hypergraph.h"
+
+namespace hippo::cqa {
+
+/// Base mode: each lookup plans and executes a selection query
+/// (σ_{cols = values} R) against the engine, like a frontend issuing SQL
+/// membership probes at the RDBMS.
+class QueryMembershipProvider final : public MembershipProvider {
+ public:
+  explicit QueryMembershipProvider(const Catalog& catalog)
+      : catalog_(catalog) {}
+
+  Result<std::optional<RowId>> Lookup(uint32_t table_id,
+                                      const Row& values) override;
+  size_t NumLookups() const override { return lookups_; }
+
+ private:
+  const Catalog& catalog_;
+  size_t lookups_ = 0;
+};
+
+/// Knowledge-gathering mode: one pass per touched relation builds a hash
+/// index value→row; lookups are O(1) and issue no queries.
+class IndexMembershipProvider final : public MembershipProvider {
+ public:
+  explicit IndexMembershipProvider(const Catalog& catalog)
+      : catalog_(catalog) {}
+
+  Result<std::optional<RowId>> Lookup(uint32_t table_id,
+                                      const Row& values) override;
+  size_t NumLookups() const override { return lookups_; }
+
+  /// Number of per-relation gathering passes performed.
+  size_t NumIndexedTables() const { return indexed_.size(); }
+
+ private:
+  const Catalog& catalog_;
+  std::unordered_set<uint32_t> indexed_;
+  size_t lookups_ = 0;
+};
+
+/// True iff every fact of the formula is conflict-free; such a formula has
+/// the same value in every repair (its truth over the current instance),
+/// so the Prover can be bypassed — the filtering optimization.
+bool AllFactsConflictFree(const GroundFormula& formula,
+                          const ConflictHypergraph& graph);
+
+}  // namespace hippo::cqa

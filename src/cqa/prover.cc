@@ -1,0 +1,102 @@
+#include "cqa/prover.h"
+
+#include <algorithm>
+
+namespace hippo::cqa {
+
+bool HProver::TryAdd(RowId v, VertexSet* blockers) {
+  if (blockers->count(v)) return true;  // already present, still independent
+  blockers->insert(v);
+  ++stats_.independence_checks;
+  for (auto e : graph_.IncidentEdges(v)) {
+    if (graph_.EdgeInside(e, *blockers)) {
+      blockers->erase(v);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool HProver::Search(const std::vector<RowId>& positives, size_t next,
+                     VertexSet* blockers) {
+  if (next == positives.size()) return true;
+  RowId ti = positives[next];
+  // ti may have been added as a blocker for an earlier positive (or be one
+  // of the sj): it would then be required IN the repair, so this literal
+  // cannot be falsified along this branch.
+  if (blockers->count(ti)) return false;
+  for (auto e : graph_.IncidentEdges(ti)) {
+    ++stats_.edge_choices_tried;
+    const std::vector<RowId>& edge = graph_.edge(e);
+    // The other endpoints become blockers; they must not be positives
+    // themselves (a positive must stay OUT of the repair).
+    bool usable = true;
+    for (const RowId& u : edge) {
+      if (u != ti && std::find(positives.begin(), positives.end(), u) !=
+                         positives.end()) {
+        usable = false;
+        break;
+      }
+    }
+    if (!usable) continue;
+
+    // Add edge ∖ {ti} to the blockers, tracking what we inserted so the
+    // choice can be undone on backtrack.
+    std::vector<RowId> added;
+    bool ok = true;
+    for (const RowId& u : edge) {
+      if (u == ti) continue;
+      if (blockers->count(u)) continue;
+      if (!TryAdd(u, blockers)) {
+        ok = false;
+        break;
+      }
+      added.push_back(u);
+    }
+    if (ok && Search(positives, next + 1, blockers)) return true;
+    for (const RowId& u : added) blockers->erase(u);
+  }
+  return false;
+}
+
+bool HProver::IsFalsifiable(const Clause& clause) {
+  ++stats_.clauses_checked;
+
+  std::vector<RowId> positives;
+  VertexSet blockers;
+
+  // Seed the blocker set with the negative literals' facts: they must all
+  // be inside the falsifying repair.
+  for (const Literal& lit : clause.literals) {
+    if (lit.positive) continue;
+    if (!TryAdd(lit.fact, &blockers)) {
+      return false;  // the sj themselves conflict: no repair contains all
+    }
+  }
+  for (const Literal& lit : clause.literals) {
+    if (!lit.positive) continue;
+    // A conflict-free positive fact lies in every repair: clause holds.
+    if (!graph_.IsConflicting(lit.fact)) return false;
+    // A positive that must simultaneously be IN the repair (as a negative
+    // literal's fact) would make the clause a tautology; CNF conversion
+    // removes those, but blockers may also grow during search — checked
+    // there. Here: if it is already a required member, not falsifiable.
+    if (blockers.count(lit.fact)) return false;
+    positives.push_back(lit.fact);
+  }
+
+  // Order positives by degree (fewest incident edges first) to fail fast.
+  if (order_positives_by_degree_) {
+    std::sort(positives.begin(), positives.end(),
+              [this](const RowId& a, const RowId& b) {
+                return graph_.IncidentEdges(a).size() <
+                       graph_.IncidentEdges(b).size();
+              });
+  }
+
+  bool falsifiable = Search(positives, 0, &blockers);
+  if (falsifiable) ++stats_.falsifiable_clauses;
+  return falsifiable;
+}
+
+}  // namespace hippo::cqa

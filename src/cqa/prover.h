@@ -1,0 +1,74 @@
+// HProver: deciding, from the conflict hypergraph alone, whether some repair
+// falsifies a ground clause.
+//
+// Clause D = t1 ∨ ... ∨ tp ∨ ¬s1 ∨ ... ∨ ¬sq over facts of the instance
+// (grounding never emits literals for absent facts). A repair R falsifies D
+// iff every ti ∉ R and every sj ∈ R. Since repairs are *maximal* independent
+// sets:
+//
+//   * all sj must be simultaneously consistent: {s̄} contains no hyperedge;
+//   * each ti must be *excluded for a reason*: some hyperedge ei ∋ ti must
+//     be completed by the rest of the repair, i.e. ei ∖ {ti} ⊆ R.
+//
+// Theorem (Chomicki–Marcinkowski): D is falsifiable iff one can choose for
+// each ti an incident edge ei with (ei ∖ {ti}) ∩ {t̄} = ∅ such that
+// B = {s̄} ∪ ⋃(ei ∖ {ti}) is independent. Any such B extends to a maximal
+// independent set that contains every sj and blocks every ti. The search
+// below backtracks over the edge choices — exponential only in the clause
+// length (query size), polynomial in the data.
+//
+// Immediate non-falsifiability cases:
+//   * some ti is conflict-free (it lies in every repair, so D holds);
+//   * {s̄} already contains a full edge (no repair contains all sj);
+//   * p = 0 and {s̄} independent: falsifiable iff q > 0 (extend {s̄} to a
+//     repair), handled by the same machinery with no choices to make.
+#pragma once
+
+#include "cqa/cnf.h"
+#include "hypergraph/hypergraph.h"
+
+namespace hippo::cqa {
+
+struct ProverStats {
+  size_t clauses_checked = 0;
+  size_t falsifiable_clauses = 0;
+  size_t edge_choices_tried = 0;
+  size_t independence_checks = 0;
+};
+
+class HProver {
+ public:
+  explicit HProver(const ConflictHypergraph& graph) : graph_(graph) {}
+
+  /// True iff some repair makes every literal of the clause false.
+  bool IsFalsifiable(const Clause& clause);
+
+  /// True iff the clause holds in every repair.
+  bool HoldsInAllRepairs(const Clause& clause) {
+    return !IsFalsifiable(clause);
+  }
+
+  const ProverStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ProverStats(); }
+
+  /// Ablation knob (bench_a1): when false, positives are searched in clause
+  /// order instead of fewest-incident-edges-first.
+  void set_order_positives_by_degree(bool v) {
+    order_positives_by_degree_ = v;
+  }
+
+ private:
+  bool Search(const std::vector<RowId>& positives, size_t next,
+              VertexSet* blockers);
+
+  /// Adds `v` to the blocker set unless it completes a hyperedge; returns
+  /// whether the addition kept the set independent (false = rejected, set
+  /// unchanged).
+  bool TryAdd(RowId v, VertexSet* blockers);
+
+  const ConflictHypergraph& graph_;
+  ProverStats stats_;
+  bool order_positives_by_degree_ = true;
+};
+
+}  // namespace hippo::cqa

@@ -1,0 +1,28 @@
+// Human-readable conflict report over a Database: the inspection side of
+// the demo ("demonstrate that ... we can extract more information from an
+// inconsistent database"). Backs the `hippo_check` command-line tool.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+
+namespace hippo {
+
+class Database;
+
+struct ConflictReportOptions {
+  /// Maximum example violations rendered per constraint.
+  size_t max_examples = 3;
+  /// Bound on repair counting (counting is exponential; past the bound the
+  /// report says "more than <bound>").
+  size_t repair_limit = 10000;
+};
+
+/// Renders: per-constraint violation counts with example witnesses (tuple
+/// values, not just RowIds), hypergraph statistics, the consistency
+/// verdict, and the number of repairs. Runs conflict detection if needed.
+Result<std::string> GenerateConflictReport(
+    Database* db, const ConflictReportOptions& options = {});
+
+}  // namespace hippo

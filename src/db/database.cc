@@ -1,0 +1,529 @@
+#include "db/database.h"
+
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "expr/binder.h"
+#include "expr/evaluator.h"
+#include "cqa/envelope.h"
+#include "io/csv.h"
+#include "plan/optimizer.h"
+#include "plan/planner.h"
+#include "plan/sjud.h"
+#include "rewriting/rewriter.h"
+#include "sql/parser.h"
+
+namespace hippo {
+
+Status Database::Execute(const std::string& sql) {
+  HIPPO_ASSIGN_OR_RETURN(std::vector<sql::Statement> stmts,
+                         sql::ParseScript(sql));
+  for (sql::Statement& stmt : stmts) {
+    if (auto* ct = std::get_if<sql::CreateTableStmt>(&stmt.node)) {
+      Schema schema;
+      std::unordered_set<std::string> names;
+      for (auto& [name, type] : ct->columns) {
+        if (!names.insert(name).second) {
+          return Status::InvalidArgument("duplicate column name: " + name);
+        }
+        schema.AddColumn(Column(name, type));
+      }
+      HIPPO_ASSIGN_OR_RETURN(Table * table,
+                             catalog_.CreateTable(ct->name, schema));
+      (void)table;
+      // PRIMARY KEY / UNIQUE sugar: the key columns functionally determine
+      // the rest of the row.
+      for (size_t k = 0; k < ct->keys.size(); ++k) {
+        sql::FdSpec spec;
+        spec.table = ct->name;
+        spec.lhs = ct->keys[k];
+        for (const auto& [col, type] : ct->columns) {
+          (void)type;
+          bool in_key = false;
+          for (const std::string& key_col : ct->keys[k]) {
+            if (EqualsIgnoreCase(key_col, col)) in_key = true;
+          }
+          if (!in_key) spec.rhs.push_back(col);
+        }
+        if (spec.rhs.empty()) continue;  // whole-row key: trivial under sets
+        HIPPO_ASSIGN_OR_RETURN(
+            DenialConstraint dc,
+            DenialConstraint::FromFd(
+                catalog_, StrFormat("%s_key%zu", ct->name.c_str(), k + 1),
+                spec));
+        HIPPO_RETURN_NOT_OK(AddConstraint(std::move(dc)));
+      }
+      // CHECK sugar: a unary denial constraint forbidding rows where the
+      // expression is FALSE (NULL passes, as in SQL).
+      for (size_t k = 0; k < ct->checks.size(); ++k) {
+        std::vector<sql::TableRef> atoms;
+        atoms.push_back(sql::TableRef{ct->name, ""});
+        HIPPO_ASSIGN_OR_RETURN(
+            DenialConstraint dc,
+            DenialConstraint::Make(
+                catalog_, StrFormat("%s_check%zu", ct->name.c_str(), k + 1),
+                std::move(atoms), LogicalExpr::MakeNot(ct->checks[k]->Clone())));
+        HIPPO_RETURN_NOT_OK(AddConstraint(std::move(dc)));
+      }
+      continue;
+    }
+    if (auto* ins = std::get_if<sql::InsertStmt>(&stmt.node)) {
+      HIPPO_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(ins->table));
+      for (const std::vector<ExprPtr>& row_exprs : ins->rows) {
+        Row row;
+        row.reserve(row_exprs.size());
+        for (const ExprPtr& e : row_exprs) {
+          if (!e->IsBound()) {
+            return Status::InvalidArgument(
+                "INSERT values must be constant expressions: " +
+                e->ToString());
+          }
+          row.push_back(EvalConst(*e));
+        }
+        HIPPO_ASSIGN_OR_RETURN(auto inserted, table->Insert(row));
+        if (inserted.second) {
+          HIPPO_RETURN_NOT_OK(NoteInsert(inserted.first));
+        }
+      }
+      continue;
+    }
+    if (auto* del = std::get_if<sql::DeleteStmt>(&stmt.node)) {
+      HIPPO_RETURN_NOT_OK(ExecuteDelete(*del));
+      continue;
+    }
+    if (auto* upd = std::get_if<sql::UpdateStmt>(&stmt.node)) {
+      HIPPO_RETURN_NOT_OK(ExecuteUpdate(*upd));
+      continue;
+    }
+    if (auto* drop = std::get_if<sql::DropStmt>(&stmt.node)) {
+      HIPPO_RETURN_NOT_OK(drop->is_table ? DropTable(drop->name)
+                                         : DropConstraint(drop->name));
+      continue;
+    }
+    if (auto* copy = std::get_if<sql::CopyStmt>(&stmt.node)) {
+      if (copy->is_import) {
+        HIPPO_ASSIGN_OR_RETURN(CsvImportStats imported,
+                               ImportCsvFile(this, copy->table, copy->path));
+        (void)imported;
+      } else {
+        HIPPO_ASSIGN_OR_RETURN(ResultSet rs,
+                               Query("SELECT * FROM " + copy->table));
+        HIPPO_RETURN_NOT_OK(ExportCsvFile(rs, copy->path));
+      }
+      continue;
+    }
+    if (auto* cc = std::get_if<sql::CreateConstraintStmt>(&stmt.node)) {
+      if (auto* fk = std::get_if<sql::ForeignKeySpec>(&cc->spec)) {
+        HIPPO_ASSIGN_OR_RETURN(
+            ForeignKeyConstraint constraint,
+            ForeignKeyConstraint::Make(catalog_, cc->name, fk->child,
+                                       fk->child_cols, fk->parent,
+                                       fk->parent_cols));
+        HIPPO_RETURN_NOT_OK(AddForeignKey(std::move(constraint)));
+        continue;
+      }
+      HIPPO_ASSIGN_OR_RETURN(DenialConstraint dc,
+                             DenialConstraint::FromStatement(catalog_, *cc));
+      HIPPO_RETURN_NOT_OK(AddConstraint(std::move(dc)));
+      continue;
+    }
+    return Status::InvalidArgument(
+        "Execute() accepts DDL/DML only; use Query() for SELECT");
+  }
+  return Status::OK();
+}
+
+Status Database::InsertRow(const std::string& table_name, Row values) {
+  HIPPO_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(table_name));
+  HIPPO_ASSIGN_OR_RETURN(auto inserted, table->Insert(values));
+  if (inserted.second) {
+    HIPPO_RETURN_NOT_OK(NoteInsert(inserted.first));
+  }
+  return Status::OK();
+}
+
+Status Database::DeleteRow(const std::string& table_name, const Row& values) {
+  HIPPO_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(table_name));
+  // Coerce to the column types so lookup matches Insert's canonical form.
+  if (values.size() != table->schema().NumColumns()) {
+    return Status::InvalidArgument(
+        StrFormat("DELETE from %s: expected %zu values, got %zu",
+                  table_name.c_str(), table->schema().NumColumns(),
+                  values.size()));
+  }
+  Row coerced;
+  coerced.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    HIPPO_ASSIGN_OR_RETURN(Value v,
+                           values[i].CastTo(table->schema().column(i).type));
+    coerced.push_back(std::move(v));
+  }
+  std::optional<RowId> rid = table->Find(coerced);
+  if (!rid.has_value()) return Status::OK();
+  table->Delete(rid->row);
+  return NoteDelete(*rid);
+}
+
+Status Database::ExecuteDelete(const sql::DeleteStmt& stmt) {
+  HIPPO_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  ExprPtr where;
+  if (stmt.where != nullptr) {
+    where = stmt.where->Clone();
+    // Bind against the table schema qualified by the table name, so both
+    // `col` and `table.col` references resolve.
+    Schema scope = table->schema().WithQualifier(table->name());
+    ExprBinder binder(scope);
+    HIPPO_RETURN_NOT_OK(binder.BindPredicate(where.get()));
+  }
+  std::vector<uint32_t> matched;
+  for (uint32_t i = 0; i < table->NumRows(); ++i) {
+    if (!table->IsLive(i)) continue;
+    if (where == nullptr || EvalPredicate(*where, table->row(i))) {
+      matched.push_back(i);
+    }
+  }
+  for (uint32_t i : matched) {
+    table->Delete(i);
+    HIPPO_RETURN_NOT_OK(NoteDelete(RowId{table->id(), i}));
+  }
+  return Status::OK();
+}
+
+Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt) {
+  HIPPO_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  Schema scope = table->schema().WithQualifier(table->name());
+  ExprBinder binder(scope);
+  ExprPtr where;
+  if (stmt.where != nullptr) {
+    where = stmt.where->Clone();
+    HIPPO_RETURN_NOT_OK(binder.BindPredicate(where.get()));
+  }
+  struct Assignment {
+    size_t column;
+    ExprPtr value;
+  };
+  std::vector<Assignment> assignments;
+  for (const auto& [col, value] : stmt.assignments) {
+    HIPPO_ASSIGN_OR_RETURN(size_t idx, scope.ResolveColumn("", col));
+    ExprPtr bound = value->Clone();
+    HIPPO_RETURN_NOT_OK(binder.Bind(bound.get()));
+    assignments.push_back(Assignment{idx, std::move(bound)});
+  }
+  // Pass 1: collect matches and compute replacement rows against the
+  // pre-update image (no Halloween effects).
+  std::vector<uint32_t> matched;
+  std::vector<Row> replacements;
+  for (uint32_t i = 0; i < table->NumRows(); ++i) {
+    if (!table->IsLive(i)) continue;
+    const Row& row = table->row(i);
+    if (where != nullptr && !EvalPredicate(*where, row)) continue;
+    Row updated = row;
+    for (const Assignment& a : assignments) {
+      updated[a.column] = EvalExpr(*a.value, row);
+    }
+    matched.push_back(i);
+    replacements.push_back(std::move(updated));
+  }
+  // Pass 2: delete originals, then insert replacements (set semantics:
+  // updating a row onto an existing one merges them).
+  for (uint32_t i : matched) {
+    table->Delete(i);
+    HIPPO_RETURN_NOT_OK(NoteDelete(RowId{table->id(), i}));
+  }
+  for (Row& r : replacements) {
+    HIPPO_ASSIGN_OR_RETURN(auto inserted, table->Insert(r));
+    if (inserted.second) {
+      HIPPO_RETURN_NOT_OK(NoteInsert(inserted.first));
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::NoteInsert(RowId rid) {
+  if (incremental_ != nullptr) return incremental_->OnInsert(rid);
+  InvalidateHypergraph();
+  return Status::OK();
+}
+
+Status Database::NoteDelete(RowId rid) {
+  if (incremental_ != nullptr) return incremental_->OnDelete(rid);
+  InvalidateHypergraph();
+  return Status::OK();
+}
+
+Status Database::DropConstraint(const std::string& name) {
+  for (auto it = constraints_.begin(); it != constraints_.end(); ++it) {
+    if (EqualsIgnoreCase(it->name(), name)) {
+      constraints_.erase(it);
+      InvalidateHypergraph();
+      return Status::OK();
+    }
+  }
+  for (auto it = foreign_keys_.begin(); it != foreign_keys_.end(); ++it) {
+    if (EqualsIgnoreCase(it->name(), name)) {
+      foreign_keys_.erase(it);
+      InvalidateHypergraph();
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("constraint not found: " + name);
+}
+
+Status Database::DropTable(const std::string& name) {
+  HIPPO_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(name));
+  uint32_t id = table->id();
+  for (const DenialConstraint& dc : constraints_) {
+    for (const ConstraintAtom& atom : dc.atoms()) {
+      if (atom.table_id == id) {
+        return Status::NotSupported(
+            "table " + name + " is referenced by constraint " + dc.name() +
+            "; drop the constraint first");
+      }
+    }
+  }
+  for (const ForeignKeyConstraint& fk : foreign_keys_) {
+    if (fk.child_table() == id || fk.parent_table() == id) {
+      return Status::NotSupported(
+          "table " + name + " is referenced by foreign key " + fk.name() +
+          "; drop the constraint first");
+    }
+  }
+  HIPPO_RETURN_NOT_OK(catalog_.DropTable(name));
+  InvalidateHypergraph();
+  return Status::OK();
+}
+
+Status Database::EnableIncrementalMaintenance() {
+  incremental_enabled_ = true;
+  HIPPO_ASSIGN_OR_RETURN(const ConflictHypergraph* graph, Hypergraph());
+  (void)graph;
+  return Status::OK();
+}
+
+bool Database::IsFkParent(uint32_t table_id) const {
+  for (const ForeignKeyConstraint& fk : foreign_keys_) {
+    if (fk.parent_table() == table_id) return true;
+  }
+  return false;
+}
+
+bool Database::HasConstraints(uint32_t table_id) const {
+  for (const DenialConstraint& dc : constraints_) {
+    for (const ConstraintAtom& atom : dc.atoms()) {
+      if (atom.table_id == table_id) return true;
+    }
+  }
+  for (const ForeignKeyConstraint& fk : foreign_keys_) {
+    if (fk.child_table() == table_id) return true;
+  }
+  return false;
+}
+
+Status Database::AddConstraint(DenialConstraint constraint) {
+  for (const DenialConstraint& existing : constraints_) {
+    if (existing.name() == constraint.name()) {
+      return Status::AlreadyExists("constraint already exists: " +
+                                   constraint.name());
+    }
+  }
+  for (const ConstraintAtom& atom : constraint.atoms()) {
+    if (IsFkParent(atom.table_id)) {
+      return Status::NotSupported(
+          "relation " + atom.table_name +
+          " is the parent of a foreign key; the restricted-FK class "
+          "requires parent relations to carry no other constraints");
+    }
+  }
+  constraints_.push_back(std::move(constraint));
+  InvalidateHypergraph();
+  return Status::OK();
+}
+
+Status Database::AddForeignKey(ForeignKeyConstraint fk) {
+  for (const ForeignKeyConstraint& existing : foreign_keys_) {
+    if (existing.name() == fk.name()) {
+      return Status::AlreadyExists("constraint already exists: " + fk.name());
+    }
+  }
+  for (const DenialConstraint& existing : constraints_) {
+    if (existing.name() == fk.name()) {
+      return Status::AlreadyExists("constraint already exists: " + fk.name());
+    }
+  }
+  if (HasConstraints(fk.parent_table())) {
+    return Status::NotSupported(
+        "foreign key parent relation carries other constraints; outside the "
+        "restricted class (its tuples must be immutable across repairs)");
+  }
+  if (IsFkParent(fk.child_table())) {
+    return Status::NotSupported(
+        "foreign key child relation is the parent of another foreign key; "
+        "outside the restricted class");
+  }
+  foreign_keys_.push_back(std::move(fk));
+  InvalidateHypergraph();
+  return Status::OK();
+}
+
+Result<PlanNodePtr> Database::PlanParsed(const sql::SelectStmt& stmt) const {
+  Planner planner(catalog_);
+  return planner.PlanSelect(stmt);
+}
+
+Result<PlanNodePtr> Database::Plan(const std::string& select_sql) const {
+  HIPPO_ASSIGN_OR_RETURN(sql::Statement stmt,
+                         sql::ParseStatement(select_sql));
+  auto* sel = std::get_if<sql::SelectStmt>(&stmt.node);
+  if (sel == nullptr) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  return PlanParsed(*sel);
+}
+
+Result<std::string> Database::Explain(const std::string& select_sql) const {
+  HIPPO_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(select_sql));
+  std::string out = "-- plan --\n" + plan->ToString();
+  if (optimizer_enabled_) {
+    PlanNodePtr optimized = OptimizePlan(*plan);
+    if (optimized->ToString() != plan->ToString()) {
+      out += "-- optimized (plain evaluation) --\n" + optimized->ToString();
+    }
+  }
+  Status sjud = CheckSjudSupported(*plan);
+  if (sjud.ok()) {
+    PlanNodePtr env = cqa::BuildEnvelope(*plan);
+    out += "-- envelope (candidates) --\n" + env->ToString();
+  } else {
+    out += "-- not in the SJUD class: " + sjud.message() + "\n";
+  }
+  rewriting::QueryRewriter rewriter(catalog_, constraints_, foreign_keys_);
+  auto rewritten = rewriter.Rewrite(*plan);
+  if (rewritten.ok()) {
+    out += "-- rewriting baseline --\n" + rewritten.value()->ToString();
+  } else {
+    out += "-- rewriting inapplicable: " + rewritten.status().message() +
+           "\n";
+  }
+  return out;
+}
+
+Result<ResultSet> Database::Query(const std::string& select_sql) const {
+  HIPPO_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(select_sql));
+  if (optimizer_enabled_) plan = OptimizePlan(*plan);
+  ExecContext ctx{&catalog_, nullptr};
+  return ::hippo::Execute(*plan, ctx);
+}
+
+Result<const ConflictHypergraph*> Database::Hypergraph() {
+  if (!hypergraph_.has_value()) {
+    ConflictDetector detector(catalog_, detect_options_);
+    HIPPO_ASSIGN_OR_RETURN(ConflictHypergraph graph,
+                           detector.DetectAll(constraints_, foreign_keys_));
+    detect_stats_ = detector.stats();
+    hypergraph_ = std::move(graph);
+  }
+  if (incremental_enabled_ && incremental_ == nullptr) {
+    HIPPO_ASSIGN_OR_RETURN(
+        incremental_,
+        IncrementalDetector::Make(catalog_, constraints_, foreign_keys_,
+                                  &hypergraph_.value()));
+  }
+  return &hypergraph_.value();
+}
+
+Result<ResultSet> Database::QueryOverCore(const std::string& select_sql) {
+  HIPPO_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(select_sql));
+  HIPPO_ASSIGN_OR_RETURN(const ConflictHypergraph* graph, Hypergraph());
+  RepairEnumerator repairs(catalog_, *graph);
+  RowMask mask = repairs.CoreMask();
+  if (optimizer_enabled_) plan = OptimizePlan(*plan);
+  ExecContext ctx{&catalog_, &mask};
+  return ::hippo::Execute(*plan, ctx);
+}
+
+Result<ResultSet> Database::ConsistentAnswers(const std::string& select_sql,
+                                              const cqa::HippoOptions& options,
+                                              cqa::HippoStats* stats) {
+  HIPPO_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(select_sql));
+  HIPPO_ASSIGN_OR_RETURN(const ConflictHypergraph* graph, Hypergraph());
+  cqa::HippoEngine engine(catalog_, *graph);
+  return engine.ConsistentAnswers(*plan, options, stats);
+}
+
+Result<ResultSet> Database::ConsistentAnswersByRewriting(
+    const std::string& select_sql) {
+  HIPPO_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(select_sql));
+  rewriting::QueryRewriter rewriter(catalog_, constraints_, foreign_keys_);
+  HIPPO_ASSIGN_OR_RETURN(PlanNodePtr rewritten, rewriter.Rewrite(*plan));
+  if (optimizer_enabled_) rewritten = OptimizePlan(*rewritten);
+  ExecContext ctx{&catalog_, nullptr};
+  return ::hippo::Execute(*rewritten, ctx);
+}
+
+Result<ResultSet> Database::ConsistentAnswersAllRepairs(
+    const std::string& select_sql, size_t repair_limit) {
+  HIPPO_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(select_sql));
+  if (optimizer_enabled_) plan = OptimizePlan(*plan);
+  HIPPO_ASSIGN_OR_RETURN(const ConflictHypergraph* graph, Hypergraph());
+  RepairEnumerator repairs(catalog_, *graph);
+  HIPPO_ASSIGN_OR_RETURN(std::vector<RowMask> masks,
+                         repairs.EnumerateMasks(repair_limit));
+  HIPPO_CHECK_MSG(!masks.empty(), "there is always at least one repair");
+
+  // Intersect the query results over all repairs.
+  ResultSet answers;
+  answers.schema = plan->schema();
+  bool first = true;
+  std::unordered_set<Row, RowHasher, RowEq> survivors;
+  for (const RowMask& mask : masks) {
+    ExecContext ctx{&catalog_, &mask};
+    HIPPO_ASSIGN_OR_RETURN(ResultSet rs, ::hippo::Execute(*plan, ctx));
+    if (first) {
+      survivors.insert(rs.rows.begin(), rs.rows.end());
+      first = false;
+      continue;
+    }
+    std::unordered_set<Row, RowHasher, RowEq> present(rs.rows.begin(),
+                                                      rs.rows.end());
+    for (auto it = survivors.begin(); it != survivors.end();) {
+      if (!present.count(*it)) {
+        it = survivors.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (survivors.empty()) break;
+  }
+  answers.rows.assign(survivors.begin(), survivors.end());
+  answers.SortRows();  // deterministic output
+  return answers;
+}
+
+Result<cqa::AggRange> Database::RangeConsistentAggregate(
+    const std::string& table, cqa::AggFn fn, const std::string& column,
+    cqa::AggStats* stats) {
+  HIPPO_ASSIGN_OR_RETURN(const ConflictHypergraph* graph, Hypergraph());
+  cqa::RangeAggregator aggregator(catalog_, *graph);
+  return aggregator.Range(table, fn, column, stats);
+}
+
+Result<std::vector<cqa::GroupRange>> Database::GroupedRangeConsistentAggregate(
+    const std::string& table, cqa::AggFn fn, const std::string& column,
+    const std::vector<std::string>& group_columns, cqa::AggStats* stats) {
+  HIPPO_ASSIGN_OR_RETURN(const ConflictHypergraph* graph, Hypergraph());
+  cqa::RangeAggregator aggregator(catalog_, *graph);
+  return aggregator.GroupedRange(table, fn, column, group_columns, stats);
+}
+
+Result<size_t> Database::CountRepairs(size_t limit) {
+  HIPPO_ASSIGN_OR_RETURN(const ConflictHypergraph* graph, Hypergraph());
+  RepairEnumerator repairs(catalog_, *graph);
+  return repairs.CountRepairs(limit);
+}
+
+Result<bool> Database::IsConsistent() {
+  HIPPO_ASSIGN_OR_RETURN(const ConflictHypergraph* graph, Hypergraph());
+  return graph->NumEdges() == 0;
+}
+
+}  // namespace hippo

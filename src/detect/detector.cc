@@ -1,0 +1,243 @@
+#include "detect/detector.h"
+
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "exec/executor.h"
+
+namespace hippo {
+
+namespace {
+
+/// Remaps a condition bound over the plain combined schema onto the layout
+/// produced by rowid-emitting scans, where atom k's columns are shifted
+/// right by k (one $rowid column per preceding atom).
+ExprPtr RemapForRowidLayout(const Expr& condition,
+                            const DenialConstraint& dc) {
+  ExprPtr remapped = condition.Clone();
+  VisitColumnRefs(remapped.get(), [&dc](ColumnRefExpr* ref) {
+    int idx = ref->index();
+    int atom = 0;
+    for (size_t i = 0; i < dc.arity(); ++i) {
+      if (static_cast<size_t>(idx) <
+          dc.atom_offset(i) + dc.atom_width(i)) {
+        atom = static_cast<int>(i);
+        break;
+      }
+    }
+    ref->ShiftIndex(atom);
+  });
+  return remapped;
+}
+
+}  // namespace
+
+Status ConflictDetector::DetectGeneric(const DenialConstraint& dc,
+                                       uint32_t constraint_index,
+                                       ConflictHypergraph* graph) {
+  ++stats_.generic_constraints;
+  // Build a left-deep join plan over rowid-emitting scans. Conjuncts are
+  // attached at the step where their last atom enters (as in the planner),
+  // so equality conditions become hash joins.
+  struct Pending {
+    ExprPtr expr;
+    int last_atom;
+  };
+  std::vector<Pending> conjuncts;
+  if (dc.condition() != nullptr) {
+    ExprPtr remapped = RemapForRowidLayout(*dc.condition(), dc);
+    // Offsets in the rowid layout: atom i starts at atom_offset(i) + i.
+    for (const Expr* part : SplitConjuncts(*remapped)) {
+      Pending p;
+      p.expr = part->Clone();
+      p.last_atom = 0;
+      for (int idx : CollectColumnIndexes(*p.expr)) {
+        for (int i = static_cast<int>(dc.arity()) - 1; i >= 0; --i) {
+          size_t start = dc.atom_offset(static_cast<size_t>(i)) +
+                         static_cast<size_t>(i);
+          if (static_cast<size_t>(idx) >= start) {
+            p.last_atom = std::max(p.last_atom, i);
+            break;
+          }
+        }
+      }
+      conjuncts.push_back(std::move(p));
+    }
+  }
+
+  auto make_scan = [&](size_t i) -> PlanNodePtr {
+    const ConstraintAtom& atom = dc.atoms()[i];
+    const Table& table = catalog_.table(atom.table_id);
+    return ScanNode::Make(atom.table_id, atom.table_name, atom.alias,
+                          table.schema(), /*emit_rowid=*/true);
+  };
+
+  PlanNodePtr plan = make_scan(0);
+  for (size_t i = 1; i < dc.arity(); ++i) {
+    PlanNodePtr right = make_scan(i);
+    std::vector<ExprPtr> conds;
+    for (Pending& p : conjuncts) {
+      if (p.expr != nullptr && p.last_atom == static_cast<int>(i)) {
+        conds.push_back(std::move(p.expr));
+      }
+    }
+    if (conds.empty()) {
+      plan = std::make_unique<ProductNode>(std::move(plan), std::move(right));
+    } else {
+      plan = std::make_unique<JoinNode>(std::move(plan), std::move(right),
+                                        AndAll(std::move(conds)));
+    }
+  }
+  // Conjuncts confined to atom 0 (or a unary constraint's whole condition).
+  {
+    std::vector<ExprPtr> rest;
+    for (Pending& p : conjuncts) {
+      if (p.expr != nullptr) rest.push_back(std::move(p.expr));
+    }
+    if (!rest.empty()) {
+      plan = std::make_unique<FilterNode>(std::move(plan),
+                                          AndAll(std::move(rest)));
+    }
+  }
+
+  ExecContext ctx{&catalog_, nullptr};
+  HIPPO_ASSIGN_OR_RETURN(ResultSet witnesses, Execute(*plan, ctx));
+
+  // The rowid column of atom i sits at atom_offset(i) + i + width(i).
+  std::vector<size_t> rowid_cols;
+  for (size_t i = 0; i < dc.arity(); ++i) {
+    rowid_cols.push_back(dc.atom_offset(i) + i + dc.atom_width(i));
+  }
+  for (const Row& row : witnesses.rows) {
+    std::vector<RowId> edge;
+    edge.reserve(dc.arity());
+    for (size_t i = 0; i < dc.arity(); ++i) {
+      edge.push_back(RowId{
+          dc.atoms()[i].table_id,
+          static_cast<uint32_t>(row[rowid_cols[i]].AsInt())});
+    }
+    graph->AddEdge(std::move(edge), constraint_index);
+    ++stats_.edges_added;
+  }
+  return Status::OK();
+}
+
+Status ConflictDetector::DetectFdFast(const DenialConstraint& dc,
+                                      uint32_t constraint_index,
+                                      ConflictHypergraph* graph) {
+  ++stats_.fd_fast_path_constraints;
+  const FdInfo& fd = *dc.fd_info();
+  const Table& table = catalog_.table(fd.table_id);
+
+  // Group rows by determinant values.
+  std::unordered_map<Row, std::vector<uint32_t>, RowHasher, RowEq> groups;
+  groups.reserve(table.NumRows());
+  for (uint32_t i = 0; i < table.NumRows(); ++i) {
+    if (!table.IsLive(i)) continue;
+    const Row& row = table.row(i);
+    Row key;
+    key.reserve(fd.lhs.size());
+    for (size_t c : fd.lhs) key.push_back(row[c]);
+    groups[std::move(key)].push_back(i);
+  }
+  auto rhs_differ = [&](uint32_t a, uint32_t b) {
+    const Row& ra = table.row(a);
+    const Row& rb = table.row(b);
+    for (size_t c : fd.rhs) {
+      // NULL-safe structural comparison, consistent with the generic path's
+      // SQL `<>`: NULLs never satisfy `<>`, so NULL vs anything is "equal"
+      // for violation purposes only if both are NULL; a NULL on either side
+      // makes `<>` unknown and thus NOT a violation.
+      if (ra[c].is_null() || rb[c].is_null()) continue;
+      if (!(ra[c] == rb[c])) return true;
+    }
+    return false;
+  };
+  for (const auto& [key, members] : groups) {
+    if (members.size() < 2) continue;
+    // NULL determinants never satisfy t1.l = t2.l in the generic path.
+    bool key_has_null = false;
+    for (const Value& v : key) {
+      if (v.is_null()) {
+        key_has_null = true;
+        break;
+      }
+    }
+    if (key_has_null) continue;
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        if (rhs_differ(members[a], members[b])) {
+          graph->AddEdge({RowId{fd.table_id, members[a]},
+                          RowId{fd.table_id, members[b]}},
+                         constraint_index);
+          ++stats_.edges_added;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ConflictDetector::Detect(const DenialConstraint& constraint,
+                                uint32_t constraint_index,
+                                ConflictHypergraph* graph) {
+  if (options_.use_fd_fast_path && constraint.fd_info().has_value()) {
+    return DetectFdFast(constraint, constraint_index, graph);
+  }
+  return DetectGeneric(constraint, constraint_index, graph);
+}
+
+Status ConflictDetector::DetectForeignKey(const ForeignKeyConstraint& fk,
+                                          uint32_t constraint_index,
+                                          ConflictHypergraph* graph) {
+  const Table& child = catalog_.table(fk.child_table());
+  const Table& parent = catalog_.table(fk.parent_table());
+  PlanNodePtr child_scan =
+      ScanNode::Make(child.id(), child.name(), child.name(), child.schema(),
+                     /*emit_rowid=*/true);
+  PlanNodePtr parent_scan = ScanNode::Make(parent.id(), parent.name(),
+                                           parent.name(), parent.schema());
+  // AntiJoin keeps child rows with NO parent match: the orphans.
+  size_t left_width = child_scan->schema().NumColumns();
+  std::vector<ExprPtr> eqs;
+  for (size_t i = 0; i < fk.child_columns().size(); ++i) {
+    size_t ci = fk.child_columns()[i];
+    size_t pi = fk.parent_columns()[i];
+    eqs.push_back(std::make_unique<ComparisonExpr>(
+        CompareOp::kEq,
+        ColumnRefExpr::Bound(ci, child.schema().column(ci).type),
+        ColumnRefExpr::Bound(left_width + pi,
+                             parent.schema().column(pi).type)));
+    eqs.back()->set_result_type(TypeId::kBool);
+  }
+  PlanNodePtr plan = std::make_unique<AntiJoinNode>(
+      std::move(child_scan), std::move(parent_scan), AndAll(std::move(eqs)));
+  ExecContext ctx{&catalog_, nullptr};
+  HIPPO_ASSIGN_OR_RETURN(ResultSet orphans, Execute(*plan, ctx));
+  size_t rowid_col = child.schema().NumColumns();
+  for (const Row& row : orphans.rows) {
+    graph->AddEdge({RowId{fk.child_table(),
+                          static_cast<uint32_t>(row[rowid_col].AsInt())}},
+                   constraint_index);
+    ++stats_.edges_added;
+  }
+  return Status::OK();
+}
+
+Result<ConflictHypergraph> ConflictDetector::DetectAll(
+    const std::vector<DenialConstraint>& constraints,
+    const std::vector<ForeignKeyConstraint>& foreign_keys) {
+  ConflictHypergraph graph;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    HIPPO_RETURN_NOT_OK(
+        Detect(constraints[i], static_cast<uint32_t>(i), &graph));
+  }
+  for (size_t i = 0; i < foreign_keys.size(); ++i) {
+    HIPPO_RETURN_NOT_OK(DetectForeignKey(
+        foreign_keys[i], static_cast<uint32_t>(constraints.size() + i),
+        &graph));
+  }
+  return graph;
+}
+
+}  // namespace hippo

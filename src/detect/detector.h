@@ -1,0 +1,68 @@
+// Conflict detection: evaluating integrity constraints over the instance and
+// recording every violation witness as a hyperedge.
+//
+// The generic path compiles a denial constraint into a join plan over
+// rowid-emitting scans (so equality conditions execute as hash joins) and
+// collects the rowid columns of each result row. FDs additionally have a
+// hash-grouping fast path: group by the determinant, emit an edge for every
+// pair in a group that differs on the dependent columns.
+#pragma once
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "constraints/constraint.h"
+#include "constraints/foreign_key.h"
+#include "hypergraph/hypergraph.h"
+
+namespace hippo {
+
+struct DetectOptions {
+  /// Use the hash-grouping fast path for constraints with FD provenance.
+  bool use_fd_fast_path = true;
+};
+
+struct DetectStats {
+  size_t edges_added = 0;
+  size_t fd_fast_path_constraints = 0;
+  size_t generic_constraints = 0;
+};
+
+class ConflictDetector {
+ public:
+  explicit ConflictDetector(const Catalog& catalog,
+                            DetectOptions options = DetectOptions())
+      : catalog_(catalog), options_(options) {}
+
+  /// Detects violations of one constraint, adding edges to `graph`.
+  Status Detect(const DenialConstraint& constraint, uint32_t constraint_index,
+                ConflictHypergraph* graph);
+
+  /// Detects orphaned child tuples of a restricted foreign key: each orphan
+  /// can never regain a parent (the parent relation is immutable across
+  /// repairs), so it becomes a unary hyperedge.
+  Status DetectForeignKey(const ForeignKeyConstraint& fk,
+                          uint32_t constraint_index,
+                          ConflictHypergraph* graph);
+
+  /// Detects violations of all constraints into a fresh hypergraph. Foreign
+  /// keys receive constraint indexes following the denial constraints'.
+  Result<ConflictHypergraph> DetectAll(
+      const std::vector<DenialConstraint>& constraints,
+      const std::vector<ForeignKeyConstraint>& foreign_keys = {});
+
+  const DetectStats& stats() const { return stats_; }
+
+ private:
+  Status DetectGeneric(const DenialConstraint& constraint,
+                       uint32_t constraint_index, ConflictHypergraph* graph);
+  Status DetectFdFast(const DenialConstraint& constraint,
+                      uint32_t constraint_index, ConflictHypergraph* graph);
+
+  const Catalog& catalog_;
+  DetectOptions options_;
+  DetectStats stats_;
+};
+
+}  // namespace hippo

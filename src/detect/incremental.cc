@@ -1,0 +1,356 @@
+#include "detect/incremental.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "expr/evaluator.h"
+
+namespace hippo {
+
+namespace {
+
+/// Concatenation of the atom rows of a (partial) assignment, in atom order —
+/// the evaluation scope of a denial constraint's condition.
+Row ConcatAtoms(const Catalog& catalog, const DenialConstraint& dc,
+                const std::vector<uint32_t>& assignment) {
+  Row combined;
+  combined.reserve(dc.combined_schema().NumColumns());
+  for (size_t i = 0; i < dc.arity(); ++i) {
+    const Row& r = catalog.table(dc.atoms()[i].table_id).row(assignment[i]);
+    combined.insert(combined.end(), r.begin(), r.end());
+  }
+  return combined;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<IncrementalDetector>> IncrementalDetector::Make(
+    const Catalog& catalog, const std::vector<DenialConstraint>& constraints,
+    const std::vector<ForeignKeyConstraint>& foreign_keys,
+    ConflictHypergraph* graph) {
+  std::unique_ptr<IncrementalDetector> d(
+      new IncrementalDetector(catalog, graph));
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    const DenialConstraint& dc = constraints[i];
+    uint32_t index = static_cast<uint32_t>(i);
+    if (dc.IsUnary()) {
+      d->unary_.push_back(Unary{index, &dc});
+      continue;
+    }
+    if (dc.IsBinary() && dc.condition() != nullptr) {
+      std::vector<EquiPair> pairs;
+      ExprPtr residual;
+      SplitJoinCondition(*dc.condition(), dc.atom_width(0), &pairs, &residual);
+      if (!pairs.empty()) {
+        BinaryEqui be;
+        be.constraint_index = index;
+        be.dc = &dc;
+        for (const EquiPair& p : pairs) {
+          be.key_cols[0].push_back(static_cast<size_t>(p.left_index));
+          be.key_cols[1].push_back(static_cast<size_t>(p.right_index));
+        }
+        be.residual = std::move(residual);
+        d->binary_.push_back(std::move(be));
+        continue;
+      }
+    }
+    d->fallback_.push_back(Fallback{index, &dc});
+  }
+  for (size_t i = 0; i < foreign_keys.size(); ++i) {
+    FkState state;
+    state.constraint_index = static_cast<uint32_t>(constraints.size() + i);
+    state.fk = &foreign_keys[i];
+    d->fks_.push_back(std::move(state));
+  }
+  HIPPO_RETURN_NOT_OK(d->BuildIndexes());
+  return d;
+}
+
+Status IncrementalDetector::BuildIndexes() {
+  for (BinaryEqui& be : binary_) {
+    for (int side = 0; side < 2; ++side) {
+      const Table& table =
+          catalog_.table(be.dc->atoms()[static_cast<size_t>(side)].table_id);
+      for (uint32_t r = 0; r < table.NumRows(); ++r) {
+        if (!table.IsLive(r)) continue;
+        Row key;
+        if (!ExtractKey(table.row(r), be.key_cols[side], &key)) continue;
+        be.index[side][std::move(key)].push_back(r);
+      }
+    }
+  }
+  for (FkState& fk : fks_) {
+    const Table& parent = catalog_.table(fk.fk->parent_table());
+    for (uint32_t r = 0; r < parent.NumRows(); ++r) {
+      if (!parent.IsLive(r)) continue;
+      Row key;
+      if (!ExtractKey(parent.row(r), fk.fk->parent_columns(), &key)) continue;
+      ++fk.parent_count[std::move(key)];
+    }
+    const Table& child = catalog_.table(fk.fk->child_table());
+    for (uint32_t r = 0; r < child.NumRows(); ++r) {
+      if (!child.IsLive(r)) continue;
+      Row key;
+      if (!ExtractKey(child.row(r), fk.fk->child_columns(), &key)) continue;
+      fk.children[std::move(key)].push_back(r);
+    }
+  }
+  return Status::OK();
+}
+
+bool IncrementalDetector::ExtractKey(const Row& row,
+                                     const std::vector<size_t>& cols,
+                                     Row* key) {
+  key->clear();
+  key->reserve(cols.size());
+  for (size_t c : cols) {
+    // SQL equality with NULL is never TRUE: a NULL-keyed row can't satisfy
+    // the cross-atom equalities, so it never enters (or probes) the index.
+    if (row[c].is_null()) return false;
+    key->push_back(row[c]);
+  }
+  return true;
+}
+
+void IncrementalDetector::RemoveFromBucket(RowIndex* index, const Row& key,
+                                           uint32_t row) {
+  auto it = index->find(key);
+  if (it == index->end()) return;
+  auto& rows = it->second;
+  rows.erase(std::remove(rows.begin(), rows.end(), row), rows.end());
+  if (rows.empty()) index->erase(it);
+}
+
+void IncrementalDetector::AddEdgeCounted(std::vector<RowId> vertices,
+                                         uint32_t constraint_index) {
+  size_t before = graph_->NumEdges();
+  graph_->AddEdge(std::move(vertices), constraint_index);
+  if (graph_->NumEdges() > before) ++stats_.edges_added;
+}
+
+// --- insert ----------------------------------------------------------------
+
+Status IncrementalDetector::InsertUnary(const Unary& u, RowId rid) {
+  const Table& table = catalog_.table(rid.table);
+  // A unary constraint with no condition forbids every tuple.
+  if (u.dc->condition() == nullptr ||
+      EvalPredicate(*u.dc->condition(), table.row(rid.row))) {
+    AddEdgeCounted({rid}, u.constraint_index);
+  }
+  return Status::OK();
+}
+
+Status IncrementalDetector::InsertBinaryEqui(BinaryEqui* be, RowId rid) {
+  const uint32_t t0 = be->dc->atoms()[0].table_id;
+  const uint32_t t1 = be->dc->atoms()[1].table_id;
+  // Index first, probe second: when both atoms range over rid's table the
+  // new tuple may pair with itself, exactly as in the full detector's
+  // self-join (AddEdge collapses {t, t} to a unary edge).
+  for (int side = 0; side < 2; ++side) {
+    uint32_t t = side == 0 ? t0 : t1;
+    if (t != rid.table) continue;
+    const Table& table = catalog_.table(t);
+    Row key;
+    if (!ExtractKey(table.row(rid.row), be->key_cols[side], &key)) continue;
+    be->index[side][std::move(key)].push_back(rid.row);
+  }
+  for (int side = 0; side < 2; ++side) {
+    uint32_t t = side == 0 ? t0 : t1;
+    if (t != rid.table) continue;
+    const Table& table = catalog_.table(t);
+    Row key;
+    if (!ExtractKey(table.row(rid.row), be->key_cols[side], &key)) continue;
+    auto it = be->index[1 - side].find(key);
+    if (it == be->index[1 - side].end()) continue;
+    for (uint32_t partner : it->second) {
+      ++stats_.fast_path_probes;
+      uint32_t left = side == 0 ? rid.row : partner;
+      uint32_t right = side == 0 ? partner : rid.row;
+      if (be->residual != nullptr) {
+        Row combined = ConcatAtoms(catalog_, *be->dc, {left, right});
+        if (!EvalPredicate(*be->residual, combined)) continue;
+      }
+      AddEdgeCounted({RowId{t0, left}, RowId{t1, right}},
+                     be->constraint_index);
+    }
+  }
+  return Status::OK();
+}
+
+Status IncrementalDetector::InsertFallback(const Fallback& fb, RowId rid) {
+  const DenialConstraint& dc = *fb.dc;
+  std::vector<uint32_t> assignment(dc.arity(), 0);
+  // Pin each atom over rid's table to the new row in turn; duplicates across
+  // pin positions collapse in AddEdge.
+  for (size_t pin = 0; pin < dc.arity(); ++pin) {
+    if (dc.atoms()[pin].table_id != rid.table) continue;
+    assignment[pin] = rid.row;
+    // Depth-first assignment of the remaining atoms over live rows.
+    auto recurse = [&](auto&& self, size_t atom) -> void {
+      if (atom == dc.arity()) {
+        ++stats_.fallback_rows;
+        if (dc.condition() != nullptr) {
+          Row combined = ConcatAtoms(catalog_, dc, assignment);
+          if (!EvalPredicate(*dc.condition(), combined)) return;
+        }
+        std::vector<RowId> edge;
+        edge.reserve(dc.arity());
+        for (size_t i = 0; i < dc.arity(); ++i) {
+          edge.push_back(RowId{dc.atoms()[i].table_id, assignment[i]});
+        }
+        AddEdgeCounted(std::move(edge), fb.constraint_index);
+        return;
+      }
+      if (atom == pin) {
+        self(self, atom + 1);
+        return;
+      }
+      const Table& table = catalog_.table(dc.atoms()[atom].table_id);
+      for (uint32_t r = 0; r < table.NumRows(); ++r) {
+        if (!table.IsLive(r)) continue;
+        assignment[atom] = r;
+        self(self, atom + 1);
+      }
+    };
+    recurse(recurse, 0);
+  }
+  return Status::OK();
+}
+
+Status IncrementalDetector::InsertFk(FkState* fk, RowId rid) {
+  if (rid.table == fk->fk->child_table()) {
+    const Table& child = catalog_.table(rid.table);
+    Row key;
+    if (!ExtractKey(child.row(rid.row), fk->fk->child_columns(), &key)) {
+      // NULL-keyed children can never acquire a parent: permanent orphan.
+      AddEdgeCounted({rid}, fk->constraint_index);
+      return Status::OK();
+    }
+    auto it = fk->parent_count.find(key);
+    if (it == fk->parent_count.end() || it->second == 0) {
+      AddEdgeCounted({rid}, fk->constraint_index);
+    }
+    fk->children[std::move(key)].push_back(rid.row);
+  }
+  if (rid.table == fk->fk->parent_table()) {
+    const Table& parent = catalog_.table(rid.table);
+    Row key;
+    if (!ExtractKey(parent.row(rid.row), fk->fk->parent_columns(), &key)) {
+      return Status::OK();  // NULL-keyed parents match no child
+    }
+    size_t& count = fk->parent_count[key];
+    ++count;
+    if (count == 1) {
+      // First parent for this key: the matching children are orphans no
+      // longer — retract their unary edges.
+      auto it = fk->children.find(key);
+      if (it != fk->children.end()) {
+        for (uint32_t c : it->second) {
+          RowId child_id{fk->fk->child_table(), c};
+          // Find this FK's unary edge among the child's incident edges.
+          std::vector<ConflictHypergraph::EdgeId> incident =
+              graph_->IncidentEdges(child_id);
+          for (ConflictHypergraph::EdgeId e : incident) {
+            if (graph_->edge_constraint(e) == fk->constraint_index &&
+                graph_->edge(e).size() == 1) {
+              graph_->RemoveEdge(e);
+              ++stats_.edges_removed;
+            }
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status IncrementalDetector::OnInsert(RowId rid) {
+  ++stats_.inserts;
+  for (const Unary& u : unary_) {
+    if (u.dc->atoms()[0].table_id == rid.table) {
+      HIPPO_RETURN_NOT_OK(InsertUnary(u, rid));
+    }
+  }
+  for (BinaryEqui& be : binary_) {
+    if (be.dc->atoms()[0].table_id == rid.table ||
+        be.dc->atoms()[1].table_id == rid.table) {
+      HIPPO_RETURN_NOT_OK(InsertBinaryEqui(&be, rid));
+    }
+  }
+  for (const Fallback& fb : fallback_) {
+    bool touches = false;
+    for (const ConstraintAtom& atom : fb.dc->atoms()) {
+      if (atom.table_id == rid.table) touches = true;
+    }
+    if (touches) HIPPO_RETURN_NOT_OK(InsertFallback(fb, rid));
+  }
+  for (FkState& fk : fks_) {
+    if (rid.table == fk.fk->child_table() ||
+        rid.table == fk.fk->parent_table()) {
+      HIPPO_RETURN_NOT_OK(InsertFk(&fk, rid));
+    }
+  }
+  return Status::OK();
+}
+
+// --- delete ----------------------------------------------------------------
+
+Status IncrementalDetector::DeleteFk(FkState* fk, RowId rid) {
+  if (rid.table == fk->fk->child_table()) {
+    const Table& child = catalog_.table(rid.table);
+    Row key;
+    if (ExtractKey(child.row(rid.row), fk->fk->child_columns(), &key)) {
+      RemoveFromBucket(&fk->children, key, rid.row);
+    }
+    // The child's own orphan edge (if any) falls with RemoveIncidentEdges.
+  }
+  if (rid.table == fk->fk->parent_table()) {
+    const Table& parent = catalog_.table(rid.table);
+    Row key;
+    if (!ExtractKey(parent.row(rid.row), fk->fk->parent_columns(), &key)) {
+      return Status::OK();
+    }
+    auto it = fk->parent_count.find(key);
+    HIPPO_CHECK_MSG(it != fk->parent_count.end() && it->second > 0,
+                    "parent count underflow in incremental FK maintenance");
+    if (--it->second == 0) {
+      fk->parent_count.erase(it);
+      // Last parent gone: the matching children become orphans.
+      auto cit = fk->children.find(key);
+      if (cit != fk->children.end()) {
+        for (uint32_t c : cit->second) {
+          AddEdgeCounted({RowId{fk->fk->child_table(), c}},
+                         fk->constraint_index);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status IncrementalDetector::OnDelete(RowId rid) {
+  ++stats_.deletes;
+  // Denial constraints are anti-monotone: deleting a tuple only removes
+  // violations, all of which are incident to it.
+  stats_.edges_removed += graph_->RemoveIncidentEdges(rid);
+  for (BinaryEqui& be : binary_) {
+    for (int side = 0; side < 2; ++side) {
+      if (be.dc->atoms()[static_cast<size_t>(side)].table_id != rid.table) {
+        continue;
+      }
+      const Table& table = catalog_.table(rid.table);
+      Row key;
+      if (!ExtractKey(table.row(rid.row), be.key_cols[side], &key)) continue;
+      RemoveFromBucket(&be.index[side], key, rid.row);
+    }
+  }
+  for (FkState& fk : fks_) {
+    if (rid.table == fk.fk->child_table() ||
+        rid.table == fk.fk->parent_table()) {
+      HIPPO_RETURN_NOT_OK(DeleteFk(&fk, rid));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hippo

@@ -1,0 +1,186 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "exec/operators.h"
+#include "expr/evaluator.h"
+
+namespace hippo {
+
+bool ResultSet::Contains(const Row& row) const {
+  for (const Row& r : rows) {
+    if (r == row) return true;
+  }
+  return false;
+}
+
+void ResultSet::SortRows() {
+  std::sort(rows.begin(), rows.end(), RowLess);
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::string out = schema.ToString();
+  out += "\n";
+  size_t shown = std::min(max_rows, rows.size());
+  for (size_t i = 0; i < shown; ++i) {
+    out += RowToString(rows[i]);
+    out += "\n";
+  }
+  if (shown < rows.size()) {
+    out += "... (" + std::to_string(rows.size() - shown) + " more)\n";
+  }
+  return out;
+}
+
+namespace {
+
+Result<std::vector<Row>> ExecuteRows(const PlanNode& plan,
+                                     const ExecContext& ctx);
+
+Result<std::vector<Row>> ExecuteScan(const ScanNode& scan,
+                                     const ExecContext& ctx) {
+  const Table& table = ctx.catalog->table(scan.table_id());
+  std::vector<Row> out;
+  out.reserve(table.NumRows());
+  for (uint32_t i = 0; i < table.NumRows(); ++i) {
+    if (!table.IsLive(i)) continue;
+    if (ctx.mask != nullptr &&
+        !ctx.mask->Allows(RowId{scan.table_id(), i})) {
+      continue;
+    }
+    Row row = table.row(i);
+    if (scan.emit_rowid()) {
+      row.push_back(Value::Int(static_cast<int64_t>(i)));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<std::vector<Row>> ExecuteRows(const PlanNode& plan,
+                                     const ExecContext& ctx) {
+  switch (plan.kind()) {
+    case PlanKind::kScan:
+      return ExecuteScan(static_cast<const ScanNode&>(plan), ctx);
+    case PlanKind::kFilter: {
+      const auto& filter = static_cast<const FilterNode&>(plan);
+      HIPPO_ASSIGN_OR_RETURN(std::vector<Row> in,
+                             ExecuteRows(plan.child(0), ctx));
+      std::vector<Row> out;
+      out.reserve(in.size());
+      for (Row& r : in) {
+        if (EvalPredicate(filter.predicate(), r)) out.push_back(std::move(r));
+      }
+      return out;
+    }
+    case PlanKind::kProject: {
+      const auto& proj = static_cast<const ProjectNode&>(plan);
+      HIPPO_ASSIGN_OR_RETURN(std::vector<Row> in,
+                             ExecuteRows(plan.child(0), ctx));
+      std::vector<Row> out;
+      out.reserve(in.size());
+      for (const Row& r : in) {
+        Row mapped;
+        mapped.reserve(proj.NumExprs());
+        for (size_t i = 0; i < proj.NumExprs(); ++i) {
+          mapped.push_back(EvalExpr(proj.expr(i), r));
+        }
+        out.push_back(std::move(mapped));
+      }
+      return exec::DedupRows(std::move(out));
+    }
+    case PlanKind::kProduct: {
+      HIPPO_ASSIGN_OR_RETURN(std::vector<Row> left,
+                             ExecuteRows(plan.child(0), ctx));
+      HIPPO_ASSIGN_OR_RETURN(std::vector<Row> right,
+                             ExecuteRows(plan.child(1), ctx));
+      std::vector<Row> out;
+      out.reserve(left.size() * right.size());
+      for (const Row& l : left) {
+        for (const Row& r : right) {
+          Row joined = l;
+          joined.insert(joined.end(), r.begin(), r.end());
+          out.push_back(std::move(joined));
+        }
+      }
+      return out;
+    }
+    case PlanKind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(plan);
+      HIPPO_ASSIGN_OR_RETURN(std::vector<Row> left,
+                             ExecuteRows(plan.child(0), ctx));
+      HIPPO_ASSIGN_OR_RETURN(std::vector<Row> right,
+                             ExecuteRows(plan.child(1), ctx));
+      std::vector<Row> out;
+      exec::JoinRows(left, right, join.condition(),
+                     plan.child(0).schema().NumColumns(), &out);
+      return out;
+    }
+    case PlanKind::kAntiJoin: {
+      const auto& aj = static_cast<const AntiJoinNode&>(plan);
+      HIPPO_ASSIGN_OR_RETURN(std::vector<Row> left,
+                             ExecuteRows(plan.child(0), ctx));
+      HIPPO_ASSIGN_OR_RETURN(std::vector<Row> right,
+                             ExecuteRows(plan.child(1), ctx));
+      std::vector<Row> out;
+      exec::AntiJoinRows(left, right, aj.condition(),
+                         plan.child(0).schema().NumColumns(), &out);
+      return out;
+    }
+    case PlanKind::kUnion: {
+      HIPPO_ASSIGN_OR_RETURN(std::vector<Row> left,
+                             ExecuteRows(plan.child(0), ctx));
+      HIPPO_ASSIGN_OR_RETURN(std::vector<Row> right,
+                             ExecuteRows(plan.child(1), ctx));
+      return exec::UnionRows(std::move(left), right);
+    }
+    case PlanKind::kDifference: {
+      HIPPO_ASSIGN_OR_RETURN(std::vector<Row> left,
+                             ExecuteRows(plan.child(0), ctx));
+      HIPPO_ASSIGN_OR_RETURN(std::vector<Row> right,
+                             ExecuteRows(plan.child(1), ctx));
+      return exec::DifferenceRows(left, right);
+    }
+    case PlanKind::kIntersect: {
+      HIPPO_ASSIGN_OR_RETURN(std::vector<Row> left,
+                             ExecuteRows(plan.child(0), ctx));
+      HIPPO_ASSIGN_OR_RETURN(std::vector<Row> right,
+                             ExecuteRows(plan.child(1), ctx));
+      return exec::IntersectRows(left, right);
+    }
+    case PlanKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateNode&>(plan);
+      HIPPO_ASSIGN_OR_RETURN(std::vector<Row> in,
+                             ExecuteRows(plan.child(0), ctx));
+      return exec::AggregateRows(agg, in);
+    }
+    case PlanKind::kSort: {
+      const auto& sort = static_cast<const SortNode&>(plan);
+      HIPPO_ASSIGN_OR_RETURN(std::vector<Row> in,
+                             ExecuteRows(plan.child(0), ctx));
+      std::stable_sort(in.begin(), in.end(),
+                       [&sort](const Row& a, const Row& b) {
+                         for (const SortNode::Key& k : sort.keys()) {
+                           Value va = EvalExpr(*k.expr, a);
+                           Value vb = EvalExpr(*k.expr, b);
+                           int c = va.Compare(vb);
+                           if (c != 0) return k.ascending ? c < 0 : c > 0;
+                         }
+                         return false;
+                       });
+      return in;
+    }
+  }
+  return Status::Internal("unknown plan kind in executor");
+}
+
+}  // namespace
+
+Result<ResultSet> Execute(const PlanNode& plan, const ExecContext& ctx) {
+  HIPPO_CHECK(ctx.catalog != nullptr);
+  HIPPO_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecuteRows(plan, ctx));
+  return ResultSet{plan.schema(), std::move(rows)};
+}
+
+}  // namespace hippo

@@ -1,0 +1,70 @@
+// Materializing executor for bound logical plans.
+//
+// Every operator materializes its output (the plans in Hippo's workloads are
+// shallow and the CQA machinery needs materialized candidate sets anyway).
+// Joins execute as hash joins when the condition contains equi-join
+// conjuncts, otherwise as nested loops.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "plan/logical_plan.h"
+#include "types/value.h"
+
+namespace hippo {
+
+/// \brief A materialized query result.
+struct ResultSet {
+  Schema schema;
+  std::vector<Row> rows;
+
+  size_t NumRows() const { return rows.size(); }
+
+  /// Linear scan (test helper).
+  bool Contains(const Row& row) const;
+
+  /// Sorts rows under the Value total order (deterministic comparisons).
+  void SortRows();
+
+  /// Tabular rendering (up to `max_rows` rows).
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+/// \brief Restricts scans to a subset of each table's rows.
+///
+/// Used to evaluate queries over repairs and over the "core" (conflict-free
+/// part) of the database without copying tables. Tables without an entry are
+/// fully visible.
+class RowMask {
+ public:
+  /// `allowed[i]` says whether row i of `table_id` is visible.
+  void SetAllowed(uint32_t table_id, std::vector<bool> allowed) {
+    allowed_[table_id] = std::move(allowed);
+  }
+
+  bool Allows(RowId rid) const {
+    auto it = allowed_.find(rid.table);
+    if (it == allowed_.end()) return true;
+    return rid.row < it->second.size() && it->second[rid.row];
+  }
+
+  bool HasEntry(uint32_t table_id) const { return allowed_.count(table_id); }
+
+ private:
+  std::unordered_map<uint32_t, std::vector<bool>> allowed_;
+};
+
+/// Execution environment: the catalog, plus an optional row mask.
+struct ExecContext {
+  const Catalog* catalog = nullptr;
+  const RowMask* mask = nullptr;
+};
+
+/// Executes a bound plan to completion.
+Result<ResultSet> Execute(const PlanNode& plan, const ExecContext& ctx);
+
+}  // namespace hippo

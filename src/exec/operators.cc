@@ -1,0 +1,293 @@
+#include "exec/operators.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "expr/evaluator.h"
+
+namespace hippo::exec {
+
+namespace {
+
+using RowSet = std::unordered_set<Row, RowHasher, RowEq>;
+
+Row ConcatRow(const Row& a, const Row& b) {
+  Row out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Row KeyOf(const Row& row, const std::vector<int>& indexes) {
+  Row key;
+  key.reserve(indexes.size());
+  for (int i : indexes) key.push_back(row[static_cast<size_t>(i)]);
+  return key;
+}
+
+/// Builds (left key indexes, right key indexes, residual) from `condition`.
+struct JoinSplit {
+  std::vector<int> left_keys;
+  std::vector<int> right_keys;
+  ExprPtr residual;
+  bool HasEqui() const { return !left_keys.empty(); }
+};
+
+JoinSplit SplitCondition(const Expr& condition, size_t left_width) {
+  JoinSplit split;
+  std::vector<EquiPair> pairs;
+  SplitJoinCondition(condition, left_width, &pairs, &split.residual);
+  for (const EquiPair& p : pairs) {
+    split.left_keys.push_back(p.left_index);
+    split.right_keys.push_back(p.right_index);
+  }
+  return split;
+}
+
+/// NULL join keys never match (SQL equality semantics).
+bool KeyHasNull(const Row& key) {
+  for (const Value& v : key) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void JoinRows(const std::vector<Row>& left, const std::vector<Row>& right,
+              const Expr& condition, size_t left_width,
+              std::vector<Row>* out) {
+  JoinSplit split = SplitCondition(condition, left_width);
+  if (split.HasEqui()) {
+    std::unordered_map<Row, std::vector<const Row*>, RowHasher, RowEq> build;
+    build.reserve(right.size());
+    for (const Row& r : right) {
+      Row key = KeyOf(r, split.right_keys);
+      if (KeyHasNull(key)) continue;
+      build[std::move(key)].push_back(&r);
+    }
+    for (const Row& l : left) {
+      Row key = KeyOf(l, split.left_keys);
+      if (KeyHasNull(key)) continue;
+      auto it = build.find(key);
+      if (it == build.end()) continue;
+      for (const Row* r : it->second) {
+        Row joined = ConcatRow(l, *r);
+        if (split.residual == nullptr ||
+            EvalPredicate(*split.residual, joined)) {
+          out->push_back(std::move(joined));
+        }
+      }
+    }
+    return;
+  }
+  for (const Row& l : left) {
+    for (const Row& r : right) {
+      Row joined = ConcatRow(l, r);
+      if (EvalPredicate(condition, joined)) {
+        out->push_back(std::move(joined));
+      }
+    }
+  }
+}
+
+void AntiJoinRows(const std::vector<Row>& left, const std::vector<Row>& right,
+                  const Expr& condition, size_t left_width,
+                  std::vector<Row>* out) {
+  JoinSplit split = SplitCondition(condition, left_width);
+  if (split.HasEqui()) {
+    std::unordered_map<Row, std::vector<const Row*>, RowHasher, RowEq> build;
+    build.reserve(right.size());
+    for (const Row& r : right) {
+      Row key = KeyOf(r, split.right_keys);
+      if (KeyHasNull(key)) continue;
+      build[std::move(key)].push_back(&r);
+    }
+    for (const Row& l : left) {
+      Row key = KeyOf(l, split.left_keys);
+      bool matched = false;
+      if (!KeyHasNull(key)) {
+        auto it = build.find(key);
+        if (it != build.end()) {
+          if (split.residual == nullptr) {
+            matched = true;
+          } else {
+            for (const Row* r : it->second) {
+              if (EvalPredicate(*split.residual, ConcatRow(l, *r))) {
+                matched = true;
+                break;
+              }
+            }
+          }
+        }
+      }
+      if (!matched) out->push_back(l);
+    }
+    return;
+  }
+  for (const Row& l : left) {
+    bool matched = false;
+    for (const Row& r : right) {
+      if (EvalPredicate(condition, ConcatRow(l, r))) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) out->push_back(l);
+  }
+}
+
+std::vector<Row> DedupRows(std::vector<Row> rows) {
+  RowSet seen;
+  seen.reserve(rows.size());
+  std::vector<Row> out;
+  out.reserve(rows.size());
+  for (Row& r : rows) {
+    if (seen.insert(r).second) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<Row> UnionRows(std::vector<Row> left,
+                           const std::vector<Row>& right) {
+  left.insert(left.end(), right.begin(), right.end());
+  return DedupRows(std::move(left));
+}
+
+std::vector<Row> DifferenceRows(const std::vector<Row>& left,
+                                const std::vector<Row>& right) {
+  RowSet exclude(right.begin(), right.end());
+  RowSet seen;
+  std::vector<Row> out;
+  for (const Row& l : left) {
+    if (exclude.count(l)) continue;
+    if (seen.insert(l).second) out.push_back(l);
+  }
+  return out;
+}
+
+std::vector<Row> IntersectRows(const std::vector<Row>& left,
+                               const std::vector<Row>& right) {
+  RowSet include(right.begin(), right.end());
+  RowSet seen;
+  std::vector<Row> out;
+  for (const Row& l : left) {
+    if (!include.count(l)) continue;
+    if (seen.insert(l).second) out.push_back(l);
+  }
+  return out;
+}
+
+namespace {
+
+/// Streaming accumulator for one aggregate function over one group, with
+/// SQL NULL semantics: NULL inputs are skipped; COUNT(*) counts rows;
+/// empty SUM/MIN/MAX/AVG are NULL, empty COUNT is 0.
+struct Accumulator {
+  int64_t count = 0;
+  int64_t sum_i = 0;
+  double sum_d = 0;
+  Value extreme;  // running MIN/MAX (kNull until the first non-null input)
+
+  void Add(const AggregateNode::AggSpec& spec, const Row& row) {
+    if (spec.arg == nullptr) {  // COUNT(*)
+      ++count;
+      return;
+    }
+    Value v = EvalExpr(*spec.arg, row);
+    if (v.is_null()) return;
+    ++count;
+    switch (spec.fn) {
+      case AggFunc::kCount:
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (v.type() == TypeId::kDouble) {
+          sum_d += v.AsDouble();
+        } else {
+          sum_i += v.AsInt();
+          sum_d += static_cast<double>(v.AsInt());
+        }
+        break;
+      case AggFunc::kMin:
+        if (extreme.is_null() || v.Compare(extreme) < 0) extreme = v;
+        break;
+      case AggFunc::kMax:
+        if (extreme.is_null() || v.Compare(extreme) > 0) extreme = v;
+        break;
+    }
+  }
+
+  Value Finish(const AggregateNode::AggSpec& spec) const {
+    switch (spec.fn) {
+      case AggFunc::kCount:
+        return Value::Int(count);
+      case AggFunc::kSum:
+        if (count == 0) return Value::Null();
+        return (spec.arg != nullptr &&
+                spec.arg->result_type() == TypeId::kDouble)
+                   ? Value::Double(sum_d)
+                   : Value::Int(sum_i);
+      case AggFunc::kAvg:
+        if (count == 0) return Value::Null();
+        return Value::Double(sum_d / static_cast<double>(count));
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        return extreme;
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+Result<std::vector<Row>> AggregateRows(const AggregateNode& agg,
+                                       const std::vector<Row>& input) {
+  const size_t n_groups = agg.NumGroupExprs();
+  const auto& specs = agg.aggs();
+
+  struct GroupState {
+    Row key;
+    std::vector<Accumulator> accs;
+  };
+  std::unordered_map<Row, size_t, RowHasher, RowEq> index;
+  std::vector<GroupState> groups;  // first-occurrence order
+
+  for (const Row& row : input) {
+    Row key;
+    key.reserve(n_groups);
+    for (size_t g = 0; g < n_groups; ++g) {
+      key.push_back(EvalExpr(agg.group_expr(g), row));
+    }
+    auto [it, inserted] = index.emplace(key, groups.size());
+    if (inserted) {
+      groups.push_back(GroupState{std::move(key),
+                                  std::vector<Accumulator>(specs.size())});
+    }
+    GroupState& state = groups[it->second];
+    for (size_t a = 0; a < specs.size(); ++a) {
+      state.accs[a].Add(specs[a], row);
+    }
+  }
+
+  // SQL: a global aggregate over an empty input still produces one row.
+  if (groups.empty() && n_groups == 0) {
+    groups.push_back(
+        GroupState{Row{}, std::vector<Accumulator>(specs.size())});
+  }
+
+  std::vector<Row> out;
+  out.reserve(groups.size());
+  for (const GroupState& g : groups) {
+    Row row = g.key;
+    row.reserve(n_groups + specs.size());
+    for (size_t a = 0; a < specs.size(); ++a) {
+      row.push_back(g.accs[a].Finish(specs[a]));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace hippo::exec

@@ -1,0 +1,41 @@
+// Join, set-operation, and aggregation kernels shared by the executor.
+#pragma once
+
+#include <vector>
+
+#include "exec/executor.h"
+#include "expr/expr.h"
+#include "plan/logical_plan.h"
+
+namespace hippo::exec {
+
+/// Hash aggregation for an AggregateNode over a materialized input.
+/// Groups appear in first-occurrence order; a global aggregate (no GROUP
+/// BY) over an empty input yields one row (COUNT = 0, other aggregates
+/// NULL), per SQL semantics.
+Result<std::vector<Row>> AggregateRows(const AggregateNode& agg,
+                                       const std::vector<Row>& input);
+
+/// Hash/NL inner join of two materialized inputs under `condition`
+/// (bound over the concatenated schema). Appends result rows to `out`.
+void JoinRows(const std::vector<Row>& left, const std::vector<Row>& right,
+              const Expr& condition, size_t left_width,
+              std::vector<Row>* out);
+
+/// Anti join: rows of `left` with no `right` partner satisfying `condition`.
+void AntiJoinRows(const std::vector<Row>& left, const std::vector<Row>& right,
+                  const Expr& condition, size_t left_width,
+                  std::vector<Row>* out);
+
+/// Set operations (inputs need not be deduplicated; outputs are sets).
+std::vector<Row> UnionRows(std::vector<Row> left,
+                           const std::vector<Row>& right);
+std::vector<Row> DifferenceRows(const std::vector<Row>& left,
+                                const std::vector<Row>& right);
+std::vector<Row> IntersectRows(const std::vector<Row>& left,
+                               const std::vector<Row>& right);
+
+/// Removes duplicate rows, preserving first occurrence order.
+std::vector<Row> DedupRows(std::vector<Row> rows);
+
+}  // namespace hippo::exec

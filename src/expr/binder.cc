@@ -1,0 +1,150 @@
+#include "expr/binder.h"
+
+#include "common/str_util.h"
+
+namespace hippo {
+
+namespace {
+
+bool IsNumeric(TypeId t) { return t == TypeId::kInt || t == TypeId::kDouble; }
+
+bool Comparable(TypeId a, TypeId b) {
+  if (a == TypeId::kNull || b == TypeId::kNull) return true;
+  if (IsNumeric(a) && IsNumeric(b)) return true;
+  return a == b;
+}
+
+}  // namespace
+
+Status ExprBinder::Bind(Expr* expr) const {
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      return Status::OK();
+    case ExprKind::kColumnRef: {
+      auto* ref = static_cast<ColumnRefExpr*>(expr);
+      if (ref->IsBound()) return Status::OK();
+      HIPPO_ASSIGN_OR_RETURN(
+          size_t idx, schema_.ResolveColumn(ref->qualifier(), ref->name()));
+      ref->Bind(idx, schema_.column(idx).type);
+      return Status::OK();
+    }
+    case ExprKind::kComparison: {
+      auto* cmp = static_cast<ComparisonExpr*>(expr);
+      HIPPO_RETURN_NOT_OK(Bind(cmp->mutable_left()));
+      HIPPO_RETURN_NOT_OK(Bind(cmp->mutable_right()));
+      TypeId lt = cmp->left().result_type();
+      TypeId rt = cmp->right().result_type();
+      if (!Comparable(lt, rt)) {
+        return Status::TypeError(StrFormat(
+            "cannot compare %s with %s in %s", TypeIdToString(lt),
+            TypeIdToString(rt), cmp->ToString().c_str()));
+      }
+      if ((lt == TypeId::kBool || rt == TypeId::kBool) &&
+          cmp->op() != CompareOp::kEq && cmp->op() != CompareOp::kNe) {
+        return Status::TypeError("BOOLEAN supports only = and <>: " +
+                                 cmp->ToString());
+      }
+      cmp->set_result_type(TypeId::kBool);
+      return Status::OK();
+    }
+    case ExprKind::kLogical: {
+      auto* log = static_cast<LogicalExpr*>(expr);
+      for (size_t i = 0; i < log->NumChildren(); ++i) {
+        Expr* child = log->mutable_child(i);
+        HIPPO_RETURN_NOT_OK(Bind(child));
+        if (child->result_type() != TypeId::kBool &&
+            child->result_type() != TypeId::kNull) {
+          return Status::TypeError(
+              "logical operand is not BOOLEAN: " + child->ToString());
+        }
+      }
+      log->set_result_type(TypeId::kBool);
+      return Status::OK();
+    }
+    case ExprKind::kArithmetic: {
+      auto* ar = static_cast<ArithmeticExpr*>(expr);
+      HIPPO_RETURN_NOT_OK(Bind(const_cast<Expr*>(&ar->left())));
+      HIPPO_RETURN_NOT_OK(Bind(const_cast<Expr*>(&ar->right())));
+      TypeId lt = ar->left().result_type();
+      TypeId rt = ar->right().result_type();
+      auto num_or_null = [](TypeId t) {
+        return IsNumeric(t) || t == TypeId::kNull;
+      };
+      if (!num_or_null(lt) || !num_or_null(rt)) {
+        return Status::TypeError("arithmetic requires numeric operands: " +
+                                 ar->ToString());
+      }
+      if (ar->op() == ArithOp::kMod &&
+          (lt == TypeId::kDouble || rt == TypeId::kDouble)) {
+        return Status::TypeError("% requires INTEGER operands: " +
+                                 ar->ToString());
+      }
+      ar->set_result_type((lt == TypeId::kDouble || rt == TypeId::kDouble)
+                              ? TypeId::kDouble
+                              : TypeId::kInt);
+      return Status::OK();
+    }
+    case ExprKind::kIsNull: {
+      auto* n = static_cast<IsNullExpr*>(expr);
+      HIPPO_RETURN_NOT_OK(Bind(const_cast<Expr*>(&n->child())));
+      n->set_result_type(TypeId::kBool);
+      return Status::OK();
+    }
+    case ExprKind::kAggCall: {
+      if (!allow_aggregates_) {
+        return Status::InvalidArgument(
+            "aggregate calls are only allowed in the SELECT list and "
+            "HAVING clause: " + expr->ToString());
+      }
+      auto* agg = static_cast<AggCallExpr*>(expr);
+      if (agg->is_count_star()) {
+        agg->set_result_type(TypeId::kInt);
+        return Status::OK();
+      }
+      Expr* arg = agg->mutable_arg();
+      HIPPO_RETURN_NOT_OK(Bind(arg));
+      if (ContainsAggCall(*arg)) {
+        return Status::InvalidArgument("nested aggregate call: " +
+                                       expr->ToString());
+      }
+      TypeId at = arg->result_type();
+      switch (agg->fn()) {
+        case AggFunc::kCount:
+          agg->set_result_type(TypeId::kInt);
+          break;
+        case AggFunc::kSum:
+          if (!IsNumeric(at) && at != TypeId::kNull) {
+            return Status::TypeError("SUM requires a numeric argument: " +
+                                     expr->ToString());
+          }
+          agg->set_result_type(at == TypeId::kDouble ? TypeId::kDouble
+                                                     : TypeId::kInt);
+          break;
+        case AggFunc::kAvg:
+          if (!IsNumeric(at) && at != TypeId::kNull) {
+            return Status::TypeError("AVG requires a numeric argument: " +
+                                     expr->ToString());
+          }
+          agg->set_result_type(TypeId::kDouble);
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          agg->set_result_type(at);
+          break;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Status ExprBinder::BindPredicate(Expr* expr) const {
+  HIPPO_RETURN_NOT_OK(Bind(expr));
+  if (expr->result_type() != TypeId::kBool &&
+      expr->result_type() != TypeId::kNull) {
+    return Status::TypeError("predicate is not BOOLEAN: " + expr->ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace hippo

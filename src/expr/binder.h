@@ -1,0 +1,41 @@
+// Binding: resolving column references against a schema and type-checking.
+#pragma once
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "expr/expr.h"
+
+namespace hippo {
+
+/// \brief Resolves names and assigns result types in an expression tree.
+///
+/// Binding rules:
+///  * column references resolve case-insensitively, honoring qualifiers;
+///  * comparison operands must have comparable types (numeric with numeric,
+///    otherwise equal types); result is BOOLEAN;
+///  * logical operands must be BOOLEAN;
+///  * arithmetic operands must be numeric; result is INTEGER when both are,
+///    DOUBLE otherwise;
+///  * NULL literals are allowed anywhere a value is (typed kNull).
+class ExprBinder {
+ public:
+  explicit ExprBinder(const Schema& schema) : schema_(schema) {}
+  /// The binder keeps a reference; binding it to a temporary would dangle.
+  explicit ExprBinder(Schema&&) = delete;
+
+  /// Permits aggregate calls in the bound tree (SELECT list / HAVING only;
+  /// off by default so WHERE clauses, constraints, and DML reject them).
+  void set_allow_aggregates(bool allow) { allow_aggregates_ = allow; }
+
+  /// Binds in place.
+  Status Bind(Expr* expr) const;
+
+  /// Convenience: binds and requires a BOOLEAN result (for predicates).
+  Status BindPredicate(Expr* expr) const;
+
+ private:
+  const Schema& schema_;
+  bool allow_aggregates_ = false;
+};
+
+}  // namespace hippo

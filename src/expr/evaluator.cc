@@ -1,0 +1,145 @@
+#include "expr/evaluator.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace hippo {
+
+namespace {
+
+Value EvalComparison(const ComparisonExpr& cmp, const Row& row) {
+  Value l = EvalExpr(cmp.left(), row);
+  Value r = EvalExpr(cmp.right(), row);
+  if (l.is_null() || r.is_null()) return Value::Null();
+  int c = l.Compare(r);
+  switch (cmp.op()) {
+    case CompareOp::kEq:
+      return Value::Bool(l == r);
+    case CompareOp::kNe:
+      return Value::Bool(!(l == r));
+    case CompareOp::kLt:
+      return Value::Bool(c < 0);
+    case CompareOp::kLe:
+      return Value::Bool(c <= 0);
+    case CompareOp::kGt:
+      return Value::Bool(c > 0);
+    case CompareOp::kGe:
+      return Value::Bool(c >= 0);
+  }
+  return Value::Null();
+}
+
+Value EvalLogical(const LogicalExpr& log, const Row& row) {
+  if (log.op() == LogicalOp::kNot) {
+    Value v = EvalExpr(log.child(0), row);
+    if (v.is_null()) return Value::Null();
+    return Value::Bool(!v.AsBool());
+  }
+  bool saw_null = false;
+  if (log.op() == LogicalOp::kAnd) {
+    for (size_t i = 0; i < log.NumChildren(); ++i) {
+      Value v = EvalExpr(log.child(i), row);
+      if (v.is_null()) {
+        saw_null = true;
+      } else if (!v.AsBool()) {
+        return Value::Bool(false);
+      }
+    }
+    return saw_null ? Value::Null() : Value::Bool(true);
+  }
+  // OR
+  for (size_t i = 0; i < log.NumChildren(); ++i) {
+    Value v = EvalExpr(log.child(i), row);
+    if (v.is_null()) {
+      saw_null = true;
+    } else if (v.AsBool()) {
+      return Value::Bool(true);
+    }
+  }
+  return saw_null ? Value::Null() : Value::Bool(false);
+}
+
+Value EvalArithmetic(const ArithmeticExpr& ar, const Row& row) {
+  Value l = EvalExpr(ar.left(), row);
+  Value r = EvalExpr(ar.right(), row);
+  if (l.is_null() || r.is_null()) return Value::Null();
+  bool as_double =
+      l.type() == TypeId::kDouble || r.type() == TypeId::kDouble;
+  if (as_double) {
+    double a = l.NumericAsDouble(), b = r.NumericAsDouble();
+    switch (ar.op()) {
+      case ArithOp::kAdd:
+        return Value::Double(a + b);
+      case ArithOp::kSub:
+        return Value::Double(a - b);
+      case ArithOp::kMul:
+        return Value::Double(a * b);
+      case ArithOp::kDiv:
+        if (b == 0.0) return Value::Null();  // SQL engines raise; we null out
+        return Value::Double(a / b);
+      case ArithOp::kMod:
+        HIPPO_CHECK_MSG(false, "binder rejects % on doubles");
+    }
+  }
+  int64_t a = l.AsInt(), b = r.AsInt();
+  switch (ar.op()) {
+    case ArithOp::kAdd:
+      return Value::Int(a + b);
+    case ArithOp::kSub:
+      return Value::Int(a - b);
+    case ArithOp::kMul:
+      return Value::Int(a * b);
+    case ArithOp::kDiv:
+      if (b == 0) return Value::Null();
+      return Value::Int(a / b);
+    case ArithOp::kMod:
+      if (b == 0) return Value::Null();
+      return Value::Int(a % b);
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+Value EvalExpr(const Expr& expr, const Row& row) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value();
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      HIPPO_DCHECK(ref.IsBound());
+      HIPPO_DCHECK(static_cast<size_t>(ref.index()) < row.size());
+      return row[static_cast<size_t>(ref.index())];
+    }
+    case ExprKind::kComparison:
+      return EvalComparison(static_cast<const ComparisonExpr&>(expr), row);
+    case ExprKind::kLogical:
+      return EvalLogical(static_cast<const LogicalExpr&>(expr), row);
+    case ExprKind::kArithmetic:
+      return EvalArithmetic(static_cast<const ArithmeticExpr&>(expr), row);
+    case ExprKind::kIsNull: {
+      const auto& n = static_cast<const IsNullExpr&>(expr);
+      bool isnull = EvalExpr(n.child(), row).is_null();
+      return Value::Bool(n.negated() ? !isnull : isnull);
+    }
+    case ExprKind::kAggCall:
+      // Aggregate calls are extracted into an AggregateNode by the planner
+      // and never reach row-level evaluation.
+      HIPPO_CHECK_MSG(false, "aggregate call evaluated outside aggregation");
+      break;
+  }
+  return Value::Null();
+}
+
+bool EvalPredicate(const Expr& expr, const Row& row) {
+  Value v = EvalExpr(expr, row);
+  return !v.is_null() && v.AsBool();
+}
+
+Value EvalConst(const Expr& expr) {
+  static const Row kEmpty;
+  return EvalExpr(expr, kEmpty);
+}
+
+}  // namespace hippo

@@ -1,0 +1,20 @@
+// Evaluation of bound scalar expressions with SQL three-valued logic.
+#pragma once
+
+#include "expr/expr.h"
+#include "types/value.h"
+
+namespace hippo {
+
+/// Evaluates a bound expression over an input row. NULL propagates through
+/// comparisons and arithmetic; AND/OR/NOT follow Kleene three-valued logic
+/// (the NULL truth value is represented by a NULL Value).
+Value EvalExpr(const Expr& expr, const Row& row);
+
+/// SQL WHERE semantics: true iff the predicate evaluates to (non-NULL) TRUE.
+bool EvalPredicate(const Expr& expr, const Row& row);
+
+/// Evaluates an expression with no column references (constant).
+Value EvalConst(const Expr& expr);
+
+}  // namespace hippo

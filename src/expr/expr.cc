@@ -1,0 +1,357 @@
+#include "expr/expr.h"
+
+#include "common/str_util.h"
+
+namespace hippo {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+    case ArithOp::kMod:
+      return "%";
+  }
+  return "?";
+}
+
+CompareOp FlipCompare(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kEq;
+    case CompareOp::kNe:
+      return CompareOp::kNe;
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+  }
+  return op;
+}
+
+CompareOp NegateCompare(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+  }
+  return op;
+}
+
+ExprPtr LiteralExpr::Clone() const {
+  return std::make_unique<LiteralExpr>(value_);
+}
+
+ExprPtr ColumnRefExpr::Bound(size_t index, TypeId type, std::string name,
+                             std::string qualifier) {
+  auto ref = std::make_unique<ColumnRefExpr>(std::move(qualifier),
+                                             std::move(name));
+  ref->Bind(index, type);
+  return ref;
+}
+
+ExprPtr ColumnRefExpr::Clone() const {
+  auto copy = std::make_unique<ColumnRefExpr>(qualifier_, name_);
+  copy->index_ = index_;
+  copy->set_result_type(result_type());
+  return copy;
+}
+
+std::string ColumnRefExpr::ToString() const {
+  std::string out = qualifier_.empty() ? name_ : qualifier_ + "." + name_;
+  if (out.empty() && index_ >= 0) out = "#" + std::to_string(index_);
+  return out;
+}
+
+ExprPtr ComparisonExpr::Clone() const {
+  auto copy = std::make_unique<ComparisonExpr>(op_, left_->Clone(),
+                                               right_->Clone());
+  copy->set_result_type(result_type());
+  return copy;
+}
+
+std::string ComparisonExpr::ToString() const {
+  return "(" + left_->ToString() + " " + CompareOpToString(op_) + " " +
+         right_->ToString() + ")";
+}
+
+ExprPtr LogicalExpr::MakeAnd(ExprPtr a, ExprPtr b) {
+  std::vector<ExprPtr> kids;
+  kids.push_back(std::move(a));
+  kids.push_back(std::move(b));
+  auto e = std::make_unique<LogicalExpr>(LogicalOp::kAnd, std::move(kids));
+  e->set_result_type(TypeId::kBool);
+  return e;
+}
+
+ExprPtr LogicalExpr::MakeOr(ExprPtr a, ExprPtr b) {
+  std::vector<ExprPtr> kids;
+  kids.push_back(std::move(a));
+  kids.push_back(std::move(b));
+  auto e = std::make_unique<LogicalExpr>(LogicalOp::kOr, std::move(kids));
+  e->set_result_type(TypeId::kBool);
+  return e;
+}
+
+ExprPtr LogicalExpr::MakeNot(ExprPtr a) {
+  std::vector<ExprPtr> kids;
+  kids.push_back(std::move(a));
+  auto e = std::make_unique<LogicalExpr>(LogicalOp::kNot, std::move(kids));
+  e->set_result_type(TypeId::kBool);
+  return e;
+}
+
+ExprPtr LogicalExpr::Clone() const {
+  std::vector<ExprPtr> kids;
+  kids.reserve(children_.size());
+  for (const auto& c : children_) kids.push_back(c->Clone());
+  auto copy = std::make_unique<LogicalExpr>(op_, std::move(kids));
+  copy->set_result_type(result_type());
+  return copy;
+}
+
+std::string LogicalExpr::ToString() const {
+  if (op_ == LogicalOp::kNot) {
+    return "NOT " + children_[0]->ToString();
+  }
+  const char* sep = op_ == LogicalOp::kAnd ? " AND " : " OR ";
+  std::string out = "(";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) out += sep;
+    out += children_[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+ExprPtr ArithmeticExpr::Clone() const {
+  auto copy = std::make_unique<ArithmeticExpr>(op_, left_->Clone(),
+                                               right_->Clone());
+  copy->set_result_type(result_type());
+  return copy;
+}
+
+std::string ArithmeticExpr::ToString() const {
+  return "(" + left_->ToString() + " " + ArithOpToString(op_) + " " +
+         right_->ToString() + ")";
+}
+
+ExprPtr IsNullExpr::Clone() const {
+  auto copy = std::make_unique<IsNullExpr>(child_->Clone(), negated_);
+  copy->set_result_type(result_type());
+  return copy;
+}
+
+std::string IsNullExpr::ToString() const {
+  return child_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL");
+}
+
+const char* AggFuncToString(AggFunc fn) {
+  switch (fn) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+ExprPtr AggCallExpr::Clone() const {
+  auto copy = std::make_unique<AggCallExpr>(
+      fn_, arg_ == nullptr ? nullptr : arg_->Clone());
+  copy->set_result_type(result_type());
+  return copy;
+}
+
+std::string AggCallExpr::ToString() const {
+  return std::string(AggFuncToString(fn_)) + "(" +
+         (arg_ == nullptr ? "*" : arg_->ToString()) + ")";
+}
+
+bool ContainsAggCall(const Expr& expr) {
+  if (expr.kind() == ExprKind::kAggCall) return true;
+  switch (expr.kind()) {
+    case ExprKind::kComparison: {
+      const auto& c = static_cast<const ComparisonExpr&>(expr);
+      return ContainsAggCall(c.left()) || ContainsAggCall(c.right());
+    }
+    case ExprKind::kLogical: {
+      const auto& l = static_cast<const LogicalExpr&>(expr);
+      for (size_t i = 0; i < l.NumChildren(); ++i) {
+        if (ContainsAggCall(l.child(i))) return true;
+      }
+      return false;
+    }
+    case ExprKind::kArithmetic: {
+      const auto& a = static_cast<const ArithmeticExpr&>(expr);
+      return ContainsAggCall(a.left()) || ContainsAggCall(a.right());
+    }
+    case ExprKind::kIsNull:
+      return ContainsAggCall(static_cast<const IsNullExpr&>(expr).child());
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+void SplitConjunctsInto(const Expr& expr, std::vector<const Expr*>* out) {
+  if (expr.kind() == ExprKind::kLogical) {
+    const auto& le = static_cast<const LogicalExpr&>(expr);
+    if (le.op() == LogicalOp::kAnd) {
+      for (size_t i = 0; i < le.NumChildren(); ++i) {
+        SplitConjunctsInto(le.child(i), out);
+      }
+      return;
+    }
+  }
+  out->push_back(&expr);
+}
+
+}  // namespace
+
+std::vector<const Expr*> SplitConjuncts(const Expr& expr) {
+  std::vector<const Expr*> out;
+  SplitConjunctsInto(expr, &out);
+  return out;
+}
+
+ExprPtr AndAll(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) {
+    return std::make_unique<LiteralExpr>(Value::Bool(true));
+  }
+  if (conjuncts.size() == 1) return std::move(conjuncts[0]);
+  auto e = std::make_unique<LogicalExpr>(LogicalOp::kAnd, std::move(conjuncts));
+  e->set_result_type(TypeId::kBool);
+  return e;
+}
+
+void VisitColumnRefs(Expr* expr, const std::function<void(ColumnRefExpr*)>& fn) {
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kColumnRef:
+      fn(static_cast<ColumnRefExpr*>(expr));
+      return;
+    case ExprKind::kComparison: {
+      auto* c = static_cast<ComparisonExpr*>(expr);
+      VisitColumnRefs(c->mutable_left(), fn);
+      VisitColumnRefs(c->mutable_right(), fn);
+      return;
+    }
+    case ExprKind::kLogical: {
+      auto* l = static_cast<LogicalExpr*>(expr);
+      for (size_t i = 0; i < l->NumChildren(); ++i) {
+        VisitColumnRefs(l->mutable_child(i), fn);
+      }
+      return;
+    }
+    case ExprKind::kArithmetic: {
+      auto* a = static_cast<ArithmeticExpr*>(expr);
+      VisitColumnRefs(const_cast<Expr*>(&a->left()), fn);
+      VisitColumnRefs(const_cast<Expr*>(&a->right()), fn);
+      return;
+    }
+    case ExprKind::kIsNull: {
+      auto* n = static_cast<IsNullExpr*>(expr);
+      VisitColumnRefs(const_cast<Expr*>(&n->child()), fn);
+      return;
+    }
+    case ExprKind::kAggCall: {
+      auto* a = static_cast<AggCallExpr*>(expr);
+      if (a->mutable_arg() != nullptr) VisitColumnRefs(a->mutable_arg(), fn);
+      return;
+    }
+  }
+}
+
+void VisitColumnRefs(const Expr& expr,
+                     const std::function<void(const ColumnRefExpr&)>& fn) {
+  VisitColumnRefs(const_cast<Expr*>(&expr), [&fn](ColumnRefExpr* c) {
+    fn(*c);
+  });
+}
+
+std::vector<int> CollectColumnIndexes(const Expr& expr) {
+  std::vector<int> out;
+  VisitColumnRefs(expr, [&out](const ColumnRefExpr& c) {
+    out.push_back(c.index());
+  });
+  return out;
+}
+
+void SplitJoinCondition(const Expr& cond, size_t left_width,
+                        std::vector<EquiPair>* pairs, ExprPtr* residual) {
+  pairs->clear();
+  std::vector<ExprPtr> rest;
+  for (const Expr* conjunct : SplitConjuncts(cond)) {
+    bool extracted = false;
+    if (conjunct->kind() == ExprKind::kComparison) {
+      const auto& cmp = static_cast<const ComparisonExpr&>(*conjunct);
+      if (cmp.op() == CompareOp::kEq &&
+          cmp.left().kind() == ExprKind::kColumnRef &&
+          cmp.right().kind() == ExprKind::kColumnRef) {
+        int li = static_cast<const ColumnRefExpr&>(cmp.left()).index();
+        int ri = static_cast<const ColumnRefExpr&>(cmp.right()).index();
+        int lw = static_cast<int>(left_width);
+        if (li < lw && ri >= lw) {
+          pairs->push_back(EquiPair{li, ri - lw});
+          extracted = true;
+        } else if (ri < lw && li >= lw) {
+          pairs->push_back(EquiPair{ri, li - lw});
+          extracted = true;
+        }
+      }
+    }
+    if (!extracted) rest.push_back(conjunct->Clone());
+  }
+  if (rest.empty()) {
+    *residual = nullptr;
+  } else {
+    *residual = AndAll(std::move(rest));
+  }
+}
+
+}  // namespace hippo

@@ -1,0 +1,287 @@
+// Scalar expression AST shared by the SQL front end, the planner, the
+// execution engine, and the constraint subsystem.
+//
+// Expressions are produced unbound by the parser (column references carry
+// names), then bound against a Schema (references get ordinal indexes and
+// every node gets a result type). Only bound expressions can be evaluated.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "types/value.h"
+
+namespace hippo {
+
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kColumnRef,
+  kComparison,
+  kLogical,
+  kArithmetic,
+  kIsNull,
+  kAggCall,
+};
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp : uint8_t { kAnd, kOr, kNot };
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv, kMod };
+
+const char* CompareOpToString(CompareOp op);
+const char* ArithOpToString(ArithOp op);
+/// kEq -> kEq, kLt -> kGt, etc. (mirror for swapped operands).
+CompareOp FlipCompare(CompareOp op);
+/// kEq -> kNe, kLt -> kGe, etc. (logical negation).
+CompareOp NegateCompare(CompareOp op);
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// \brief Base class of all scalar expression nodes.
+class Expr {
+ public:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+
+  /// Result type; meaningful only after binding.
+  TypeId result_type() const { return result_type_; }
+  void set_result_type(TypeId t) { result_type_ = t; }
+
+  /// True once column references have been resolved to ordinals.
+  virtual bool IsBound() const = 0;
+
+  /// Deep copy (preserves binding state).
+  virtual ExprPtr Clone() const = 0;
+
+  /// SQL-ish rendering for diagnostics.
+  virtual std::string ToString() const = 0;
+
+ private:
+  ExprKind kind_;
+  TypeId result_type_ = TypeId::kNull;
+};
+
+/// A constant.
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : Expr(ExprKind::kLiteral), value_(std::move(v)) {
+    set_result_type(value_.type());
+  }
+  const Value& value() const { return value_; }
+  bool IsBound() const override { return true; }
+  ExprPtr Clone() const override;
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Value value_;
+};
+
+/// A reference to a column of the input row, by [qualifier.]name before
+/// binding and by ordinal index after.
+class ColumnRefExpr final : public Expr {
+ public:
+  ColumnRefExpr(std::string qualifier, std::string name)
+      : Expr(ExprKind::kColumnRef),
+        qualifier_(std::move(qualifier)),
+        name_(std::move(name)) {}
+
+  /// Creates an already-bound reference (used by plan rewrites).
+  static ExprPtr Bound(size_t index, TypeId type, std::string name = "",
+                       std::string qualifier = "");
+
+  const std::string& qualifier() const { return qualifier_; }
+  const std::string& name() const { return name_; }
+  int index() const { return index_; }
+  void Bind(size_t index, TypeId type) {
+    index_ = static_cast<int>(index);
+    set_result_type(type);
+  }
+  /// Rebases a bound index (e.g. when an expression over the right side of a
+  /// product is re-evaluated over the concatenated row).
+  void ShiftIndex(int delta) {
+    HIPPO_DCHECK(index_ >= 0);
+    index_ += delta;
+  }
+
+  bool IsBound() const override { return index_ >= 0; }
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  std::string qualifier_;
+  std::string name_;
+  int index_ = -1;
+};
+
+/// l <op> r for a comparison operator.
+class ComparisonExpr final : public Expr {
+ public:
+  ComparisonExpr(CompareOp op, ExprPtr l, ExprPtr r)
+      : Expr(ExprKind::kComparison),
+        op_(op),
+        left_(std::move(l)),
+        right_(std::move(r)) {}
+
+  CompareOp op() const { return op_; }
+  const Expr& left() const { return *left_; }
+  const Expr& right() const { return *right_; }
+  Expr* mutable_left() { return left_.get(); }
+  Expr* mutable_right() { return right_.get(); }
+
+  bool IsBound() const override {
+    return left_->IsBound() && right_->IsBound();
+  }
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  CompareOp op_;
+  ExprPtr left_, right_;
+};
+
+/// AND/OR over 2+ children, or NOT over exactly 1.
+class LogicalExpr final : public Expr {
+ public:
+  LogicalExpr(LogicalOp op, std::vector<ExprPtr> children)
+      : Expr(ExprKind::kLogical), op_(op), children_(std::move(children)) {
+    HIPPO_DCHECK(op_ == LogicalOp::kNot ? children_.size() == 1
+                                        : children_.size() >= 2);
+  }
+
+  static ExprPtr MakeAnd(ExprPtr a, ExprPtr b);
+  static ExprPtr MakeOr(ExprPtr a, ExprPtr b);
+  static ExprPtr MakeNot(ExprPtr a);
+
+  LogicalOp op() const { return op_; }
+  size_t NumChildren() const { return children_.size(); }
+  const Expr& child(size_t i) const { return *children_[i]; }
+  Expr* mutable_child(size_t i) { return children_[i].get(); }
+
+  bool IsBound() const override {
+    for (const auto& c : children_) {
+      if (!c->IsBound()) return false;
+    }
+    return true;
+  }
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  LogicalOp op_;
+  std::vector<ExprPtr> children_;
+};
+
+/// Numeric arithmetic.
+class ArithmeticExpr final : public Expr {
+ public:
+  ArithmeticExpr(ArithOp op, ExprPtr l, ExprPtr r)
+      : Expr(ExprKind::kArithmetic),
+        op_(op),
+        left_(std::move(l)),
+        right_(std::move(r)) {}
+
+  ArithOp op() const { return op_; }
+  const Expr& left() const { return *left_; }
+  const Expr& right() const { return *right_; }
+
+  bool IsBound() const override {
+    return left_->IsBound() && right_->IsBound();
+  }
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  ArithOp op_;
+  ExprPtr left_, right_;
+};
+
+/// SQL aggregate functions usable in a SELECT list / HAVING clause.
+enum class AggFunc : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggFuncToString(AggFunc fn);
+
+/// An aggregate call `FN(arg)` or `COUNT(*)`. Never evaluated directly:
+/// the planner extracts aggregate calls into an AggregateNode and replaces
+/// them with column references over its output.
+class AggCallExpr final : public Expr {
+ public:
+  /// `arg` is null for COUNT(*).
+  AggCallExpr(AggFunc fn, ExprPtr arg)
+      : Expr(ExprKind::kAggCall), fn_(fn), arg_(std::move(arg)) {}
+
+  AggFunc fn() const { return fn_; }
+  bool is_count_star() const { return arg_ == nullptr; }
+  const Expr& arg() const { return *arg_; }
+  Expr* mutable_arg() { return arg_.get(); }
+
+  bool IsBound() const override {
+    return arg_ == nullptr || arg_->IsBound();
+  }
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  AggFunc fn_;
+  ExprPtr arg_;
+};
+
+/// expr IS [NOT] NULL.
+class IsNullExpr final : public Expr {
+ public:
+  IsNullExpr(ExprPtr child, bool negated)
+      : Expr(ExprKind::kIsNull), child_(std::move(child)), negated_(negated) {}
+
+  const Expr& child() const { return *child_; }
+  bool negated() const { return negated_; }
+
+  bool IsBound() const override { return child_->IsBound(); }
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  ExprPtr child_;
+  bool negated_;
+};
+
+// ---------------------------------------------------------------------------
+// Expression utilities (implemented in expr.cc)
+// ---------------------------------------------------------------------------
+
+/// Splits a bound predicate into its top-level AND conjuncts (flattening
+/// nested ANDs); the returned pointers alias `expr`.
+std::vector<const Expr*> SplitConjuncts(const Expr& expr);
+
+/// Builds the conjunction of `conjuncts` (clones them); empty -> TRUE literal.
+ExprPtr AndAll(std::vector<ExprPtr> conjuncts);
+
+/// Applies `fn` to every ColumnRefExpr in the (mutable) expression tree.
+void VisitColumnRefs(Expr* expr, const std::function<void(ColumnRefExpr*)>& fn);
+void VisitColumnRefs(const Expr& expr,
+                     const std::function<void(const ColumnRefExpr&)>& fn);
+
+/// Collects the set of bound column indexes used by the expression.
+std::vector<int> CollectColumnIndexes(const Expr& expr);
+
+/// An equality `left_col = right_col` between the two sides of a product
+/// whose concatenated schema has `left_width` leading left columns.
+struct EquiPair {
+  int left_index;   ///< index into the left schema
+  int right_index;  ///< index into the right schema
+};
+
+/// Splits a bound join condition (over the concatenated schema) into
+/// equi-join pairs and a residual predicate (nullptr when none remains).
+/// Only top-level conjuncts of the shape `colL = colR` are extracted.
+void SplitJoinCondition(const Expr& cond, size_t left_width,
+                        std::vector<EquiPair>* pairs, ExprPtr* residual);
+
+/// True if the tree contains an aggregate call (at any depth).
+bool ContainsAggCall(const Expr& expr);
+
+}  // namespace hippo

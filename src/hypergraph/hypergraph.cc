@@ -1,0 +1,171 @@
+#include "hypergraph/hypergraph.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace hippo {
+
+namespace {
+
+std::string CanonicalKey(const std::vector<RowId>& sorted_vertices) {
+  std::string key;
+  key.reserve(sorted_vertices.size() * sizeof(uint64_t));
+  for (const RowId& v : sorted_vertices) {
+    uint64_t packed = v.Pack();
+    key.append(reinterpret_cast<const char*>(&packed), sizeof(packed));
+  }
+  return key;
+}
+
+}  // namespace
+
+ConflictHypergraph::EdgeId ConflictHypergraph::AddEdge(
+    std::vector<RowId> vertices, uint32_t constraint_index) {
+  HIPPO_CHECK_MSG(!vertices.empty(), "hyperedge needs at least one vertex");
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  std::string key = CanonicalKey(vertices);
+  auto it = canonical_.find(key);
+  if (it != canonical_.end()) {
+    EdgeId id = it->second;
+    if (!edge_alive_[id]) {
+      // Revive the tombstoned slot: same vertex set, same edge id.
+      edge_alive_[id] = true;
+      ++num_live_edges_;
+      edge_constraint_[id] = constraint_index;
+      for (const RowId& v : edges_[id]) incident_[v].push_back(id);
+    }
+    return id;
+  }
+
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  for (const RowId& v : vertices) incident_[v].push_back(id);
+  edges_.push_back(std::move(vertices));
+  edge_constraint_.push_back(constraint_index);
+  edge_alive_.push_back(true);
+  ++num_live_edges_;
+  canonical_.emplace(std::move(key), id);
+  return id;
+}
+
+void ConflictHypergraph::RemoveEdge(EdgeId e) {
+  if (e >= edges_.size() || !edge_alive_[e]) return;
+  edge_alive_[e] = false;
+  --num_live_edges_;
+  for (const RowId& v : edges_[e]) {
+    auto it = incident_.find(v);
+    if (it == incident_.end()) continue;
+    auto& list = it->second;
+    list.erase(std::remove(list.begin(), list.end(), e), list.end());
+    if (list.empty()) incident_.erase(it);
+  }
+}
+
+size_t ConflictHypergraph::RemoveIncidentEdges(RowId v) {
+  auto it = incident_.find(v);
+  if (it == incident_.end()) return 0;
+  // RemoveEdge mutates incident_[v]; work off a copy.
+  std::vector<EdgeId> edges = it->second;
+  for (EdgeId e : edges) RemoveEdge(e);
+  return edges.size();
+}
+
+const std::vector<ConflictHypergraph::EdgeId>&
+ConflictHypergraph::IncidentEdges(RowId v) const {
+  static const std::vector<EdgeId> kEmpty;
+  auto it = incident_.find(v);
+  return it == incident_.end() ? kEmpty : it->second;
+}
+
+std::vector<RowId> ConflictHypergraph::ConflictingVertices() const {
+  std::vector<RowId> out;
+  out.reserve(incident_.size());
+  for (const auto& [v, _] : incident_) out.push_back(v);
+  return out;
+}
+
+bool ConflictHypergraph::EdgeInside(EdgeId e, const VertexSet& set) const {
+  for (const RowId& v : edges_[e]) {
+    if (!set.count(v)) return false;
+  }
+  return true;
+}
+
+bool ConflictHypergraph::ContainsFullEdge(const VertexSet& set) const {
+  std::unordered_set<EdgeId> checked;
+  for (const RowId& v : set) {
+    for (EdgeId e : IncidentEdges(v)) {
+      if (!checked.insert(e).second) continue;
+      if (EdgeInside(e, set)) return true;
+    }
+  }
+  return false;
+}
+
+size_t ConflictHypergraph::MaxDegree() const {
+  size_t max_deg = 0;
+  for (const auto& [_, edges] : incident_) {
+    max_deg = std::max(max_deg, edges.size());
+  }
+  return max_deg;
+}
+
+std::string ConflictHypergraph::StatsString() const {
+  return StrFormat("hypergraph: %zu edges, %zu conflicting tuples, max degree %zu",
+                   NumEdges(), NumConflictingVertices(), MaxDegree());
+}
+
+std::string ConflictHypergraph::ToDot(size_t max_edges) const {
+  // Hyperedges of arity > 2 are rendered as a small square junction node
+  // connected to each member; binary edges as plain edges. Colours cycle by
+  // constraint index.
+  static const char* kColors[] = {"crimson", "dodgerblue3", "forestgreen",
+                                  "darkorange2", "purple3", "goldenrod3"};
+  std::string out = "graph conflicts {\n  node [shape=ellipse];\n";
+  size_t rendered = 0;
+  for (EdgeId e = 0; e < edges_.size() && rendered < max_edges; ++e) {
+    if (!edge_alive_[e]) continue;
+    ++rendered;
+    const char* color =
+        kColors[edge_constraint_[e] % (sizeof(kColors) / sizeof(kColors[0]))];
+    const std::vector<RowId>& vs = edges_[e];
+    if (vs.size() == 1) {
+      out += StrFormat("  \"%s\" [color=%s, penwidth=2];\n",
+                       vs[0].ToString().c_str(), color);
+    } else if (vs.size() == 2) {
+      out += StrFormat("  \"%s\" -- \"%s\" [color=%s];\n",
+                       vs[0].ToString().c_str(), vs[1].ToString().c_str(),
+                       color);
+    } else {
+      std::string junction = StrFormat("e%u", e);
+      out += StrFormat(
+          "  \"%s\" [shape=point, color=%s];\n", junction.c_str(), color);
+      for (const RowId& v : vs) {
+        out += StrFormat("  \"%s\" -- \"%s\" [color=%s];\n", junction.c_str(),
+                         v.ToString().c_str(), color);
+      }
+    }
+  }
+  if (rendered < NumEdges()) {
+    out += StrFormat("  label=\"%zu of %zu edges shown\";\n", rendered,
+                     NumEdges());
+  }
+  out += "}\n";
+  return out;
+}
+
+std::vector<std::pair<std::vector<RowId>, uint32_t>>
+ConflictHypergraph::CanonicalEdges() const {
+  std::vector<std::pair<std::vector<RowId>, uint32_t>> out;
+  out.reserve(num_live_edges_);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (!edge_alive_[e]) continue;
+    out.emplace_back(edges_[e], edge_constraint_[e]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hippo

@@ -1,0 +1,95 @@
+// The conflict hypergraph: the compact representation of all integrity
+// violations that Hippo keeps in main memory.
+//
+// Vertices are the tuples of the database (identified by RowId); a hyperedge
+// connects the tuples that jointly violate one integrity constraint. The
+// hypergraph has polynomial size in the data, which is what gives Hippo its
+// polynomial data complexity: repairs are exactly the maximal independent
+// sets, and the prover answers per-tuple questions against the hypergraph
+// without ever materializing a repair.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace hippo {
+
+/// A set of vertices, used for independence checks.
+using VertexSet = std::unordered_set<RowId, RowIdHasher>;
+
+class ConflictHypergraph {
+ public:
+  using EdgeId = uint32_t;
+
+  /// Adds an edge; vertices are deduplicated and canonically sorted, and
+  /// duplicate edges (same vertex set) are merged. `constraint_index`
+  /// records provenance. Returns the edge id (existing one on merge; a
+  /// previously removed edge with the same vertex set is revived in place).
+  EdgeId AddEdge(std::vector<RowId> vertices, uint32_t constraint_index);
+
+  /// Removes an edge (no-op when already removed). The slot stays reserved
+  /// so other edge ids remain stable; incident lists are scrubbed. Used by
+  /// incremental maintenance when a participating tuple is deleted.
+  void RemoveEdge(EdgeId e);
+
+  /// Removes every edge incident to `v` (the tuple left the instance).
+  /// Returns the number of edges removed.
+  size_t RemoveIncidentEdges(RowId v);
+
+  /// Number of live edges (the semantic size of the hypergraph).
+  size_t NumEdges() const { return num_live_edges_; }
+  /// Number of physical edge slots; iterate [0, NumEdgeSlots()) and filter
+  /// with EdgeAlive() to visit the live edges.
+  size_t NumEdgeSlots() const { return edges_.size(); }
+  bool EdgeAlive(EdgeId e) const { return edge_alive_[e]; }
+  const std::vector<RowId>& edge(EdgeId e) const { return edges_[e]; }
+  uint32_t edge_constraint(EdgeId e) const { return edge_constraint_[e]; }
+
+  /// Edges incident to a vertex (empty for conflict-free tuples).
+  const std::vector<EdgeId>& IncidentEdges(RowId v) const;
+
+  /// True if the tuple participates in at least one violation.
+  bool IsConflicting(RowId v) const { return !IncidentEdges(v).empty(); }
+
+  /// Number of distinct vertices that appear in some edge.
+  size_t NumConflictingVertices() const { return incident_.size(); }
+
+  /// The conflicting vertices (unordered).
+  std::vector<RowId> ConflictingVertices() const;
+
+  /// True if every vertex of edge `e` is contained in `set`.
+  bool EdgeInside(EdgeId e, const VertexSet& set) const;
+
+  /// True if `set` contains some full hyperedge (i.e. is NOT independent).
+  /// Cost: sum of degrees of the members.
+  bool ContainsFullEdge(const VertexSet& set) const;
+
+  /// Maximum vertex degree (for stats / ablations).
+  size_t MaxDegree() const;
+
+  std::string StatsString() const;
+
+  /// Graphviz rendering (vertices labelled by RowId, one colour component
+  /// per constraint index) — used by the `hippo_check` conflict reporter.
+  std::string ToDot(size_t max_edges = 500) const;
+
+  /// Canonical (sorted) list of live edges with their constraint indexes —
+  /// used by differential tests to compare hypergraphs structurally.
+  std::vector<std::pair<std::vector<RowId>, uint32_t>> CanonicalEdges() const;
+
+ private:
+  std::vector<std::vector<RowId>> edges_;
+  std::vector<uint32_t> edge_constraint_;
+  std::vector<bool> edge_alive_;
+  size_t num_live_edges_ = 0;
+  std::unordered_map<RowId, std::vector<EdgeId>, RowIdHasher> incident_;
+  // Dedup of canonical vertex sets -> edge id (live and tombstoned; a
+  // tombstoned entry is revived when the same edge reappears).
+  std::unordered_map<std::string, EdgeId> canonical_;
+};
+
+}  // namespace hippo

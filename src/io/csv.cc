@@ -1,0 +1,270 @@
+#include "io/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/str_util.h"
+#include "db/database.h"
+
+namespace hippo {
+
+namespace {
+
+/// One parsed CSV record plus the line it started on (for error messages).
+struct Record {
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;  ///< quoted fields are never the NULL token
+  size_t line = 0;
+};
+
+/// RFC 4180 state-machine parser. Returns records including the header.
+Result<std::vector<Record>> ParseCsv(const std::string& text,
+                                     char delimiter) {
+  std::vector<Record> records;
+  Record current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_quoted = false;
+  bool record_started = false;
+  size_t line = 1;
+  size_t record_line = 1;
+
+  auto end_field = [&] {
+    current.fields.push_back(std::move(field));
+    current.quoted.push_back(field_quoted);
+    field.clear();
+    field_quoted = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    current.line = record_line;
+    records.push_back(std::move(current));
+    current = Record{};
+    record_started = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (c == '\n') ++line;
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (!field.empty()) {
+        return Status::InvalidArgument(StrFormat(
+            "CSV line %zu: quote character inside an unquoted field", line));
+      }
+      in_quotes = true;
+      field_quoted = true;
+      record_started = true;
+      continue;
+    }
+    if (c == delimiter) {
+      record_started = true;
+      end_field();
+      continue;
+    }
+    if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') {
+      continue;  // CRLF: handled at the '\n'
+    }
+    if (c == '\n') {
+      if (record_started || !field.empty() || !current.fields.empty()) {
+        end_record();
+      }
+      ++line;
+      record_line = line;
+      continue;
+    }
+    record_started = true;
+    field.push_back(c);
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument(
+        "CSV: unterminated quoted field at end of input");
+  }
+  if (record_started || !field.empty() || !current.fields.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+/// Coerces one CSV field to `type`; `quoted` fields never become NULL.
+Result<Value> FieldToValue(const std::string& field, bool quoted, TypeId type,
+                           const std::string& null_token, size_t csv_line,
+                           size_t column) {
+  if (!quoted && field == null_token) return Value::Null();
+  auto fail = [&](const char* what) {
+    return Status::InvalidArgument(
+        StrFormat("CSV line %zu, column %zu: %s: '%s'", csv_line, column + 1,
+                  what, field.c_str()));
+  };
+  switch (type) {
+    case TypeId::kInt: {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (errno != 0 || end == field.c_str() || *end != '\0') {
+        return fail("not an INTEGER");
+      }
+      return Value::Int(static_cast<int64_t>(v));
+    }
+    case TypeId::kDouble: {
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (errno != 0 || end == field.c_str() || *end != '\0') {
+        return fail("not a DOUBLE");
+      }
+      return Value::Double(v);
+    }
+    case TypeId::kBool: {
+      std::string lower = ToLower(field);
+      if (lower == "true" || lower == "t" || lower == "1") {
+        return Value::Bool(true);
+      }
+      if (lower == "false" || lower == "f" || lower == "0") {
+        return Value::Bool(false);
+      }
+      return fail("not a BOOLEAN");
+    }
+    case TypeId::kString:
+      return Value::String(field);
+    case TypeId::kNull:
+      break;
+  }
+  return fail("unsupported column type");
+}
+
+/// True when the value must be quoted on output.
+bool NeedsQuoting(const std::string& s, char delimiter,
+                  const std::string& null_token) {
+  if (s == null_token) return true;  // distinguish "" (string) from NULL
+  for (char c : s) {
+    if (c == '"' || c == '\n' || c == '\r' || c == delimiter) return true;
+  }
+  return false;
+}
+
+void AppendField(std::string* out, const std::string& s, char delimiter,
+                 const std::string& null_token) {
+  if (!NeedsQuoting(s, delimiter, null_token)) {
+    out->append(s);
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<CsvImportStats> ImportCsvText(Database* db, const std::string& table,
+                                     const std::string& text,
+                                     const CsvOptions& options) {
+  HIPPO_ASSIGN_OR_RETURN(Table * t, db->catalog().GetTable(table));
+  const Schema& schema = t->schema();
+  HIPPO_ASSIGN_OR_RETURN(std::vector<Record> records,
+                         ParseCsv(text, options.delimiter));
+  CsvImportStats stats;
+  size_t start = 0;
+  if (options.header && !records.empty()) {
+    if (records[0].fields.size() != schema.NumColumns()) {
+      return Status::InvalidArgument(StrFormat(
+          "CSV header has %zu fields; table %s has %zu columns",
+          records[0].fields.size(), table.c_str(), schema.NumColumns()));
+    }
+    start = 1;
+  }
+  for (size_t r = start; r < records.size(); ++r) {
+    const Record& rec = records[r];
+    if (rec.fields.size() != schema.NumColumns()) {
+      return Status::InvalidArgument(StrFormat(
+          "CSV line %zu: expected %zu fields, got %zu", rec.line,
+          schema.NumColumns(), rec.fields.size()));
+    }
+    Row row;
+    row.reserve(rec.fields.size());
+    for (size_t c = 0; c < rec.fields.size(); ++c) {
+      HIPPO_ASSIGN_OR_RETURN(
+          Value v, FieldToValue(rec.fields[c], rec.quoted[c],
+                                schema.column(c).type, options.null_token,
+                                rec.line, c));
+      row.push_back(std::move(v));
+    }
+    ++stats.rows_read;
+    size_t before = t->NumLiveRows();
+    HIPPO_RETURN_NOT_OK(db->InsertRow(table, std::move(row)));
+    if (t->NumLiveRows() > before) ++stats.rows_inserted;
+  }
+  return stats;
+}
+
+Result<CsvImportStats> ImportCsvFile(Database* db, const std::string& table,
+                                     const std::string& path,
+                                     const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ImportCsvText(db, table, buffer.str(), options);
+}
+
+std::string ToCsvText(const ResultSet& rs, const CsvOptions& options) {
+  std::string out;
+  if (options.header) {
+    for (size_t i = 0; i < rs.schema.NumColumns(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      AppendField(&out, rs.schema.column(i).name, options.delimiter,
+                  options.null_token);
+    }
+    out.push_back('\n');
+  }
+  for (const Row& row : rs.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      if (row[i].is_null()) {
+        out.append(options.null_token);
+      } else if (row[i].type() == TypeId::kString) {
+        AppendField(&out, row[i].AsString(), options.delimiter,
+                    options.null_token);
+      } else {
+        out.append(row[i].ToString());
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status ExportCsvFile(const ResultSet& rs, const std::string& path,
+                     const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open file for writing: " + path);
+  }
+  out << ToCsvText(rs, options);
+  if (!out.good()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace hippo

@@ -1,0 +1,62 @@
+// CSV import/export (RFC 4180 dialect).
+//
+// Hippo's workflow starts from existing — possibly inconsistent — data:
+// integrated sources, half-reconciled feeds, legacy dumps. CSV is the
+// lingua franca of such data, so the library ships a strict reader/writer:
+//
+//   * quoted fields with doubled-quote escapes, embedded delimiters,
+//     embedded newlines, and CRLF line endings;
+//   * values are coerced to the target column types, with the offending
+//     line and column reported on failure;
+//   * a configurable NULL token (empty field by default);
+//   * set semantics on import (duplicate rows collapse, like INSERT).
+//
+// SQL surface: `COPY tbl FROM 'file.csv'` / `COPY tbl TO 'file.csv'`.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "exec/executor.h"
+
+namespace hippo {
+
+class Database;
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Import: skip the first record (it must match the column count).
+  /// Export: emit a header of column names.
+  bool header = true;
+  /// The unquoted field spelling that maps to SQL NULL (and back).
+  std::string null_token = "";
+};
+
+struct CsvImportStats {
+  size_t rows_read = 0;      ///< data records parsed
+  size_t rows_inserted = 0;  ///< new rows (set semantics dedupes the rest)
+};
+
+/// Parses `text` as CSV and inserts every record into `table`.
+/// Values are coerced to the column types; errors identify the 1-based
+/// line and column. Import is all-or-nothing per call only in the absence
+/// of prior inserts — on error, rows before the failure remain inserted
+/// (matching the behaviour of a failing multi-row INSERT script).
+Result<CsvImportStats> ImportCsvText(Database* db, const std::string& table,
+                                     const std::string& text,
+                                     const CsvOptions& options = CsvOptions());
+
+/// Reads `path` and imports it into `table` (see ImportCsvText).
+Result<CsvImportStats> ImportCsvFile(Database* db, const std::string& table,
+                                     const std::string& path,
+                                     const CsvOptions& options = CsvOptions());
+
+/// Renders a result set as CSV (quoting only where required).
+std::string ToCsvText(const ResultSet& rs,
+                      const CsvOptions& options = CsvOptions());
+
+/// Writes a result set to `path` as CSV.
+Status ExportCsvFile(const ResultSet& rs, const std::string& path,
+                     const CsvOptions& options = CsvOptions());
+
+}  // namespace hippo

@@ -1,0 +1,301 @@
+#include "plan/logical_plan.h"
+
+#include "common/str_util.h"
+
+namespace hippo {
+
+const char* PlanKindToString(PlanKind k) {
+  switch (k) {
+    case PlanKind::kScan:
+      return "Scan";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kProduct:
+      return "Product";
+    case PlanKind::kJoin:
+      return "Join";
+    case PlanKind::kAntiJoin:
+      return "AntiJoin";
+    case PlanKind::kUnion:
+      return "Union";
+    case PlanKind::kDifference:
+      return "Difference";
+    case PlanKind::kIntersect:
+      return "Intersect";
+    case PlanKind::kSort:
+      return "Sort";
+    case PlanKind::kAggregate:
+      return "Aggregate";
+  }
+  return "?";
+}
+
+namespace {
+
+void Render(const PlanNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node.NodeLabel());
+  out->append("\n");
+  for (size_t i = 0; i < node.NumChildren(); ++i) {
+    Render(node.child(i), depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PlanNode::ToString() const {
+  std::string out;
+  Render(*this, 0, &out);
+  return out;
+}
+
+// Scan ----------------------------------------------------------------------
+
+PlanNodePtr ScanNode::Make(uint32_t table_id, const std::string& table_name,
+                           const std::string& alias,
+                           const Schema& table_schema, bool emit_rowid) {
+  Schema schema = table_schema.WithQualifier(alias);
+  if (emit_rowid) {
+    schema.AddColumn(Column("$rowid", TypeId::kInt, alias));
+  }
+  return std::make_unique<ScanNode>(table_id, table_name, alias,
+                                    std::move(schema), emit_rowid);
+}
+
+PlanNodePtr ScanNode::Clone() const {
+  return std::make_unique<ScanNode>(table_id_, table_name_, alias_, schema(),
+                                    emit_rowid_);
+}
+
+std::string ScanNode::NodeLabel() const {
+  std::string out = "Scan " + table_name_;
+  if (alias_ != table_name_) out += " AS " + alias_;
+  if (emit_rowid_) out += " [rowid]";
+  return out;
+}
+
+// Filter ----------------------------------------------------------------------
+
+namespace {
+std::vector<PlanNodePtr> One(PlanNodePtr a) {
+  std::vector<PlanNodePtr> v;
+  v.push_back(std::move(a));
+  return v;
+}
+std::vector<PlanNodePtr> Two(PlanNodePtr a, PlanNodePtr b) {
+  std::vector<PlanNodePtr> v;
+  v.push_back(std::move(a));
+  v.push_back(std::move(b));
+  return v;
+}
+}  // namespace
+
+FilterNode::FilterNode(PlanNodePtr child, ExprPtr predicate)
+    : PlanNode(PlanKind::kFilter, Schema(), One(std::move(child))),
+      predicate_(std::move(predicate)) {
+  set_schema(this->child(0).schema());
+  HIPPO_DCHECK(predicate_->IsBound());
+}
+
+PlanNodePtr FilterNode::Clone() const {
+  return std::make_unique<FilterNode>(child(0).Clone(), predicate_->Clone());
+}
+
+std::string FilterNode::NodeLabel() const {
+  return "Filter " + predicate_->ToString();
+}
+
+// Project ---------------------------------------------------------------------
+
+ProjectNode::ProjectNode(PlanNodePtr child, std::vector<ExprPtr> exprs,
+                         Schema schema)
+    : PlanNode(PlanKind::kProject, std::move(schema), One(std::move(child))),
+      exprs_(std::move(exprs)) {}
+
+PlanNodePtr ProjectNode::Clone() const {
+  std::vector<ExprPtr> exprs;
+  exprs.reserve(exprs_.size());
+  for (const auto& e : exprs_) exprs.push_back(e->Clone());
+  return std::make_unique<ProjectNode>(child(0).Clone(), std::move(exprs),
+                                       schema());
+}
+
+std::string ProjectNode::NodeLabel() const {
+  std::string out = "Project [";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString();
+    out += " AS " + schema().column(i).name;
+  }
+  out += "]";
+  return out;
+}
+
+// Product / Join / AntiJoin ---------------------------------------------------
+
+ProductNode::ProductNode(PlanNodePtr left, PlanNodePtr right)
+    : PlanNode(PlanKind::kProduct, Schema(),
+               Two(std::move(left), std::move(right))) {
+  set_schema(Schema::Concat(child(0).schema(), child(1).schema()));
+}
+
+PlanNodePtr ProductNode::Clone() const {
+  return std::make_unique<ProductNode>(child(0).Clone(), child(1).Clone());
+}
+
+JoinNode::JoinNode(PlanNodePtr left, PlanNodePtr right, ExprPtr condition)
+    : PlanNode(PlanKind::kJoin, Schema(),
+               Two(std::move(left), std::move(right))),
+      condition_(std::move(condition)) {
+  set_schema(Schema::Concat(child(0).schema(), child(1).schema()));
+  HIPPO_DCHECK(condition_->IsBound());
+}
+
+PlanNodePtr JoinNode::Clone() const {
+  return std::make_unique<JoinNode>(child(0).Clone(), child(1).Clone(),
+                                    condition_->Clone());
+}
+
+std::string JoinNode::NodeLabel() const {
+  return "Join ON " + condition_->ToString();
+}
+
+AntiJoinNode::AntiJoinNode(PlanNodePtr left, PlanNodePtr right,
+                           ExprPtr condition)
+    : PlanNode(PlanKind::kAntiJoin, Schema(),
+               Two(std::move(left), std::move(right))),
+      condition_(std::move(condition)) {
+  set_schema(child(0).schema());
+  HIPPO_DCHECK(condition_->IsBound());
+}
+
+PlanNodePtr AntiJoinNode::Clone() const {
+  return std::make_unique<AntiJoinNode>(child(0).Clone(), child(1).Clone(),
+                                        condition_->Clone());
+}
+
+std::string AntiJoinNode::NodeLabel() const {
+  return "AntiJoin ON " + condition_->ToString();
+}
+
+// Set operations --------------------------------------------------------------
+
+namespace {
+
+Schema SetOpSchema(const Schema& left) {
+  // Output columns take the left side's names, unqualified.
+  Schema out;
+  for (const Column& c : left.columns()) {
+    out.AddColumn(Column(c.name, c.type, ""));
+  }
+  return out;
+}
+
+}  // namespace
+
+SetOpNode::SetOpNode(PlanKind kind, PlanNodePtr left, PlanNodePtr right)
+    : PlanNode(kind, Schema(), Two(std::move(left), std::move(right))) {
+  set_schema(SetOpSchema(child(0).schema()));
+  HIPPO_DCHECK(kind == PlanKind::kUnion || kind == PlanKind::kDifference ||
+               kind == PlanKind::kIntersect);
+  HIPPO_DCHECK(child(0).schema().UnionCompatible(child(1).schema()));
+}
+
+PlanNodePtr SetOpNode::Clone() const {
+  return std::make_unique<SetOpNode>(kind(), child(0).Clone(),
+                                     child(1).Clone());
+}
+
+// Aggregate -------------------------------------------------------------------
+
+AggregateNode::AggregateNode(PlanNodePtr child,
+                             std::vector<ExprPtr> group_exprs,
+                             std::vector<std::string> group_names,
+                             std::vector<AggSpec> aggs)
+    : PlanNode(PlanKind::kAggregate, Schema(), One(std::move(child))),
+      group_exprs_(std::move(group_exprs)),
+      group_names_(std::move(group_names)),
+      aggs_(std::move(aggs)) {
+  HIPPO_DCHECK(group_exprs_.size() == group_names_.size());
+  Schema schema;
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    HIPPO_DCHECK(group_exprs_[i]->IsBound());
+    schema.AddColumn(Column(group_names_[i], group_exprs_[i]->result_type()));
+  }
+  for (const AggSpec& a : aggs_) {
+    TypeId t;
+    switch (a.fn) {
+      case AggFunc::kCount:
+        t = TypeId::kInt;
+        break;
+      case AggFunc::kAvg:
+        t = TypeId::kDouble;
+        break;
+      default:
+        t = a.arg == nullptr ? TypeId::kInt : a.arg->result_type();
+        break;
+    }
+    schema.AddColumn(Column(a.name, t));
+  }
+  set_schema(std::move(schema));
+}
+
+PlanNodePtr AggregateNode::Clone() const {
+  std::vector<ExprPtr> groups;
+  groups.reserve(group_exprs_.size());
+  for (const auto& e : group_exprs_) groups.push_back(e->Clone());
+  std::vector<AggSpec> aggs;
+  aggs.reserve(aggs_.size());
+  for (const AggSpec& a : aggs_) {
+    aggs.push_back(AggSpec{a.fn, a.arg == nullptr ? nullptr : a.arg->Clone(),
+                           a.name});
+  }
+  return std::make_unique<AggregateNode>(child(0).Clone(), std::move(groups),
+                                         group_names_, std::move(aggs));
+}
+
+std::string AggregateNode::NodeLabel() const {
+  std::string out = "Aggregate [";
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_exprs_[i]->ToString();
+  }
+  out += "][";
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::string(AggFuncToString(aggs_[i].fn)) + "(" +
+           (aggs_[i].arg == nullptr ? "*" : aggs_[i].arg->ToString()) + ")";
+  }
+  out += "]";
+  return out;
+}
+
+// Sort ------------------------------------------------------------------------
+
+SortNode::SortNode(PlanNodePtr child, std::vector<Key> keys)
+    : PlanNode(PlanKind::kSort, Schema(), One(std::move(child))),
+      keys_(std::move(keys)) {
+  set_schema(this->child(0).schema());
+}
+
+PlanNodePtr SortNode::Clone() const {
+  std::vector<Key> keys;
+  keys.reserve(keys_.size());
+  for (const auto& k : keys_) keys.push_back(Key{k.expr->Clone(), k.ascending});
+  return std::make_unique<SortNode>(child(0).Clone(), std::move(keys));
+}
+
+std::string SortNode::NodeLabel() const {
+  std::string out = "Sort [";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += keys_[i].expr->ToString();
+    out += keys_[i].ascending ? " ASC" : " DESC";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace hippo

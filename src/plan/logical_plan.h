@@ -1,0 +1,233 @@
+// Bound logical plans (relational algebra trees).
+//
+// Plans are produced by the Planner from SQL ASTs, already bound: every
+// expression has resolved column ordinals and types, and every node knows
+// its output schema. The same trees are consumed by the executor, the SJUD
+// classifier, the envelope builder, grounding, and the rewriting baseline.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "expr/expr.h"
+
+namespace hippo {
+
+enum class PlanKind : uint8_t {
+  kScan,
+  kFilter,
+  kProject,
+  kProduct,
+  kJoin,
+  kAntiJoin,
+  kUnion,
+  kDifference,
+  kIntersect,
+  kSort,
+  kAggregate,
+};
+
+const char* PlanKindToString(PlanKind k);
+
+class PlanNode;
+using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+/// \brief Base class of logical plan nodes.
+class PlanNode {
+ public:
+  PlanNode(PlanKind kind, Schema schema, std::vector<PlanNodePtr> children)
+      : kind_(kind), schema_(std::move(schema)), children_(std::move(children)) {}
+  virtual ~PlanNode() = default;
+
+  PlanKind kind() const { return kind_; }
+  const Schema& schema() const { return schema_; }
+
+  size_t NumChildren() const { return children_.size(); }
+  const PlanNode& child(size_t i) const { return *children_[i]; }
+  PlanNode* mutable_child(size_t i) { return children_[i].get(); }
+
+  virtual PlanNodePtr Clone() const = 0;
+
+  /// Multi-line indented rendering for diagnostics and plan tests.
+  std::string ToString() const;
+  virtual std::string NodeLabel() const = 0;
+
+ protected:
+  /// Derived constructors that compute their schema from the children must
+  /// set it after the children vector is in place (argument evaluation
+  /// order would otherwise race a move against schema()).
+  void set_schema(Schema schema) { schema_ = std::move(schema); }
+
+  std::vector<PlanNodePtr> CloneChildren() const {
+    std::vector<PlanNodePtr> out;
+    out.reserve(children_.size());
+    for (const auto& c : children_) out.push_back(c->Clone());
+    return out;
+  }
+
+ private:
+  PlanKind kind_;
+  Schema schema_;
+  std::vector<PlanNodePtr> children_;
+};
+
+/// Leaf: scan of a base table under an alias. Optionally exposes the row
+/// index as a trailing INTEGER column named `$rowid` (used by conflict
+/// detection and the knowledge-gathering envelope).
+class ScanNode final : public PlanNode {
+ public:
+  ScanNode(uint32_t table_id, std::string table_name, std::string alias,
+           Schema schema, bool emit_rowid)
+      : PlanNode(PlanKind::kScan, std::move(schema), {}),
+        table_id_(table_id),
+        table_name_(std::move(table_name)),
+        alias_(std::move(alias)),
+        emit_rowid_(emit_rowid) {}
+
+  uint32_t table_id() const { return table_id_; }
+  const std::string& table_name() const { return table_name_; }
+  const std::string& alias() const { return alias_; }
+  bool emit_rowid() const { return emit_rowid_; }
+
+  /// Builds a scan with the table's schema qualified by `alias`.
+  static PlanNodePtr Make(uint32_t table_id, const std::string& table_name,
+                          const std::string& alias, const Schema& table_schema,
+                          bool emit_rowid = false);
+
+  PlanNodePtr Clone() const override;
+  std::string NodeLabel() const override;
+
+ private:
+  uint32_t table_id_;
+  std::string table_name_;
+  std::string alias_;
+  bool emit_rowid_;
+};
+
+/// Selection: keeps rows where the predicate is TRUE.
+class FilterNode final : public PlanNode {
+ public:
+  FilterNode(PlanNodePtr child, ExprPtr predicate);
+
+  const Expr& predicate() const { return *predicate_; }
+
+  PlanNodePtr Clone() const override;
+  std::string NodeLabel() const override;
+
+ private:
+  ExprPtr predicate_;
+};
+
+/// Projection with explicit output naming; output is deduplicated
+/// (set semantics).
+class ProjectNode final : public PlanNode {
+ public:
+  ProjectNode(PlanNodePtr child, std::vector<ExprPtr> exprs, Schema schema);
+
+  size_t NumExprs() const { return exprs_.size(); }
+  const Expr& expr(size_t i) const { return *exprs_[i]; }
+
+  PlanNodePtr Clone() const override;
+  std::string NodeLabel() const override;
+
+ private:
+  std::vector<ExprPtr> exprs_;
+};
+
+/// Cartesian product (schema = concat).
+class ProductNode final : public PlanNode {
+ public:
+  ProductNode(PlanNodePtr left, PlanNodePtr right);
+  PlanNodePtr Clone() const override;
+  std::string NodeLabel() const override { return "Product"; }
+};
+
+/// Inner join: product restricted by a condition over the concatenated
+/// schema. The executor picks hash vs nested-loop based on the condition.
+class JoinNode final : public PlanNode {
+ public:
+  JoinNode(PlanNodePtr left, PlanNodePtr right, ExprPtr condition);
+
+  const Expr& condition() const { return *condition_; }
+
+  PlanNodePtr Clone() const override;
+  std::string NodeLabel() const override;
+
+ private:
+  ExprPtr condition_;
+};
+
+/// Anti join: left rows with NO right match under the condition (used by the
+/// query-rewriting baseline to express residue `NOT EXISTS` subqueries).
+class AntiJoinNode final : public PlanNode {
+ public:
+  AntiJoinNode(PlanNodePtr left, PlanNodePtr right, ExprPtr condition);
+
+  const Expr& condition() const { return *condition_; }
+
+  PlanNodePtr Clone() const override;
+  std::string NodeLabel() const override;
+
+ private:
+  ExprPtr condition_;
+};
+
+/// Set operations (set semantics; children must be union-compatible).
+class SetOpNode final : public PlanNode {
+ public:
+  SetOpNode(PlanKind kind, PlanNodePtr left, PlanNodePtr right);
+  PlanNodePtr Clone() const override;
+  std::string NodeLabel() const override { return PlanKindToString(kind()); }
+};
+
+/// Hash aggregation: GROUP BY and aggregate functions (plain evaluation
+/// only — CQA over aggregates goes through RangeAggregator's range
+/// semantics instead).
+class AggregateNode final : public PlanNode {
+ public:
+  struct AggSpec {
+    AggFunc fn;
+    ExprPtr arg;       ///< bound over the child schema; null for COUNT(*)
+    std::string name;  ///< output column name
+  };
+
+  /// Output schema: one column per group expression (named `group_names`),
+  /// then one column per aggregate.
+  AggregateNode(PlanNodePtr child, std::vector<ExprPtr> group_exprs,
+                std::vector<std::string> group_names,
+                std::vector<AggSpec> aggs);
+
+  size_t NumGroupExprs() const { return group_exprs_.size(); }
+  const Expr& group_expr(size_t i) const { return *group_exprs_[i]; }
+  const std::vector<AggSpec>& aggs() const { return aggs_; }
+
+  PlanNodePtr Clone() const override;
+  std::string NodeLabel() const override;
+
+ private:
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<std::string> group_names_;
+  std::vector<AggSpec> aggs_;
+};
+
+/// ORDER BY (top of a statement only).
+class SortNode final : public PlanNode {
+ public:
+  struct Key {
+    ExprPtr expr;
+    bool ascending;
+  };
+  SortNode(PlanNodePtr child, std::vector<Key> keys);
+
+  const std::vector<Key>& keys() const { return keys_; }
+
+  PlanNodePtr Clone() const override;
+  std::string NodeLabel() const override;
+
+ private:
+  std::vector<Key> keys_;
+};
+
+}  // namespace hippo

@@ -1,0 +1,191 @@
+#include "plan/optimizer.h"
+
+#include <vector>
+
+#include "common/macros.h"
+#include "expr/expr.h"
+
+namespace hippo {
+
+namespace {
+
+/// True for a literal TRUE predicate (dropped during pushdown).
+bool IsTrueLiteral(const Expr& e) {
+  if (e.kind() != ExprKind::kLiteral) return false;
+  const Value& v = static_cast<const LiteralExpr&>(e).value();
+  return v.type() == TypeId::kBool && v.AsBool();
+}
+
+/// Splits `pred` into owned conjuncts appended to `out`.
+void AppendConjuncts(const Expr& pred, std::vector<ExprPtr>* out) {
+  for (const Expr* part : SplitConjuncts(pred)) {
+    if (IsTrueLiteral(*part)) continue;
+    out->push_back(part->Clone());
+  }
+}
+
+/// Largest bound column index used by the expression; -1 for constants.
+int MaxIndex(const Expr& e) {
+  int max_idx = -1;
+  VisitColumnRefs(e, [&max_idx](const ColumnRefExpr& ref) {
+    max_idx = std::max(max_idx, ref.index());
+  });
+  return max_idx;
+}
+
+/// Rebases every column reference by `delta`.
+void Shift(Expr* e, int delta) {
+  if (delta == 0) return;
+  VisitColumnRefs(e, [delta](ColumnRefExpr* ref) { ref->ShiftIndex(delta); });
+}
+
+/// Wraps `node` in a Filter over the conjunction of `preds` (no-op when
+/// empty).
+PlanNodePtr Attach(PlanNodePtr node, std::vector<ExprPtr> preds) {
+  if (preds.empty()) return node;
+  return std::make_unique<FilterNode>(std::move(node),
+                                      AndAll(std::move(preds)));
+}
+
+/// Recursive pushdown: rewrites `plan` while sinking `preds` (bound over
+/// plan's output schema) as deep as soundness allows.
+PlanNodePtr Push(const PlanNode& plan, std::vector<ExprPtr> preds) {
+  switch (plan.kind()) {
+    case PlanKind::kFilter: {
+      const auto& f = static_cast<const FilterNode&>(plan);
+      AppendConjuncts(f.predicate(), &preds);
+      return Push(plan.child(0), std::move(preds));
+    }
+    case PlanKind::kSort: {
+      const auto& s = static_cast<const SortNode&>(plan);
+      std::vector<SortNode::Key> keys;
+      for (const SortNode::Key& k : s.keys()) {
+        keys.push_back(SortNode::Key{k.expr->Clone(), k.ascending});
+      }
+      return std::make_unique<SortNode>(Push(plan.child(0), std::move(preds)),
+                                        std::move(keys));
+    }
+    case PlanKind::kProject: {
+      const auto& p = static_cast<const ProjectNode&>(plan);
+      // Filters commute with rename-only projections: remap each predicate
+      // column through the projection's output->input mapping.
+      bool rename_only = true;
+      std::vector<int> mapping(p.NumExprs(), -1);
+      for (size_t i = 0; i < p.NumExprs(); ++i) {
+        if (p.expr(i).kind() != ExprKind::kColumnRef) {
+          rename_only = false;
+          break;
+        }
+        mapping[i] = static_cast<const ColumnRefExpr&>(p.expr(i)).index();
+      }
+      std::vector<ExprPtr> exprs;
+      for (size_t i = 0; i < p.NumExprs(); ++i) {
+        exprs.push_back(p.expr(i).Clone());
+      }
+      if (!rename_only) {
+        return Attach(std::make_unique<ProjectNode>(Push(plan.child(0), {}),
+                                                    std::move(exprs),
+                                                    p.schema()),
+                      std::move(preds));
+      }
+      for (ExprPtr& pred : preds) {
+        VisitColumnRefs(pred.get(), [&mapping](ColumnRefExpr* ref) {
+          HIPPO_DCHECK(static_cast<size_t>(ref->index()) < mapping.size());
+          int delta = mapping[static_cast<size_t>(ref->index())] -
+                      ref->index();
+          ref->ShiftIndex(delta);
+        });
+      }
+      return std::make_unique<ProjectNode>(
+          Push(plan.child(0), std::move(preds)), std::move(exprs),
+          p.schema());
+    }
+    case PlanKind::kProduct:
+    case PlanKind::kJoin: {
+      const size_t lw = plan.child(0).schema().NumColumns();
+      if (plan.kind() == PlanKind::kJoin) {
+        AppendConjuncts(static_cast<const JoinNode&>(plan).condition(),
+                        &preds);
+      }
+      std::vector<ExprPtr> left, right, spanning;
+      for (ExprPtr& pred : preds) {
+        int max_idx = MaxIndex(*pred);
+        int min_idx = max_idx;
+        VisitColumnRefs(*pred, [&min_idx](const ColumnRefExpr& ref) {
+          min_idx = std::min(min_idx, ref.index());
+        });
+        if (max_idx < static_cast<int>(lw)) {
+          // Left-only (constants land here too — evaluated fewer times).
+          left.push_back(std::move(pred));
+        } else if (min_idx >= static_cast<int>(lw)) {
+          Shift(pred.get(), -static_cast<int>(lw));
+          right.push_back(std::move(pred));
+        } else {
+          spanning.push_back(std::move(pred));
+        }
+      }
+      PlanNodePtr l = Push(plan.child(0), std::move(left));
+      PlanNodePtr r = Push(plan.child(1), std::move(right));
+      if (spanning.empty()) {
+        return std::make_unique<ProductNode>(std::move(l), std::move(r));
+      }
+      return std::make_unique<JoinNode>(std::move(l), std::move(r),
+                                        AndAll(std::move(spanning)));
+    }
+    case PlanKind::kAntiJoin: {
+      // Schema = left schema; predicates constrain surviving left rows and
+      // push into the left input. The probe condition stays put.
+      const auto& aj = static_cast<const AntiJoinNode&>(plan);
+      return std::make_unique<AntiJoinNode>(
+          Push(plan.child(0), std::move(preds)), Push(plan.child(1), {}),
+          aj.condition().Clone());
+    }
+    case PlanKind::kUnion:
+    case PlanKind::kIntersect:
+    case PlanKind::kDifference: {
+      // Set semantics: an output row appears verbatim in the inputs, so a
+      // filter distributes into both children. For Difference,
+      // θ(E1 − E2) = θ(E1) − θ(E2): a row surviving θ on the left is
+      // removed exactly when it is in E2, and θ holds for it there too
+      // (same values); rows failing θ are absent from both sides.
+      std::vector<ExprPtr> right_preds;
+      right_preds.reserve(preds.size());
+      for (const ExprPtr& p : preds) right_preds.push_back(p->Clone());
+      return std::make_unique<SetOpNode>(
+          plan.kind(), Push(plan.child(0), std::move(preds)),
+          Push(plan.child(1), std::move(right_preds)));
+    }
+    case PlanKind::kAggregate: {
+      // HAVING-style filters reference the aggregate output; pushing them
+      // below would change group contents. They stay above.
+      const auto& agg = static_cast<const AggregateNode&>(plan);
+      std::vector<ExprPtr> groups;
+      std::vector<std::string> names;
+      for (size_t i = 0; i < agg.NumGroupExprs(); ++i) {
+        groups.push_back(agg.group_expr(i).Clone());
+        names.push_back(agg.schema().column(i).name);
+      }
+      std::vector<AggregateNode::AggSpec> specs;
+      for (const AggregateNode::AggSpec& s : agg.aggs()) {
+        specs.push_back(AggregateNode::AggSpec{
+            s.fn, s.arg == nullptr ? nullptr : s.arg->Clone(), s.name});
+      }
+      return Attach(std::make_unique<AggregateNode>(
+                        Push(plan.child(0), {}), std::move(groups),
+                        std::move(names), std::move(specs)),
+                    std::move(preds));
+    }
+    case PlanKind::kScan:
+      return Attach(plan.Clone(), std::move(preds));
+  }
+  HIPPO_CHECK_MSG(false, "unknown plan kind in optimizer");
+  return nullptr;
+}
+
+}  // namespace
+
+PlanNodePtr OptimizePlan(const PlanNode& plan) {
+  return Push(plan, {});
+}
+
+}  // namespace hippo

@@ -1,0 +1,523 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "expr/binder.h"
+
+namespace hippo {
+
+namespace {
+
+/// One FROM atom after flattening `a, b JOIN c ON ...` lists.
+struct Atom {
+  sql::TableRef ref;
+  const Table* table = nullptr;
+  size_t offset = 0;  ///< first column index in the full concatenated schema
+  size_t width = 0;
+};
+
+/// A WHERE/ON conjunct with its placement information.
+struct Conjunct {
+  ExprPtr expr;        ///< bound over the full concatenated schema
+  int last_atom = -1;  ///< max atom index referenced; -1 = constant
+  bool single_atom = false;
+};
+
+int AtomOfIndex(const std::vector<Atom>& atoms, int col_index) {
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (static_cast<size_t>(col_index) < atoms[i].offset + atoms[i].width) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+/// Canonical key for matching select-item expressions against GROUP BY
+/// expressions: bound column references compare by ordinal (so `a` and
+/// `t.a` match), everything else by its rendered form.
+std::string GroupMatchKey(const Expr& e) {
+  if (e.kind() == ExprKind::kColumnRef) {
+    const auto& ref = static_cast<const ColumnRefExpr&>(e);
+    return "#" + std::to_string(ref.index());
+  }
+  return e.ToString();
+}
+
+/// Plans the aggregation tail of a SELECT core: an AggregateNode over the
+/// join tree, an optional HAVING filter, and a projection of the select
+/// items rewritten to reference the aggregate's output columns.
+Result<PlanNodePtr> PlanAggregation(const sql::SelectCore& core,
+                                    PlanNodePtr input) {
+  const Schema& in_schema = input->schema();
+  ExprBinder group_binder(in_schema);
+  ExprBinder agg_binder(in_schema);
+  agg_binder.set_allow_aggregates(true);
+
+  // 1. Bind the GROUP BY expressions (aggregates are not allowed there).
+  std::vector<ExprPtr> group_exprs;
+  std::vector<std::string> group_names;
+  std::vector<std::string> group_keys;  // canonical ToString for matching
+  for (const ExprPtr& g : core.group_by) {
+    ExprPtr bound = g->Clone();
+    HIPPO_RETURN_NOT_OK(group_binder.Bind(bound.get()));
+    std::string name;
+    if (bound->kind() == ExprKind::kColumnRef) {
+      const auto& ref = static_cast<const ColumnRefExpr&>(*bound);
+      name = in_schema.column(static_cast<size_t>(ref.index())).name;
+    } else {
+      name = StrFormat("group%zu", group_exprs.size() + 1);
+    }
+    group_keys.push_back(GroupMatchKey(*bound));
+    group_names.push_back(std::move(name));
+    group_exprs.push_back(std::move(bound));
+  }
+
+  // 2. Bind select items / HAVING and collect the distinct aggregate calls.
+  struct BoundItem {
+    ExprPtr expr;
+    std::string alias;
+  };
+  std::vector<BoundItem> items;
+  for (const sql::SelectItem& item : core.items) {
+    if (item.star) {
+      return Status::InvalidArgument(
+          "SELECT * cannot be combined with GROUP BY or aggregates; list "
+          "the grouped columns explicitly");
+    }
+    ExprPtr bound = item.expr->Clone();
+    HIPPO_RETURN_NOT_OK(agg_binder.Bind(bound.get()));
+    items.push_back(BoundItem{std::move(bound), item.alias});
+  }
+  ExprPtr having;
+  if (core.having != nullptr) {
+    having = core.having->Clone();
+    HIPPO_RETURN_NOT_OK(agg_binder.BindPredicate(having.get()));
+  }
+
+  std::vector<AggregateNode::AggSpec> specs;
+  std::vector<std::string> spec_keys;
+  auto collect_aggs = [&](const Expr& root) {
+    // Walk the tree; AggCallExpr cannot nest (binder rejects), so a simple
+    // recursive scan suffices.
+    auto walk = [&](auto&& self, const Expr& e) -> void {
+      if (e.kind() == ExprKind::kAggCall) {
+        const auto& agg = static_cast<const AggCallExpr&>(e);
+        std::string key = agg.ToString();
+        for (const std::string& existing : spec_keys) {
+          if (existing == key) return;
+        }
+        spec_keys.push_back(key);
+        specs.push_back(AggregateNode::AggSpec{
+            agg.fn(), agg.is_count_star() ? nullptr : agg.arg().Clone(),
+            key});
+        return;
+      }
+      switch (e.kind()) {
+        case ExprKind::kComparison: {
+          const auto& c = static_cast<const ComparisonExpr&>(e);
+          self(self, c.left());
+          self(self, c.right());
+          return;
+        }
+        case ExprKind::kLogical: {
+          const auto& l = static_cast<const LogicalExpr&>(e);
+          for (size_t i = 0; i < l.NumChildren(); ++i) self(self, l.child(i));
+          return;
+        }
+        case ExprKind::kArithmetic: {
+          const auto& a = static_cast<const ArithmeticExpr&>(e);
+          self(self, a.left());
+          self(self, a.right());
+          return;
+        }
+        case ExprKind::kIsNull:
+          self(self, static_cast<const IsNullExpr&>(e).child());
+          return;
+        default:
+          return;
+      }
+    };
+    walk(walk, root);
+  };
+  for (const BoundItem& item : items) collect_aggs(*item.expr);
+  if (having != nullptr) collect_aggs(*having);
+
+  // 3. The aggregate's output schema: group columns then aggregate columns.
+  auto agg_output_type = [](const AggregateNode::AggSpec& s) {
+    switch (s.fn) {
+      case AggFunc::kCount:
+        return TypeId::kInt;
+      case AggFunc::kAvg:
+        return TypeId::kDouble;
+      default:
+        return s.arg == nullptr ? TypeId::kInt : s.arg->result_type();
+    }
+  };
+
+  // Rewrites a bound expression over the input schema into one over the
+  // aggregate output: group expressions and aggregate calls become column
+  // references; anything else must decompose into those.
+  auto rewrite = [&](auto&& self, const Expr& e) -> Result<ExprPtr> {
+    std::string key = GroupMatchKey(e);
+    for (size_t i = 0; i < group_keys.size(); ++i) {
+      if (group_keys[i] == key) {
+        return ColumnRefExpr::Bound(i, group_exprs[i]->result_type(),
+                                    group_names[i]);
+      }
+    }
+    if (e.kind() == ExprKind::kAggCall) {
+      for (size_t s = 0; s < spec_keys.size(); ++s) {
+        if (spec_keys[s] == key) {
+          return ColumnRefExpr::Bound(group_exprs.size() + s,
+                                      agg_output_type(specs[s]), spec_keys[s]);
+        }
+      }
+      return Status::Internal("aggregate call not collected: " + key);
+    }
+    switch (e.kind()) {
+      case ExprKind::kLiteral:
+        return e.Clone();
+      case ExprKind::kColumnRef:
+        return Status::InvalidArgument(
+            "column " + e.ToString() +
+            " must appear in GROUP BY or inside an aggregate");
+      case ExprKind::kComparison: {
+        const auto& c = static_cast<const ComparisonExpr&>(e);
+        HIPPO_ASSIGN_OR_RETURN(ExprPtr l, self(self, c.left()));
+        HIPPO_ASSIGN_OR_RETURN(ExprPtr r, self(self, c.right()));
+        auto out = std::make_unique<ComparisonExpr>(c.op(), std::move(l),
+                                                    std::move(r));
+        out->set_result_type(TypeId::kBool);
+        return ExprPtr(std::move(out));
+      }
+      case ExprKind::kLogical: {
+        const auto& l = static_cast<const LogicalExpr&>(e);
+        std::vector<ExprPtr> children;
+        for (size_t i = 0; i < l.NumChildren(); ++i) {
+          HIPPO_ASSIGN_OR_RETURN(ExprPtr c, self(self, l.child(i)));
+          children.push_back(std::move(c));
+        }
+        auto out = std::make_unique<LogicalExpr>(l.op(), std::move(children));
+        out->set_result_type(TypeId::kBool);
+        return ExprPtr(std::move(out));
+      }
+      case ExprKind::kArithmetic: {
+        const auto& a = static_cast<const ArithmeticExpr&>(e);
+        HIPPO_ASSIGN_OR_RETURN(ExprPtr l, self(self, a.left()));
+        HIPPO_ASSIGN_OR_RETURN(ExprPtr r, self(self, a.right()));
+        auto out = std::make_unique<ArithmeticExpr>(a.op(), std::move(l),
+                                                    std::move(r));
+        out->set_result_type(e.result_type());
+        return ExprPtr(std::move(out));
+      }
+      case ExprKind::kIsNull: {
+        const auto& n = static_cast<const IsNullExpr&>(e);
+        HIPPO_ASSIGN_OR_RETURN(ExprPtr c, self(self, n.child()));
+        auto out = std::make_unique<IsNullExpr>(std::move(c), n.negated());
+        out->set_result_type(TypeId::kBool);
+        return ExprPtr(std::move(out));
+      }
+      default:
+        return Status::Internal("unexpected expression kind in aggregation");
+    }
+  };
+
+  std::vector<ExprPtr> proj_exprs;
+  Schema out_schema;
+  for (size_t i = 0; i < items.size(); ++i) {
+    HIPPO_ASSIGN_OR_RETURN(ExprPtr e, rewrite(rewrite, *items[i].expr));
+    std::string name = items[i].alias;
+    if (name.empty()) {
+      if (items[i].expr->kind() == ExprKind::kColumnRef) {
+        const auto& ref = static_cast<const ColumnRefExpr&>(*items[i].expr);
+        name = in_schema.column(static_cast<size_t>(ref.index())).name;
+      } else if (items[i].expr->kind() == ExprKind::kAggCall) {
+        name = ToLower(AggFuncToString(
+            static_cast<const AggCallExpr&>(*items[i].expr).fn()));
+      } else {
+        name = StrFormat("col%zu", i + 1);
+      }
+    }
+    out_schema.AddColumn(Column(std::move(name), e->result_type()));
+    proj_exprs.push_back(std::move(e));
+  }
+  ExprPtr having_rewritten;
+  if (having != nullptr) {
+    HIPPO_ASSIGN_OR_RETURN(having_rewritten, rewrite(rewrite, *having));
+  }
+
+  PlanNodePtr plan = std::make_unique<AggregateNode>(
+      std::move(input), std::move(group_exprs), std::move(group_names),
+      std::move(specs));
+  if (having_rewritten != nullptr) {
+    plan = std::make_unique<FilterNode>(std::move(plan),
+                                        std::move(having_rewritten));
+  }
+  return PlanNodePtr(std::make_unique<ProjectNode>(
+      std::move(plan), std::move(proj_exprs), std::move(out_schema)));
+}
+
+}  // namespace
+
+Result<PlanNodePtr> Planner::PlanSelectCore(const sql::SelectCore& core) {
+  // 1. Flatten FROM items into an atom list; remember each ON condition and
+  //    the atom index it is attached to.
+  std::vector<Atom> atoms;
+  std::vector<std::pair<const Expr*, int>> on_conditions;  // (unbound, atom)
+  std::vector<ExprPtr> bound_on;  // keeps ownership of bound clones
+  struct PendingOn {
+    const sql::JoinClause* clause;
+    int atom_index;
+  };
+  std::vector<PendingOn> pending_on;
+
+  for (const sql::FromItem& item : core.from) {
+    {
+      Atom a;
+      a.ref = item.base;
+      HIPPO_ASSIGN_OR_RETURN(const Table* t,
+                             catalog_.GetTable(item.base.table));
+      a.table = t;
+      atoms.push_back(std::move(a));
+    }
+    for (const sql::JoinClause& jc : item.joins) {
+      Atom a;
+      a.ref = jc.table;
+      HIPPO_ASSIGN_OR_RETURN(const Table* t, catalog_.GetTable(jc.table.table));
+      a.table = t;
+      atoms.push_back(std::move(a));
+      pending_on.push_back(
+          PendingOn{&jc, static_cast<int>(atoms.size()) - 1});
+    }
+  }
+  if (atoms.empty()) {
+    return Status::InvalidArgument("query has no FROM clause atoms");
+  }
+
+  // 2. Alias uniqueness and the full concatenated schema.
+  std::unordered_set<std::string> seen_aliases;
+  Schema full_schema;
+  for (Atom& a : atoms) {
+    std::string alias = ToLower(a.ref.EffectiveAlias());
+    if (!seen_aliases.insert(alias).second) {
+      return Status::InvalidArgument("duplicate table alias: " + alias);
+    }
+    a.offset = full_schema.NumColumns();
+    a.width = a.table->schema().NumColumns();
+    Schema qualified = a.table->schema().WithQualifier(alias);
+    for (const Column& c : qualified.columns()) full_schema.AddColumn(c);
+  }
+
+  ExprBinder binder(full_schema);
+
+  // 3. Gather conjuncts from WHERE and ON clauses, bound over full_schema.
+  std::vector<Conjunct> conjuncts;
+  auto add_conjuncts = [&](const Expr& bound_root,
+                           int min_last_atom) -> Status {
+    for (const Expr* part : SplitConjuncts(bound_root)) {
+      Conjunct c;
+      c.expr = part->Clone();
+      std::vector<int> used = CollectColumnIndexes(*c.expr);
+      int last = -1;
+      int first = static_cast<int>(atoms.size());
+      for (int idx : used) {
+        int a = AtomOfIndex(atoms, idx);
+        last = std::max(last, a);
+        first = std::min(first, a);
+      }
+      c.last_atom = std::max(last, min_last_atom);
+      c.single_atom = !used.empty() && first == last && min_last_atom <= last;
+      conjuncts.push_back(std::move(c));
+    }
+    return Status::OK();
+  };
+
+  for (const PendingOn& po : pending_on) {
+    ExprPtr on = po.clause->on->Clone();
+    HIPPO_RETURN_NOT_OK(binder.BindPredicate(on.get()));
+    // SQL scoping: an ON clause may reference only atoms up to its join.
+    for (int idx : CollectColumnIndexes(*on)) {
+      if (AtomOfIndex(atoms, idx) > po.atom_index) {
+        return Status::InvalidArgument(
+            "ON condition references a table joined later: " + on->ToString());
+      }
+    }
+    HIPPO_RETURN_NOT_OK(add_conjuncts(*on, po.atom_index));
+    bound_on.push_back(std::move(on));
+  }
+  ExprPtr bound_where;
+  if (core.where != nullptr) {
+    bound_where = core.where->Clone();
+    HIPPO_RETURN_NOT_OK(binder.BindPredicate(bound_where.get()));
+    HIPPO_RETURN_NOT_OK(add_conjuncts(*bound_where, -1));
+  }
+
+  // 4. Build the left-deep tree. Single-atom conjuncts become filters on
+  //    their scan (indexes rebased); the rest become join conditions at
+  //    their last atom; constants apply at the top.
+  auto make_scan = [&](size_t i) -> PlanNodePtr {
+    const Atom& a = atoms[i];
+    PlanNodePtr scan =
+        ScanNode::Make(a.table->id(), a.table->name(),
+                       ToLower(a.ref.EffectiveAlias()), a.table->schema());
+    std::vector<ExprPtr> filters;
+    for (Conjunct& c : conjuncts) {
+      if (c.expr != nullptr && c.single_atom &&
+          c.last_atom == static_cast<int>(i)) {
+        ExprPtr e = std::move(c.expr);
+        int delta = -static_cast<int>(a.offset);
+        VisitColumnRefs(e.get(), [delta](ColumnRefExpr* ref) {
+          ref->ShiftIndex(delta);
+        });
+        filters.push_back(std::move(e));
+      }
+    }
+    if (!filters.empty()) {
+      scan = std::make_unique<FilterNode>(std::move(scan),
+                                          AndAll(std::move(filters)));
+    }
+    return scan;
+  };
+
+  PlanNodePtr plan = make_scan(0);
+  for (size_t i = 1; i < atoms.size(); ++i) {
+    PlanNodePtr right = make_scan(i);
+    std::vector<ExprPtr> join_conds;
+    for (Conjunct& c : conjuncts) {
+      if (c.expr != nullptr && !c.single_atom &&
+          c.last_atom == static_cast<int>(i)) {
+        join_conds.push_back(std::move(c.expr));
+      }
+    }
+    if (join_conds.empty()) {
+      plan = std::make_unique<ProductNode>(std::move(plan), std::move(right));
+    } else {
+      plan = std::make_unique<JoinNode>(std::move(plan), std::move(right),
+                                        AndAll(std::move(join_conds)));
+    }
+  }
+  // Constant conjuncts (no column references).
+  {
+    std::vector<ExprPtr> consts;
+    for (Conjunct& c : conjuncts) {
+      if (c.expr != nullptr && c.last_atom == -1) {
+        consts.push_back(std::move(c.expr));
+      }
+    }
+    if (!consts.empty()) {
+      plan = std::make_unique<FilterNode>(std::move(plan),
+                                          AndAll(std::move(consts)));
+    }
+  }
+
+  // 5. Aggregation: GROUP BY or aggregate calls in SELECT/HAVING reroute
+  //    the plan through an AggregateNode.
+  bool has_agg = !core.group_by.empty() ||
+                 (core.having != nullptr) ||
+                 [&core] {
+                   for (const sql::SelectItem& item : core.items) {
+                     if (!item.star && ContainsAggCall(*item.expr)) {
+                       return true;
+                     }
+                   }
+                   return false;
+                 }();
+  if (has_agg) {
+    return PlanAggregation(core, std::move(plan));
+  }
+
+  // 6. Projection: expand stars, bind expressions, derive output names.
+  std::vector<ExprPtr> proj_exprs;
+  Schema out_schema;
+  auto add_output = [&](ExprPtr e, std::string name, std::string qualifier) {
+    out_schema.AddColumn(Column(std::move(name), e->result_type(),
+                                std::move(qualifier)));
+    proj_exprs.push_back(std::move(e));
+  };
+  for (const sql::SelectItem& item : core.items) {
+    if (item.star) {
+      bool matched = false;
+      for (size_t i = 0; i < full_schema.NumColumns(); ++i) {
+        const Column& c = full_schema.column(i);
+        if (!item.star_qualifier.empty() &&
+            !EqualsIgnoreCase(c.qualifier, item.star_qualifier)) {
+          continue;
+        }
+        matched = true;
+        add_output(ColumnRefExpr::Bound(i, c.type, c.name, c.qualifier),
+                   c.name, c.qualifier);
+      }
+      if (!matched) {
+        return Status::InvalidArgument("no columns match " +
+                                       item.star_qualifier + ".*");
+      }
+      continue;
+    }
+    ExprPtr e = item.expr->Clone();
+    HIPPO_RETURN_NOT_OK(binder.Bind(e.get()));
+    std::string name = item.alias;
+    std::string qualifier;
+    if (name.empty()) {
+      if (e->kind() == ExprKind::kColumnRef) {
+        const auto& ref = static_cast<const ColumnRefExpr&>(*e);
+        const Column& c = full_schema.column(static_cast<size_t>(ref.index()));
+        name = c.name;
+        qualifier = c.qualifier;
+      } else {
+        name = StrFormat("col%zu", proj_exprs.size() + 1);
+      }
+    }
+    add_output(std::move(e), std::move(name), std::move(qualifier));
+  }
+
+  return PlanNodePtr(std::make_unique<ProjectNode>(
+      std::move(plan), std::move(proj_exprs), std::move(out_schema)));
+}
+
+Result<PlanNodePtr> Planner::PlanQueryExpr(const sql::QueryExpr& query) {
+  if (query.IsLeaf()) {
+    return PlanSelectCore(*query.core);
+  }
+  HIPPO_ASSIGN_OR_RETURN(PlanNodePtr left, PlanQueryExpr(*query.left));
+  HIPPO_ASSIGN_OR_RETURN(PlanNodePtr right, PlanQueryExpr(*query.right));
+  if (!left->schema().UnionCompatible(right->schema())) {
+    return Status::TypeError(
+        "set operation operands are not union-compatible: " +
+        left->schema().ToString() + " vs " + right->schema().ToString());
+  }
+  PlanKind kind;
+  switch (query.op) {
+    case sql::SetOpKind::kUnion:
+      kind = PlanKind::kUnion;
+      break;
+    case sql::SetOpKind::kExcept:
+      kind = PlanKind::kDifference;
+      break;
+    case sql::SetOpKind::kIntersect:
+      kind = PlanKind::kIntersect;
+      break;
+    default:
+      return Status::Internal("unknown set operation");
+  }
+  return PlanNodePtr(
+      std::make_unique<SetOpNode>(kind, std::move(left), std::move(right)));
+}
+
+Result<PlanNodePtr> Planner::PlanSelect(const sql::SelectStmt& stmt) {
+  HIPPO_ASSIGN_OR_RETURN(PlanNodePtr plan, PlanQueryExpr(*stmt.query));
+  if (!stmt.order_by.empty()) {
+    ExprBinder binder(plan->schema());
+    std::vector<SortNode::Key> keys;
+    for (const sql::OrderItem& item : stmt.order_by) {
+      ExprPtr e = item.expr->Clone();
+      HIPPO_RETURN_NOT_OK(binder.Bind(e.get()));
+      keys.push_back(SortNode::Key{std::move(e), item.ascending});
+    }
+    plan = std::make_unique<SortNode>(std::move(plan), std::move(keys));
+  }
+  return plan;
+}
+
+}  // namespace hippo

@@ -1,0 +1,34 @@
+// The planner: turns parsed SQL query ASTs into bound logical plans.
+//
+// SELECT cores are planned as a left-deep join tree over the FROM atoms with
+// conjunct pushdown: WHERE/ON conjuncts touching a single atom become filters
+// below the joins; conjuncts spanning atoms become join conditions at the
+// step where their last atom enters the tree (so equi-joins can execute as
+// hash joins instead of filtered cartesian products).
+#pragma once
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+
+namespace hippo {
+
+class Planner {
+ public:
+  explicit Planner(const Catalog& catalog) : catalog_(catalog) {}
+
+  /// Plans a full SELECT statement (query expression + optional ORDER BY).
+  Result<PlanNodePtr> PlanSelect(const sql::SelectStmt& stmt);
+
+  /// Plans a query expression (no ORDER BY).
+  Result<PlanNodePtr> PlanQueryExpr(const sql::QueryExpr& query);
+
+  /// Plans a single SELECT core.
+  Result<PlanNodePtr> PlanSelectCore(const sql::SelectCore& core);
+
+ private:
+  const Catalog& catalog_;
+};
+
+}  // namespace hippo

@@ -1,0 +1,74 @@
+#include "plan/sjud.h"
+
+#include <unordered_set>
+
+namespace hippo {
+
+bool IsSafeProjection(const ProjectNode& project) {
+  std::unordered_set<int> covered;
+  for (size_t i = 0; i < project.NumExprs(); ++i) {
+    const Expr& e = project.expr(i);
+    if (e.kind() != ExprKind::kColumnRef) return false;
+    covered.insert(static_cast<const ColumnRefExpr&>(e).index());
+  }
+  return covered.size() == project.child(0).schema().NumColumns();
+}
+
+namespace {
+
+Status CheckInner(const PlanNode& plan) {
+  switch (plan.kind()) {
+    case PlanKind::kScan: {
+      const auto& scan = static_cast<const ScanNode&>(plan);
+      if (scan.emit_rowid()) {
+        return Status::NotSupported(
+            "rowid-emitting scans are internal and not part of SJUD");
+      }
+      return Status::OK();
+    }
+    case PlanKind::kFilter:
+      return CheckInner(plan.child(0));
+    case PlanKind::kProject: {
+      const auto& proj = static_cast<const ProjectNode&>(plan);
+      if (!IsSafeProjection(proj)) {
+        return Status::NotSupported(
+            "projection introduces an existential quantifier (drops columns "
+            "or computes expressions); consistent answers for such queries "
+            "are co-NP-hard and outside Hippo's supported class");
+      }
+      return CheckInner(plan.child(0));
+    }
+    case PlanKind::kProduct:
+    case PlanKind::kJoin:
+    case PlanKind::kUnion:
+    case PlanKind::kDifference:
+    case PlanKind::kIntersect: {
+      for (size_t i = 0; i < plan.NumChildren(); ++i) {
+        HIPPO_RETURN_NOT_OK(CheckInner(plan.child(i)));
+      }
+      return Status::OK();
+    }
+    case PlanKind::kAntiJoin:
+      return Status::NotSupported(
+          "anti-joins are produced by the rewriting baseline and are not in "
+          "the SJUD input class");
+    case PlanKind::kSort:
+      return Status::NotSupported("ORDER BY is only allowed at the top level");
+    case PlanKind::kAggregate:
+      return Status::NotSupported(
+          "aggregate queries have no single consistent answer; use "
+          "Database::RangeConsistentAggregate (range semantics) instead");
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+}  // namespace
+
+Status CheckSjudSupported(const PlanNode& plan) {
+  if (plan.kind() == PlanKind::kSort) {
+    return CheckInner(plan.child(0));
+  }
+  return CheckInner(plan);
+}
+
+}  // namespace hippo

@@ -1,0 +1,26 @@
+// Classification of plans into the query class supported by the CQA engine.
+//
+// Hippo computes consistent answers for SJUD queries: selection, join /
+// cartesian product, union, difference (and intersection, which is
+// expressible from them), plus projection only when it introduces no
+// existential quantifier — i.e. the projection is a permutation / renaming
+// that keeps every input column, so a result tuple determines the base
+// tuples that produced it. Anything else (computed columns, narrowing
+// projections, aggregates) is rejected with NotSupported, matching the
+// paper: CQA for queries with real projection is co-NP-data-complete.
+#pragma once
+
+#include "common/status.h"
+#include "plan/logical_plan.h"
+
+namespace hippo {
+
+/// True iff the projection keeps every input column (all expressions are
+/// plain column references and together they cover the child schema).
+bool IsSafeProjection(const ProjectNode& project);
+
+/// OK iff the plan is in the supported SJUD class. A SortNode is permitted
+/// at the root only (ordering does not affect answer membership).
+Status CheckSjudSupported(const PlanNode& plan);
+
+}  // namespace hippo

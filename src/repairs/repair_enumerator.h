@@ -1,0 +1,50 @@
+// Exact repair enumeration — the "materialize all repairs" baseline.
+//
+// Under denial constraints the repairs of an instance are exactly the
+// maximal independent sets of the conflict hypergraph (every conflict-free
+// tuple belongs to every repair). This enumerator is exponential in the
+// number of conflicts by nature — which is precisely the paper's argument
+// for avoiding repair materialization — and is used as ground truth in
+// tests and as the all-repairs series in the benchmarks.
+#pragma once
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "hypergraph/hypergraph.h"
+
+namespace hippo {
+
+class RepairEnumerator {
+ public:
+  RepairEnumerator(const Catalog& catalog, const ConflictHypergraph& graph)
+      : catalog_(catalog), graph_(graph) {}
+
+  /// Enumerates every repair as the set of tuples deleted from the instance
+  /// (tuples outside all sets are present in every repair). Each deleted
+  /// set is sorted. Errors with NotSupported if more than `limit` repairs
+  /// exist. A consistent database yields one repair: the empty deleted set.
+  Result<std::vector<std::vector<RowId>>> EnumerateDeletedSets(
+      size_t limit) const;
+
+  /// The repairs as row masks ready for query evaluation.
+  Result<std::vector<RowMask>> EnumerateMasks(size_t limit) const;
+
+  /// Number of repairs, failing beyond `limit`.
+  Result<size_t> CountRepairs(size_t limit) const;
+
+  /// Builds the mask that hides a given deleted set.
+  RowMask MaskForDeleted(const std::vector<RowId>& deleted) const;
+
+  /// Mask of the "core": every conflicting tuple removed (the traditional
+  /// data-cleaning approach the demo contrasts CQA against).
+  RowMask CoreMask() const;
+
+ private:
+  const Catalog& catalog_;
+  const ConflictHypergraph& graph_;
+};
+
+}  // namespace hippo

@@ -1,0 +1,227 @@
+#include "rewriting/rewriter.h"
+
+#include "expr/evaluator.h"
+#include "plan/sjud.h"
+
+namespace hippo::rewriting {
+
+namespace {
+
+/// Remaps the constraint condition for the anti-join layout where atom `p`
+/// forms the left side and the remaining atoms (in order) the right side.
+ExprPtr RemapCondition(const DenialConstraint& dc, size_t p) {
+  // new left offset: 0 for atom p's columns.
+  // new right offsets: others packed in order after the left width.
+  std::vector<int> new_offset(dc.arity());
+  size_t right_base = dc.atom_width(p);
+  size_t acc = right_base;
+  for (size_t i = 0; i < dc.arity(); ++i) {
+    if (i == p) {
+      new_offset[i] = 0;
+    } else {
+      new_offset[i] = static_cast<int>(acc);
+      acc += dc.atom_width(i);
+    }
+  }
+  ExprPtr cond = dc.condition() == nullptr
+                     ? std::make_unique<LiteralExpr>(Value::Bool(true))
+                     : dc.condition()->Clone();
+  VisitColumnRefs(cond.get(), [&dc, &new_offset](ColumnRefExpr* ref) {
+    int idx = ref->index();
+    for (size_t i = 0; i < dc.arity(); ++i) {
+      size_t start = dc.atom_offset(i);
+      size_t end = start + dc.atom_width(i);
+      if (static_cast<size_t>(idx) >= start &&
+          static_cast<size_t>(idx) < end) {
+        ref->ShiftIndex(new_offset[i] - static_cast<int>(start));
+        return;
+      }
+    }
+    HIPPO_CHECK_MSG(false, "constraint condition index out of range");
+  });
+  return cond;
+}
+
+}  // namespace
+
+Result<PlanNodePtr> QueryRewriter::UnaryCleanScan(
+    uint32_t table_id, const std::string& table_name,
+    const std::string& alias) {
+  const Table& table = catalog_.table(table_id);
+  PlanNodePtr current =
+      ScanNode::Make(table_id, table_name, alias, table.schema());
+
+  // Foreign-key residue: a child tuple without a parent is in no repair
+  // (parents are immutable in the restricted class). Expressed as
+  // current − (current ⋉̸ parent).
+  for (const ForeignKeyConstraint& fk : foreign_keys_) {
+    if (fk.child_table() != table_id) continue;
+    const Table& parent = catalog_.table(fk.parent_table());
+    PlanNodePtr parent_scan = ScanNode::Make(parent.id(), parent.name(),
+                                             parent.name(), parent.schema());
+    size_t left_width = current->schema().NumColumns();
+    std::vector<ExprPtr> eqs;
+    for (size_t i = 0; i < fk.child_columns().size(); ++i) {
+      size_t ci = fk.child_columns()[i];
+      size_t pi = fk.parent_columns()[i];
+      eqs.push_back(std::make_unique<ComparisonExpr>(
+          CompareOp::kEq,
+          ColumnRefExpr::Bound(ci, current->schema().column(ci).type),
+          ColumnRefExpr::Bound(left_width + pi,
+                               parent.schema().column(pi).type)));
+      eqs.back()->set_result_type(TypeId::kBool);
+    }
+    PlanNodePtr orphans = std::make_unique<AntiJoinNode>(
+        current->Clone(), std::move(parent_scan), AndAll(std::move(eqs)));
+    current = std::make_unique<SetOpNode>(
+        PlanKind::kDifference, std::move(current), std::move(orphans));
+  }
+
+  for (const DenialConstraint& dc : constraints_) {
+    // Residue of a unary constraint: ¬φ(x̄) filters the scan directly.
+    if (dc.IsUnary() && dc.atoms()[0].table_id == table_id) {
+      ExprPtr cond = RemapCondition(dc, 0);
+      current = std::make_unique<FilterNode>(
+          std::move(current), LogicalExpr::MakeNot(std::move(cond)));
+      continue;
+    }
+    // Self-pair residue: a same-table binary constraint can be violated by
+    // a single tuple assigned to both atoms (the detector's self-join emits
+    // {t, t}, a unary hyperedge) — such a tuple is in no repair either.
+    if (dc.IsBinary() && dc.atoms()[0].table_id == table_id &&
+        dc.atoms()[1].table_id == table_id) {
+      ExprPtr cond;
+      if (dc.condition() == nullptr) {
+        cond = std::make_unique<LiteralExpr>(Value::Bool(true));
+      } else {
+        cond = dc.condition()->Clone();
+        // Collapse the second atom's columns onto the first (same table:
+        // equal widths), turning φ(x̄, ȳ) into φ(x̄, x̄).
+        int width = static_cast<int>(dc.atom_width(0));
+        VisitColumnRefs(cond.get(), [width](ColumnRefExpr* ref) {
+          if (ref->index() >= width) ref->ShiftIndex(-width);
+        });
+      }
+      current = std::make_unique<FilterNode>(
+          std::move(current), LogicalExpr::MakeNot(std::move(cond)));
+    }
+  }
+  return current;
+}
+
+Result<PlanNodePtr> QueryRewriter::GuardScan(const ScanNode& scan) {
+  // Base: tuples that can appear in some repair at all.
+  HIPPO_ASSIGN_OR_RETURN(
+      PlanNodePtr current,
+      UnaryCleanScan(scan.table_id(), scan.table_name(), scan.alias()));
+
+  for (const DenialConstraint& dc : constraints_) {
+    if (!dc.IsBinary()) continue;  // unary handled by UnaryCleanScan
+    for (size_t p = 0; p < dc.arity(); ++p) {
+      if (dc.atoms()[p].table_id != scan.table_id()) continue;
+      // Residue ∀ȳ ¬(partner(ȳ) ∧ φ): anti-join against the partner atom.
+      // The partner side is itself restricted to tuples present in SOME
+      // repair — a partner in no repair (FK orphan, unary violation) can
+      // never force this tuple's deletion, and counting it would make the
+      // rewriting incomplete.
+      size_t o = 1 - p;
+      HIPPO_ASSIGN_OR_RETURN(
+          PlanNodePtr right,
+          UnaryCleanScan(dc.atoms()[o].table_id, dc.atoms()[o].table_name,
+                         dc.atoms()[o].alias));
+      ExprPtr cond = RemapCondition(dc, p);
+      // The anti-join left is `current` (same schema as the scan, width
+      // preserved by previous guards), so indexes line up.
+      current = std::make_unique<AntiJoinNode>(
+          std::move(current), std::move(right), std::move(cond));
+    }
+  }
+  return current;
+}
+
+Result<PlanNodePtr> QueryRewriter::RewriteNode(const PlanNode& node) {
+  switch (node.kind()) {
+    case PlanKind::kScan: {
+      const auto& scan = static_cast<const ScanNode&>(node);
+      if (scan.emit_rowid()) {
+        return Status::NotSupported("rowid scans cannot be rewritten");
+      }
+      return GuardScan(scan);
+    }
+    case PlanKind::kFilter: {
+      const auto& f = static_cast<const FilterNode&>(node);
+      HIPPO_ASSIGN_OR_RETURN(PlanNodePtr child, RewriteNode(node.child(0)));
+      return PlanNodePtr(std::make_unique<FilterNode>(
+          std::move(child), f.predicate().Clone()));
+    }
+    case PlanKind::kProject: {
+      const auto& p = static_cast<const ProjectNode&>(node);
+      if (!IsSafeProjection(p)) {
+        return Status::NotSupported(
+            "query rewriting requires a quantifier-free query "
+            "(safe projection)");
+      }
+      HIPPO_ASSIGN_OR_RETURN(PlanNodePtr child, RewriteNode(node.child(0)));
+      std::vector<ExprPtr> exprs;
+      for (size_t i = 0; i < p.NumExprs(); ++i) {
+        exprs.push_back(p.expr(i).Clone());
+      }
+      return PlanNodePtr(std::make_unique<ProjectNode>(
+          std::move(child), std::move(exprs), p.schema()));
+    }
+    case PlanKind::kProduct: {
+      HIPPO_ASSIGN_OR_RETURN(PlanNodePtr left, RewriteNode(node.child(0)));
+      HIPPO_ASSIGN_OR_RETURN(PlanNodePtr right, RewriteNode(node.child(1)));
+      return PlanNodePtr(
+          std::make_unique<ProductNode>(std::move(left), std::move(right)));
+    }
+    case PlanKind::kJoin: {
+      const auto& j = static_cast<const JoinNode&>(node);
+      HIPPO_ASSIGN_OR_RETURN(PlanNodePtr left, RewriteNode(node.child(0)));
+      HIPPO_ASSIGN_OR_RETURN(PlanNodePtr right, RewriteNode(node.child(1)));
+      return PlanNodePtr(std::make_unique<JoinNode>(
+          std::move(left), std::move(right), j.condition().Clone()));
+    }
+    case PlanKind::kSort: {
+      const auto& s = static_cast<const SortNode&>(node);
+      HIPPO_ASSIGN_OR_RETURN(PlanNodePtr child, RewriteNode(node.child(0)));
+      std::vector<SortNode::Key> keys;
+      for (const SortNode::Key& k : s.keys()) {
+        keys.push_back(SortNode::Key{k.expr->Clone(), k.ascending});
+      }
+      return PlanNodePtr(
+          std::make_unique<SortNode>(std::move(child), std::move(keys)));
+    }
+    case PlanKind::kUnion:
+    case PlanKind::kDifference:
+    case PlanKind::kIntersect:
+      return Status::NotSupported(
+          "query rewriting does not support union/difference/intersection "
+          "(this is Hippo's expressiveness advantage)");
+    case PlanKind::kAntiJoin:
+      return Status::NotSupported("anti-joins cannot be rewritten");
+    case PlanKind::kAggregate:
+      return Status::NotSupported(
+          "query rewriting does not support aggregation; use range-consistent"
+          " aggregation instead");
+  }
+  return Status::Internal("unknown plan kind in rewriting");
+}
+
+Result<PlanNodePtr> QueryRewriter::Rewrite(const PlanNode& plan) {
+  // The rewriting method is sound and complete for *universal binary*
+  // constraints (the class the paper names); a residue against a 3+-atom
+  // constraint would need the remaining atoms to be jointly realizable in
+  // one repair, which single anti-joins cannot express.
+  for (const DenialConstraint& dc : constraints_) {
+    if (dc.arity() > 2) {
+      return Status::NotSupported(
+          "query rewriting supports universal binary constraints only; "
+          "constraint " + dc.name() + " has " +
+          std::to_string(dc.arity()) + " atoms");
+    }
+  }
+  return RewriteNode(plan);
+}
+
+}  // namespace hippo::rewriting

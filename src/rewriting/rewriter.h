@@ -1,0 +1,60 @@
+// The query-rewriting baseline (Arenas–Bertossi–Chomicki, PODS'99).
+//
+// For quantifier-free conjunctive queries (select/join, safe projection —
+// no union or difference), the consistent answers can be computed by
+// ordinary query evaluation after attaching to every literal the *residues*
+// of the constraints it participates in: a tuple assignment is a consistent
+// answer iff each contributing tuple survives in every repair, which under
+// denial constraints means it participates in no violation. The residue of
+// constraint ¬(R(ū) ∧ S(v̄) ∧ φ) at the R-atom is ∀v̄ ¬(S(v̄) ∧ φ), compiled
+// here into an anti-join of the scan against the remaining atoms.
+//
+// This is the competing approach the Hippo demo benchmarks against; its
+// limits (no union — hence no disjunctive information — and, in this
+// implementation, no difference) are part of the expressiveness comparison.
+#pragma once
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "constraints/constraint.h"
+#include "constraints/foreign_key.h"
+#include "plan/logical_plan.h"
+
+namespace hippo::rewriting {
+
+class QueryRewriter {
+ public:
+  QueryRewriter(const Catalog& catalog,
+                const std::vector<DenialConstraint>& constraints,
+                const std::vector<ForeignKeyConstraint>& foreign_keys = {})
+      : catalog_(catalog),
+        constraints_(constraints),
+        foreign_keys_(foreign_keys) {}
+
+  /// Rewrites a bound plan so that its plain evaluation returns the
+  /// consistent answers. NotSupported for queries outside the class
+  /// (union, difference, intersection, unsafe projection).
+  Result<PlanNodePtr> Rewrite(const PlanNode& plan);
+
+ private:
+  /// Wraps a scan with the residues of every constraint it participates in.
+  Result<PlanNodePtr> GuardScan(const ScanNode& scan);
+
+  /// A scan restricted to tuples that appear in at least one repair: not
+  /// FK-orphaned, no unary-constraint violation, no self-pair violation of
+  /// a same-table binary constraint. Used both as the base of GuardScan and
+  /// as the partner side of every binary residue — a partner that is in no
+  /// repair can never force a deletion, so counting it would (unsoundly for
+  /// completeness) shrink the answer set.
+  Result<PlanNodePtr> UnaryCleanScan(uint32_t table_id,
+                                     const std::string& table_name,
+                                     const std::string& alias);
+
+  Result<PlanNodePtr> RewriteNode(const PlanNode& node);
+
+  const Catalog& catalog_;
+  const std::vector<DenialConstraint>& constraints_;
+  std::vector<ForeignKeyConstraint> foreign_keys_;
+};
+
+}  // namespace hippo::rewriting

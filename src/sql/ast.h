@@ -1,0 +1,185 @@
+// Abstract syntax trees produced by the SQL parser.
+//
+// The statement surface is the subset Hippo needs: DDL/DML to build database
+// instances, SELECT queries in the SJUD class (plus general projection for
+// plain evaluation), and constraint DDL for functional dependencies,
+// exclusion constraints, and general denial constraints.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "expr/expr.h"
+#include "types/value.h"
+
+namespace hippo::sql {
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+/// `table [AS] alias` in a FROM clause or constraint atom.
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< defaults to the table name when not given
+
+  const std::string& EffectiveAlias() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// `JOIN table ON cond` attached to a FROM item (inner joins only).
+struct JoinClause {
+  TableRef table;
+  ExprPtr on;
+};
+
+/// A FROM item: base table plus a chain of inner joins.
+struct FromItem {
+  TableRef base;
+  std::vector<JoinClause> joins;
+};
+
+/// One entry of a SELECT list.
+struct SelectItem {
+  bool star = false;            ///< `*` or `alias.*`
+  std::string star_qualifier;   ///< set for `alias.*`
+  ExprPtr expr;                 ///< when !star
+  std::string alias;            ///< `AS alias`, optional
+};
+
+/// A single SELECT core (no set operations).
+struct SelectCore {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<FromItem> from;
+  ExprPtr where;                  ///< may be null
+  std::vector<ExprPtr> group_by;  ///< empty when not grouped
+  ExprPtr having;                 ///< may be null; requires aggregation
+};
+
+enum class SetOpKind { kUnion, kExcept, kIntersect };
+
+/// A query expression: either a SELECT core or a set operation of two.
+struct QueryExpr {
+  // Leaf:
+  std::unique_ptr<SelectCore> core;
+  // Internal:
+  SetOpKind op = SetOpKind::kUnion;
+  std::unique_ptr<QueryExpr> left;
+  std::unique_ptr<QueryExpr> right;
+
+  bool IsLeaf() const { return core != nullptr; }
+};
+
+/// ORDER BY entry (top level of a SELECT statement only).
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<std::pair<std::string, TypeId>> columns;
+  /// `PRIMARY KEY` / `UNIQUE` column or table constraints: each list of
+  /// columns functionally determines the rest of the table (sugar for an
+  /// FD constraint named <table>_key<N>).
+  std::vector<std::vector<std::string>> keys;
+  /// `CHECK (expr)` table constraints: sugar for a unary denial constraint
+  /// named <table>_check<N> forbidding rows where the expression is FALSE
+  /// (NULL passes, as in SQL).
+  std::vector<ExprPtr> checks;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<ExprPtr>> rows;  ///< constant expressions
+};
+
+/// `DELETE FROM t [WHERE cond]`. Deleted rows keep their RowId (tombstones).
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  ///< may be null (delete all rows)
+};
+
+/// `UPDATE t SET col = expr, ... [WHERE cond]`. Executed as delete+insert
+/// under set semantics; assignment expressions see the pre-update row.
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  ///< may be null (update all rows)
+};
+
+struct SelectStmt {
+  std::unique_ptr<QueryExpr> query;
+  std::vector<OrderItem> order_by;
+};
+
+// Constraint DDL ------------------------------------------------------------
+
+/// `CREATE CONSTRAINT c FD ON emp (name -> salary, dept)`:
+/// two emp tuples may not agree on `lhs` and differ on any column of `rhs`.
+struct FdSpec {
+  std::string table;
+  std::vector<std::string> lhs;
+  std::vector<std::string> rhs;
+};
+
+/// `CREATE CONSTRAINT c EXCLUSION ON r (a, b), s (c, d)`:
+/// no r-tuple and s-tuple agree position-wise on the listed columns.
+struct ExclusionSpec {
+  std::string table1;
+  std::vector<std::string> cols1;
+  std::string table2;
+  std::vector<std::string> cols2;
+};
+
+/// `CREATE CONSTRAINT c DENIAL (r AS x, s AS y WHERE <cond>)`:
+/// the general form — no tuple assignment to the atoms may satisfy <cond>.
+struct DenialSpec {
+  std::vector<TableRef> atoms;
+  ExprPtr where;  ///< may be null (meaning: the atoms may never all hold)
+};
+
+/// `CREATE CONSTRAINT c FOREIGN KEY child (cols) REFERENCES parent (cols)`:
+/// every child tuple must have a matching parent tuple (restricted class:
+/// the parent relation must carry no other constraints).
+struct ForeignKeySpec {
+  std::string child;
+  std::vector<std::string> child_cols;
+  std::string parent;
+  std::vector<std::string> parent_cols;
+};
+
+struct CreateConstraintStmt {
+  std::string name;
+  std::variant<FdSpec, ExclusionSpec, DenialSpec, ForeignKeySpec> spec;
+};
+
+/// `COPY t FROM 'file.csv'` (import) / `COPY t TO 'file.csv'` (export).
+struct CopyStmt {
+  std::string table;
+  std::string path;
+  bool is_import = true;  ///< FROM = import, TO = export
+};
+
+/// `DROP TABLE t` / `DROP CONSTRAINT c`.
+struct DropStmt {
+  bool is_table = true;  ///< false: constraint
+  std::string name;
+};
+
+/// Any parsed statement.
+struct Statement {
+  std::variant<CreateTableStmt, InsertStmt, SelectStmt, CreateConstraintStmt,
+               DeleteStmt, UpdateStmt, CopyStmt, DropStmt>
+      node;
+};
+
+}  // namespace hippo::sql

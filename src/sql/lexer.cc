@@ -1,0 +1,121 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace hippo::sql {
+
+bool Token::IsKeyword(const char* kw) const {
+  return kind == TokenKind::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(input[i])) ++i;
+      tokens.push_back(Token{TokenKind::kIdentifier,
+                             ToLower(input.substr(start, i - start)), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      tokens.push_back(Token{is_double ? TokenKind::kDouble
+                                       : TokenKind::kInteger,
+                             input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(StrFormat(
+            "unterminated string literal at offset %zu", start));
+      }
+      tokens.push_back(Token{TokenKind::kString, std::move(text), start});
+      continue;
+    }
+    // Multi-char symbols first.
+    auto two = [&](const char* s) {
+      return i + 1 < n && input[i] == s[0] && input[i + 1] == s[1];
+    };
+    if (two("<>") || two("!=") || two("<=") || two(">=") || two("->")) {
+      std::string sym = input.substr(i, 2);
+      if (sym == "!=") sym = "<>";
+      tokens.push_back(Token{TokenKind::kSymbol, sym, start});
+      i += 2;
+      continue;
+    }
+    static const char kSingles[] = "(),.;=<>+-*/%";
+    if (std::strchr(kSingles, c) != nullptr) {
+      tokens.push_back(Token{TokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(
+        StrFormat("illegal character '%c' at offset %zu", c, start));
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace hippo::sql

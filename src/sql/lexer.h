@@ -1,0 +1,36 @@
+// SQL lexer: turns statement text into a token stream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hippo::sql {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,   ///< bare identifiers and keywords (normalized to lower case)
+  kInteger,
+  kDouble,
+  kString,       ///< contents of a '...' literal, quotes stripped
+  kSymbol,       ///< punctuation / operators, in `text`
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   ///< normalized identifier, literal text, or symbol
+  size_t offset = 0;  ///< byte offset in the input (for error messages)
+
+  bool IsSymbol(const char* s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword test (keywords are not reserved).
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Tokenizes `input`. Comments (`-- ...` to end of line) are skipped.
+/// Errors: unterminated string literal, illegal character.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace hippo::sql

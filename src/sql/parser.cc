@@ -1,0 +1,708 @@
+#include "sql/parser.h"
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+
+namespace hippo::sql {
+
+namespace {
+
+/// Keywords that terminate an alias-less identifier position, so that
+/// `FROM t WHERE ...` does not read WHERE as an alias of t.
+bool IsReservedAfterTable(const Token& t) {
+  static const char* kReserved[] = {
+      "where",  "join",   "on",     "union", "except", "intersect",
+      "order",  "group",  "as",     "inner", "values", "and",
+      "or",     "not",    "fd",     "exclusion", "denial",
+      "from",   "select", "create", "insert",    "into",
+      "table",  "by",     "asc",    "desc",      "is",
+      "having", "set",    "delete", "update",    "copy",   "drop",
+      "to",     "primary", "unique", "check",
+  };
+  for (const char* kw : kReserved) {
+    if (t.IsKeyword(kw)) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseOneStatement() {
+    HIPPO_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+    Accept(";");
+    if (!AtEnd()) return Fail("unexpected trailing input");
+    return stmt;
+  }
+
+  Result<std::vector<Statement>> ParseAll() {
+    std::vector<Statement> out;
+    while (!AtEnd()) {
+      HIPPO_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+      out.push_back(std::move(stmt));
+      if (!Accept(";")) break;
+    }
+    if (!AtEnd()) return Fail("unexpected trailing input");
+    return out;
+  }
+
+  Result<ExprPtr> ParseOnlyExpression() {
+    HIPPO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!AtEnd()) return Fail("unexpected trailing input after expression");
+    return e;
+  }
+
+ private:
+  // --- token helpers ------------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool Accept(const char* symbol) {
+    if (Peek().IsSymbol(symbol)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const char* symbol) {
+    if (!Accept(symbol)) {
+      return Status::InvalidArgument(StrFormat(
+          "expected '%s' at offset %zu, found '%s'", symbol, Peek().offset,
+          Peek().text.c_str()));
+    }
+    return Status::OK();
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::InvalidArgument(StrFormat(
+          "expected %s at offset %zu, found '%s'", kw, Peek().offset,
+          Peek().text.c_str()));
+    }
+    return Status::OK();
+  }
+  Status Fail(const std::string& msg) const {
+    return Status::InvalidArgument(StrFormat(
+        "%s at offset %zu (near '%s')", msg.c_str(), Peek().offset,
+        Peek().text.c_str()));
+  }
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::InvalidArgument(StrFormat(
+          "expected %s at offset %zu, found '%s'", what, Peek().offset,
+          Peek().text.c_str()));
+    }
+    return Advance().text;
+  }
+
+  // --- statements ---------------------------------------------------------
+
+  Result<Statement> ParseStatementInner() {
+    if (Peek().IsKeyword("create")) {
+      if (Peek(1).IsKeyword("table")) return ParseCreateTable();
+      if (Peek(1).IsKeyword("constraint")) return ParseCreateConstraint();
+      return Fail("expected TABLE or CONSTRAINT after CREATE");
+    }
+    if (Peek().IsKeyword("insert")) return ParseInsert();
+    if (Peek().IsKeyword("delete")) return ParseDelete();
+    if (Peek().IsKeyword("update")) return ParseUpdate();
+    if (Peek().IsKeyword("copy")) return ParseCopy();
+    if (Peek().IsKeyword("drop")) return ParseDrop();
+    if (Peek().IsKeyword("select") || Peek().IsSymbol("(")) {
+      return ParseSelectStmt();
+    }
+    return Fail(
+        "expected CREATE, INSERT, DELETE, UPDATE, COPY, DROP or SELECT");
+  }
+
+  Result<Statement> ParseCreateTable() {
+    Advance();  // CREATE
+    Advance();  // TABLE
+    CreateTableStmt stmt;
+    HIPPO_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("table name"));
+    HIPPO_RETURN_NOT_OK(Expect("("));
+    do {
+      // Table-level constraint entries.
+      if (Peek().IsKeyword("primary") || Peek().IsKeyword("unique")) {
+        bool primary = AcceptKeyword("primary");
+        if (primary) HIPPO_RETURN_NOT_OK(ExpectKeyword("key"));
+        if (!primary) HIPPO_RETURN_NOT_OK(ExpectKeyword("unique"));
+        HIPPO_ASSIGN_OR_RETURN(std::vector<std::string> cols,
+                               ParseColumnList());
+        stmt.keys.push_back(std::move(cols));
+        continue;
+      }
+      if (AcceptKeyword("check")) {
+        HIPPO_RETURN_NOT_OK(Expect("("));
+        HIPPO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        HIPPO_RETURN_NOT_OK(Expect(")"));
+        stmt.checks.push_back(std::move(e));
+        continue;
+      }
+      HIPPO_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      HIPPO_ASSIGN_OR_RETURN(std::string ty, ExpectIdentifier("type name"));
+      HIPPO_ASSIGN_OR_RETURN(TypeId type, TypeIdFromString(ty));
+      // Column-level sugar: `col TYPE PRIMARY KEY` / `col TYPE UNIQUE`.
+      if (AcceptKeyword("primary")) {
+        HIPPO_RETURN_NOT_OK(ExpectKeyword("key"));
+        stmt.keys.push_back({col});
+      } else if (AcceptKeyword("unique")) {
+        stmt.keys.push_back({col});
+      }
+      stmt.columns.emplace_back(std::move(col), type);
+    } while (Accept(","));
+    HIPPO_RETURN_NOT_OK(Expect(")"));
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseInsert() {
+    Advance();  // INSERT
+    HIPPO_RETURN_NOT_OK(ExpectKeyword("into"));
+    InsertStmt stmt;
+    HIPPO_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    HIPPO_RETURN_NOT_OK(ExpectKeyword("values"));
+    do {
+      HIPPO_RETURN_NOT_OK(Expect("("));
+      std::vector<ExprPtr> row;
+      do {
+        HIPPO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+      } while (Accept(","));
+      HIPPO_RETURN_NOT_OK(Expect(")"));
+      stmt.rows.push_back(std::move(row));
+    } while (Accept(","));
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseDelete() {
+    Advance();  // DELETE
+    HIPPO_RETURN_NOT_OK(ExpectKeyword("from"));
+    DeleteStmt stmt;
+    HIPPO_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (AcceptKeyword("where")) {
+      HIPPO_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseUpdate() {
+    Advance();  // UPDATE
+    UpdateStmt stmt;
+    HIPPO_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    HIPPO_RETURN_NOT_OK(ExpectKeyword("set"));
+    do {
+      HIPPO_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      HIPPO_RETURN_NOT_OK(Expect("="));
+      HIPPO_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+      stmt.assignments.emplace_back(std::move(col), std::move(value));
+    } while (Accept(","));
+    if (AcceptKeyword("where")) {
+      HIPPO_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseDrop() {
+    Advance();  // DROP
+    DropStmt stmt;
+    if (AcceptKeyword("table")) {
+      stmt.is_table = true;
+    } else if (AcceptKeyword("constraint")) {
+      stmt.is_table = false;
+    } else {
+      return Fail("expected TABLE or CONSTRAINT after DROP");
+    }
+    HIPPO_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("name"));
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseCopy() {
+    Advance();  // COPY
+    CopyStmt stmt;
+    HIPPO_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (AcceptKeyword("from")) {
+      stmt.is_import = true;
+    } else if (AcceptKeyword("to")) {
+      stmt.is_import = false;
+    } else {
+      return Fail("expected FROM or TO after COPY <table>");
+    }
+    if (Peek().kind != TokenKind::kString) {
+      return Fail("expected a quoted file path");
+    }
+    stmt.path = Advance().text;
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseSelectStmt() {
+    SelectStmt stmt;
+    HIPPO_ASSIGN_OR_RETURN(stmt.query, ParseQuery());
+    if (AcceptKeyword("order")) {
+      HIPPO_RETURN_NOT_OK(ExpectKeyword("by"));
+      do {
+        OrderItem item;
+        HIPPO_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("desc")) {
+          item.ascending = false;
+        } else {
+          AcceptKeyword("asc");
+        }
+        stmt.order_by.push_back(std::move(item));
+      } while (Accept(","));
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseCreateConstraint() {
+    Advance();  // CREATE
+    Advance();  // CONSTRAINT
+    CreateConstraintStmt stmt;
+    HIPPO_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("constraint name"));
+    if (AcceptKeyword("fd")) {
+      HIPPO_RETURN_NOT_OK(ExpectKeyword("on"));
+      FdSpec spec;
+      HIPPO_ASSIGN_OR_RETURN(spec.table, ExpectIdentifier("table name"));
+      HIPPO_RETURN_NOT_OK(Expect("("));
+      do {
+        HIPPO_ASSIGN_OR_RETURN(std::string c, ExpectIdentifier("column"));
+        spec.lhs.push_back(std::move(c));
+      } while (Accept(","));
+      HIPPO_RETURN_NOT_OK(Expect("->"));
+      do {
+        HIPPO_ASSIGN_OR_RETURN(std::string c, ExpectIdentifier("column"));
+        spec.rhs.push_back(std::move(c));
+      } while (Accept(","));
+      HIPPO_RETURN_NOT_OK(Expect(")"));
+      stmt.spec = std::move(spec);
+    } else if (AcceptKeyword("exclusion")) {
+      HIPPO_RETURN_NOT_OK(ExpectKeyword("on"));
+      ExclusionSpec spec;
+      HIPPO_ASSIGN_OR_RETURN(spec.table1, ExpectIdentifier("table name"));
+      HIPPO_ASSIGN_OR_RETURN(spec.cols1, ParseColumnList());
+      HIPPO_RETURN_NOT_OK(Expect(","));
+      HIPPO_ASSIGN_OR_RETURN(spec.table2, ExpectIdentifier("table name"));
+      HIPPO_ASSIGN_OR_RETURN(spec.cols2, ParseColumnList());
+      stmt.spec = std::move(spec);
+    } else if (AcceptKeyword("foreign")) {
+      HIPPO_RETURN_NOT_OK(ExpectKeyword("key"));
+      ForeignKeySpec spec;
+      HIPPO_ASSIGN_OR_RETURN(spec.child, ExpectIdentifier("table name"));
+      HIPPO_ASSIGN_OR_RETURN(spec.child_cols, ParseColumnList());
+      HIPPO_RETURN_NOT_OK(ExpectKeyword("references"));
+      HIPPO_ASSIGN_OR_RETURN(spec.parent, ExpectIdentifier("table name"));
+      HIPPO_ASSIGN_OR_RETURN(spec.parent_cols, ParseColumnList());
+      stmt.spec = std::move(spec);
+    } else if (AcceptKeyword("denial")) {
+      HIPPO_RETURN_NOT_OK(Expect("("));
+      DenialSpec spec;
+      do {
+        HIPPO_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        spec.atoms.push_back(std::move(ref));
+      } while (Accept(","));
+      if (AcceptKeyword("where")) {
+        HIPPO_ASSIGN_OR_RETURN(spec.where, ParseExpr());
+      }
+      HIPPO_RETURN_NOT_OK(Expect(")"));
+      stmt.spec = std::move(spec);
+    } else {
+      return Fail("expected FD, EXCLUSION, DENIAL or FOREIGN KEY");
+    }
+    return Statement{std::move(stmt)};
+  }
+
+  Result<std::vector<std::string>> ParseColumnList() {
+    HIPPO_RETURN_NOT_OK(Expect("("));
+    std::vector<std::string> cols;
+    do {
+      HIPPO_ASSIGN_OR_RETURN(std::string c, ExpectIdentifier("column"));
+      cols.push_back(std::move(c));
+    } while (Accept(","));
+    HIPPO_RETURN_NOT_OK(Expect(")"));
+    return cols;
+  }
+
+  // --- queries ------------------------------------------------------------
+
+  Result<std::unique_ptr<QueryExpr>> ParseQuery() {
+    HIPPO_ASSIGN_OR_RETURN(std::unique_ptr<QueryExpr> left, ParseQueryTerm());
+    for (;;) {
+      SetOpKind op;
+      if (AcceptKeyword("union")) {
+        op = SetOpKind::kUnion;
+      } else if (AcceptKeyword("except")) {
+        op = SetOpKind::kExcept;
+      } else {
+        break;
+      }
+      if (AcceptKeyword("all")) {
+        return Status::NotSupported(
+            "UNION/EXCEPT ALL: the engine uses set semantics");
+      }
+      HIPPO_ASSIGN_OR_RETURN(std::unique_ptr<QueryExpr> right,
+                             ParseQueryTerm());
+      auto node = std::make_unique<QueryExpr>();
+      node->op = op;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<QueryExpr>> ParseQueryTerm() {
+    HIPPO_ASSIGN_OR_RETURN(std::unique_ptr<QueryExpr> left,
+                           ParseQueryPrimary());
+    while (AcceptKeyword("intersect")) {
+      if (AcceptKeyword("all")) {
+        return Status::NotSupported(
+            "INTERSECT ALL: the engine uses set semantics");
+      }
+      HIPPO_ASSIGN_OR_RETURN(std::unique_ptr<QueryExpr> right,
+                             ParseQueryPrimary());
+      auto node = std::make_unique<QueryExpr>();
+      node->op = SetOpKind::kIntersect;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<QueryExpr>> ParseQueryPrimary() {
+    if (Accept("(")) {
+      HIPPO_ASSIGN_OR_RETURN(std::unique_ptr<QueryExpr> q, ParseQuery());
+      HIPPO_RETURN_NOT_OK(Expect(")"));
+      return q;
+    }
+    HIPPO_ASSIGN_OR_RETURN(std::unique_ptr<SelectCore> core,
+                           ParseSelectCore());
+    auto node = std::make_unique<QueryExpr>();
+    node->core = std::move(core);
+    return node;
+  }
+
+  Result<std::unique_ptr<SelectCore>> ParseSelectCore() {
+    HIPPO_RETURN_NOT_OK(ExpectKeyword("select"));
+    auto core = std::make_unique<SelectCore>();
+    core->distinct = AcceptKeyword("distinct");
+    do {
+      HIPPO_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      core->items.push_back(std::move(item));
+    } while (Accept(","));
+    HIPPO_RETURN_NOT_OK(ExpectKeyword("from"));
+    do {
+      HIPPO_ASSIGN_OR_RETURN(FromItem item, ParseFromItem());
+      core->from.push_back(std::move(item));
+    } while (Accept(","));
+    if (AcceptKeyword("where")) {
+      HIPPO_ASSIGN_OR_RETURN(core->where, ParseExpr());
+    }
+    if (AcceptKeyword("group")) {
+      HIPPO_RETURN_NOT_OK(ExpectKeyword("by"));
+      do {
+        HIPPO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        core->group_by.push_back(std::move(e));
+      } while (Accept(","));
+    }
+    if (AcceptKeyword("having")) {
+      HIPPO_ASSIGN_OR_RETURN(core->having, ParseExpr());
+    }
+    return core;
+  }
+
+  Result<ExprPtr> ParseAggCall(const std::string& name) {
+    AggFunc fn;
+    if (EqualsIgnoreCase(name, "count")) {
+      fn = AggFunc::kCount;
+    } else if (EqualsIgnoreCase(name, "sum")) {
+      fn = AggFunc::kSum;
+    } else if (EqualsIgnoreCase(name, "min")) {
+      fn = AggFunc::kMin;
+    } else if (EqualsIgnoreCase(name, "max")) {
+      fn = AggFunc::kMax;
+    } else if (EqualsIgnoreCase(name, "avg")) {
+      fn = AggFunc::kAvg;
+    } else {
+      return Fail(("unknown function: " + name).c_str());
+    }
+    HIPPO_RETURN_NOT_OK(Expect("("));
+    if (Accept("*")) {
+      if (fn != AggFunc::kCount) {
+        return Fail("'*' argument is only valid in COUNT(*)");
+      }
+      HIPPO_RETURN_NOT_OK(Expect(")"));
+      return ExprPtr(std::make_unique<AggCallExpr>(fn, nullptr));
+    }
+    HIPPO_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+    HIPPO_RETURN_NOT_OK(Expect(")"));
+    return ExprPtr(std::make_unique<AggCallExpr>(fn, std::move(arg)));
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (Accept("*")) {
+      item.star = true;
+      return item;
+    }
+    // alias.* form.
+    if (Peek().kind == TokenKind::kIdentifier && Peek(1).IsSymbol(".") &&
+        Peek(2).IsSymbol("*")) {
+      item.star = true;
+      item.star_qualifier = Advance().text;
+      Advance();  // .
+      Advance();  // *
+      return item;
+    }
+    HIPPO_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (AcceptKeyword("as")) {
+      HIPPO_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("column alias"));
+    } else if (Peek().kind == TokenKind::kIdentifier &&
+               !IsReservedAfterTable(Peek())) {
+      item.alias = Advance().text;
+    }
+    return item;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    HIPPO_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier("table name"));
+    if (AcceptKeyword("as")) {
+      HIPPO_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("table alias"));
+    } else if (Peek().kind == TokenKind::kIdentifier &&
+               !IsReservedAfterTable(Peek())) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  Result<FromItem> ParseFromItem() {
+    FromItem item;
+    HIPPO_ASSIGN_OR_RETURN(item.base, ParseTableRef());
+    for (;;) {
+      bool inner = AcceptKeyword("inner");
+      if (!AcceptKeyword("join")) {
+        if (inner) return Fail("expected JOIN after INNER");
+        break;
+      }
+      JoinClause jc;
+      HIPPO_ASSIGN_OR_RETURN(jc.table, ParseTableRef());
+      HIPPO_RETURN_NOT_OK(ExpectKeyword("on"));
+      HIPPO_ASSIGN_OR_RETURN(jc.on, ParseExpr());
+      item.joins.push_back(std::move(jc));
+    }
+    return item;
+  }
+
+  // --- expressions --------------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    HIPPO_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (AcceptKeyword("or")) {
+      HIPPO_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = LogicalExpr::MakeOr(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    HIPPO_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (AcceptKeyword("and")) {
+      HIPPO_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = LogicalExpr::MakeAnd(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("not")) {
+      HIPPO_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+      return LogicalExpr::MakeNot(std::move(child));
+    }
+    return ParsePredicate();
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    HIPPO_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    if (AcceptKeyword("is")) {
+      bool negated = AcceptKeyword("not");
+      HIPPO_RETURN_NOT_OK(ExpectKeyword("null"));
+      return ExprPtr(
+          std::make_unique<IsNullExpr>(std::move(left), negated));
+    }
+    CompareOp op;
+    if (Accept("=")) {
+      op = CompareOp::kEq;
+    } else if (Accept("<>")) {
+      op = CompareOp::kNe;
+    } else if (Accept("<=")) {
+      op = CompareOp::kLe;
+    } else if (Accept(">=")) {
+      op = CompareOp::kGe;
+    } else if (Accept("<")) {
+      op = CompareOp::kLt;
+    } else if (Accept(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return left;
+    }
+    HIPPO_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+    return ExprPtr(std::make_unique<ComparisonExpr>(op, std::move(left),
+                                                    std::move(right)));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    HIPPO_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    for (;;) {
+      ArithOp op;
+      if (Accept("+")) {
+        op = ArithOp::kAdd;
+      } else if (Accept("-")) {
+        op = ArithOp::kSub;
+      } else {
+        break;
+      }
+      HIPPO_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = std::make_unique<ArithmeticExpr>(op, std::move(left),
+                                              std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    HIPPO_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    for (;;) {
+      ArithOp op;
+      if (Accept("*")) {
+        op = ArithOp::kMul;
+      } else if (Accept("/")) {
+        op = ArithOp::kDiv;
+      } else if (Accept("%")) {
+        op = ArithOp::kMod;
+      } else {
+        break;
+      }
+      HIPPO_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = std::make_unique<ArithmeticExpr>(op, std::move(left),
+                                              std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Accept("-")) {
+      HIPPO_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+      // Fold negative numeric literals directly.
+      if (child->kind() == ExprKind::kLiteral) {
+        const Value& v = static_cast<const LiteralExpr&>(*child).value();
+        if (v.type() == TypeId::kInt) {
+          return ExprPtr(
+              std::make_unique<LiteralExpr>(Value::Int(-v.AsInt())));
+        }
+        if (v.type() == TypeId::kDouble) {
+          return ExprPtr(
+              std::make_unique<LiteralExpr>(Value::Double(-v.AsDouble())));
+        }
+      }
+      return ExprPtr(std::make_unique<ArithmeticExpr>(
+          ArithOp::kSub, std::make_unique<LiteralExpr>(Value::Int(0)),
+          std::move(child)));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInteger: {
+        Advance();
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(Value::Int(std::stoll(t.text))));
+      }
+      case TokenKind::kDouble: {
+        Advance();
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(Value::Double(std::stod(t.text))));
+      }
+      case TokenKind::kString: {
+        Advance();
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(Value::String(t.text)));
+      }
+      case TokenKind::kIdentifier: {
+        if (t.IsKeyword("true")) {
+          Advance();
+          return ExprPtr(std::make_unique<LiteralExpr>(Value::Bool(true)));
+        }
+        if (t.IsKeyword("false")) {
+          Advance();
+          return ExprPtr(std::make_unique<LiteralExpr>(Value::Bool(false)));
+        }
+        if (t.IsKeyword("null")) {
+          Advance();
+          return ExprPtr(std::make_unique<LiteralExpr>(Value::Null()));
+        }
+        std::string first = Advance().text;
+        if (Peek().IsSymbol("(")) {
+          return ParseAggCall(first);
+        }
+        if (Accept(".")) {
+          HIPPO_ASSIGN_OR_RETURN(std::string second,
+                                 ExpectIdentifier("column name"));
+          return ExprPtr(std::make_unique<ColumnRefExpr>(std::move(first),
+                                                         std::move(second)));
+        }
+        return ExprPtr(std::make_unique<ColumnRefExpr>("", std::move(first)));
+      }
+      case TokenKind::kSymbol: {
+        if (Accept("(")) {
+          HIPPO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          HIPPO_RETURN_NOT_OK(Expect(")"));
+          return e;
+        }
+        break;
+      }
+      case TokenKind::kEnd:
+        break;
+    }
+    return Fail("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& text) {
+  HIPPO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser p(std::move(tokens));
+  return p.ParseOneStatement();
+}
+
+Result<std::vector<Statement>> ParseScript(const std::string& text) {
+  HIPPO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser p(std::move(tokens));
+  return p.ParseAll();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  HIPPO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser p(std::move(tokens));
+  return p.ParseOnlyExpression();
+}
+
+}  // namespace hippo::sql

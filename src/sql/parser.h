@@ -1,0 +1,48 @@
+// Recursive-descent SQL parser for the Hippo statement surface.
+//
+// Grammar (case-insensitive keywords, `--` comments):
+//
+//   statement      := create_table | insert | delete | update | copy | drop
+//                   | select_stmt | create_constraint
+//   copy           := COPY name (FROM | TO) 'path'
+//   drop           := DROP (TABLE | CONSTRAINT) name
+//   create_table   := CREATE TABLE name '(' col type (',' col type)* ')'
+//   insert         := INSERT INTO name VALUES row (',' row)*
+//   delete         := DELETE FROM name [WHERE expr]
+//   update         := UPDATE name SET col '=' expr (',' col '=' expr)*
+//                     [WHERE expr]
+//   row            := '(' const_expr (',' const_expr)* ')'
+//   select_stmt    := query [ORDER BY order_item (',' order_item)*]
+//   query          := term ((UNION | EXCEPT) term)*
+//   term           := qprimary (INTERSECT qprimary)*
+//   qprimary       := select_core | '(' query ')'
+//   select_core    := SELECT [DISTINCT] items FROM from_item (',' from_item)*
+//                     [WHERE expr] [GROUP BY expr (',' expr)*] [HAVING expr]
+//   from_item      := table_ref (JOIN table_ref ON expr)*
+//   table_ref      := name [[AS] alias]
+//   create_constraint :=
+//       CREATE CONSTRAINT name
+//         ( FD ON table '(' cols '->' cols ')'
+//         | EXCLUSION ON table '(' cols ')' ',' table '(' cols ')'
+//         | DENIAL '(' table_ref (',' table_ref)* [WHERE expr] ')' )
+//
+// UNION/EXCEPT/INTERSECT follow set semantics (the engine is set-based;
+// `ALL` is rejected with NotSupported). Expressions support comparison,
+// AND/OR/NOT, arithmetic, IS [NOT] NULL, TRUE/FALSE/NULL literals.
+#pragma once
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace hippo::sql {
+
+/// Parses a single statement (a trailing ';' is permitted).
+Result<Statement> ParseStatement(const std::string& text);
+
+/// Parses a script of ';'-separated statements.
+Result<std::vector<Statement>> ParseScript(const std::string& text);
+
+/// Parses just a scalar expression (used by tests and constraint builders).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace hippo::sql

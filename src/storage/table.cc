@@ -1,0 +1,58 @@
+#include "storage/table.h"
+
+#include "common/str_util.h"
+
+namespace hippo {
+
+Result<std::pair<RowId, bool>> Table::Insert(const Row& values) {
+  if (values.size() != schema_.NumColumns()) {
+    return Status::InvalidArgument(StrFormat(
+        "INSERT into %s: expected %zu values, got %zu", name_.c_str(),
+        schema_.NumColumns(), values.size()));
+  }
+  Row coerced;
+  coerced.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    HIPPO_ASSIGN_OR_RETURN(Value v, values[i].CastTo(schema_.column(i).type));
+    coerced.push_back(std::move(v));
+  }
+  auto it = index_.find(coerced);
+  if (it != index_.end()) {
+    uint32_t idx = it->second;
+    if (live_[idx]) {
+      return std::make_pair(RowId{id_, idx}, false);
+    }
+    // Resurrect the tombstoned slot: same fact, same RowId.
+    live_[idx] = true;
+    ++num_live_;
+    return std::make_pair(RowId{id_, idx}, true);
+  }
+  uint32_t idx = static_cast<uint32_t>(rows_.size());
+  index_.emplace(coerced, idx);
+  rows_.push_back(std::move(coerced));
+  live_.push_back(true);
+  ++num_live_;
+  return std::make_pair(RowId{id_, idx}, true);
+}
+
+bool Table::Delete(uint32_t row_index) {
+  if (row_index >= live_.size() || !live_[row_index]) return false;
+  live_[row_index] = false;
+  --num_live_;
+  return true;
+}
+
+std::optional<RowId> Table::Find(const Row& values) const {
+  auto it = index_.find(values);
+  if (it == index_.end() || !live_[it->second]) return std::nullopt;
+  return RowId{id_, it->second};
+}
+
+void Table::Clear() {
+  rows_.clear();
+  live_.clear();
+  num_live_ = 0;
+  index_.clear();
+}
+
+}  // namespace hippo

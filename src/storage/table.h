@@ -1,0 +1,102 @@
+// In-memory row-store table with set semantics and stable row identifiers.
+//
+// Hippo's repair theory is defined over *sets* of tuples: a repair is a
+// maximal consistent subset of the instance, and the conflict hypergraph
+// connects tuples (not physical duplicates). The table therefore enforces
+// set semantics on insert: re-inserting an existing row is a silent no-op,
+// so every fact R(t) corresponds to exactly one RowId.
+//
+// DELETE is implemented with tombstones: a deleted row keeps its slot (and
+// therefore its RowId), scans skip it, and re-inserting the same values
+// resurrects the original RowId. Stable RowIds are what make incremental
+// maintenance of the conflict hypergraph under updates possible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/hash.h"
+#include "common/status.h"
+#include "types/value.h"
+
+namespace hippo {
+
+/// Identifies a tuple in the database: (table ordinal in catalog, row index).
+struct RowId {
+  uint32_t table = 0;
+  uint32_t row = 0;
+
+  bool operator==(const RowId& o) const {
+    return table == o.table && row == o.row;
+  }
+  bool operator!=(const RowId& o) const { return !(*this == o); }
+  bool operator<(const RowId& o) const {
+    return table != o.table ? table < o.table : row < o.row;
+  }
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(table) << 32) | row;
+  }
+  std::string ToString() const {
+    return "t" + std::to_string(table) + "#" + std::to_string(row);
+  }
+};
+
+struct RowIdHasher {
+  size_t operator()(const RowId& r) const { return Mix64(r.Pack()); }
+};
+
+/// \brief A base relation: schema + rows, append-only with set semantics.
+class Table {
+ public:
+  Table(uint32_t id, std::string name, Schema schema)
+      : id_(id), name_(std::move(name)), schema_(std::move(schema)) {}
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Number of physical row slots (live + tombstoned). Iterate [0, NumRows())
+  /// and filter with IsLive() to visit the instance.
+  size_t NumRows() const { return rows_.size(); }
+  /// Number of live (non-deleted) rows — the cardinality of the relation.
+  size_t NumLiveRows() const { return num_live_; }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// True when slot `i` holds a live row (false once deleted).
+  bool IsLive(size_t i) const { return i < live_.size() && live_[i]; }
+
+  /// Inserts a row after coercing each value to the column type.
+  /// Returns the RowId of the (new, pre-existing, or resurrected) row and
+  /// whether the live instance changed (true for new rows and for
+  /// resurrections of tombstoned rows). Errors on arity mismatch or
+  /// uncoercible values.
+  Result<std::pair<RowId, bool>> Insert(const Row& values);
+
+  /// Tombstones the row in slot `row_index`. Returns true when the row was
+  /// live (i.e. the instance changed), false when already deleted or out of
+  /// range. The slot and its RowId remain reserved.
+  bool Delete(uint32_t row_index);
+
+  /// Looks up the RowId of an exact *live* row, if present (O(1) expected).
+  std::optional<RowId> Find(const Row& values) const;
+
+  /// Clears all rows (used by workload generators between configurations).
+  void Clear();
+
+ private:
+  uint32_t id_;
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> live_;
+  size_t num_live_ = 0;
+  // Full-row hash index enforcing set semantics and serving Find(); entries
+  // for tombstoned rows are kept so a re-insert resurrects the old RowId.
+  std::unordered_map<Row, uint32_t, RowHasher, RowEq> index_;
+};
+
+}  // namespace hippo

@@ -1,0 +1,206 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/str_util.h"
+
+namespace hippo {
+
+const char* TypeIdToString(TypeId t) {
+  switch (t) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return "BOOLEAN";
+    case TypeId::kInt:
+      return "INTEGER";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kString:
+      return "VARCHAR";
+  }
+  return "?";
+}
+
+Result<TypeId> TypeIdFromString(const std::string& name) {
+  std::string n = ToLower(name);
+  if (n == "int" || n == "integer" || n == "bigint" || n == "smallint") {
+    return TypeId::kInt;
+  }
+  if (n == "double" || n == "float" || n == "real" || n == "numeric" ||
+      n == "decimal") {
+    return TypeId::kDouble;
+  }
+  if (n == "varchar" || n == "text" || n == "string" || n == "char") {
+    return TypeId::kString;
+  }
+  if (n == "bool" || n == "boolean") {
+    return TypeId::kBool;
+  }
+  return Status::InvalidArgument("unknown type name: " + name);
+}
+
+double Value::NumericAsDouble() const {
+  if (type_ == TypeId::kInt) return static_cast<double>(AsInt());
+  HIPPO_CHECK_MSG(type_ == TypeId::kDouble, "NumericAsDouble on non-numeric");
+  return AsDouble();
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return AsBool() ? "TRUE" : "FALSE";
+    case TypeId::kInt:
+      return std::to_string(AsInt());
+    case TypeId::kDouble: {
+      std::string s = StrFormat("%g", AsDouble());
+      return s;
+    }
+    case TypeId::kString:
+      return SqlQuote(AsString());
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsNumeric(TypeId t) { return t == TypeId::kInt || t == TypeId::kDouble; }
+
+// Rank used to order values of different type classes.
+int TypeRank(TypeId t) {
+  switch (t) {
+    case TypeId::kNull:
+      return 0;
+    case TypeId::kBool:
+      return 1;
+    case TypeId::kInt:
+    case TypeId::kDouble:
+      return 2;
+    case TypeId::kString:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+bool Value::operator==(const Value& other) const {
+  if (IsNumeric(type_) && IsNumeric(other.type_)) {
+    if (type_ == TypeId::kInt && other.type_ == TypeId::kInt) {
+      return AsInt() == other.AsInt();
+    }
+    return NumericAsDouble() == other.NumericAsDouble();
+  }
+  if (type_ != other.type_) return false;
+  return data_ == other.data_;
+}
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type_), rb = TypeRank(other.type_);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type_) {
+    case TypeId::kNull:
+      return 0;
+    case TypeId::kBool: {
+      bool a = AsBool(), b = other.AsBool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case TypeId::kInt:
+      if (other.type_ == TypeId::kInt) {
+        int64_t a = AsInt(), b = other.AsInt();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      [[fallthrough]];
+    case TypeId::kDouble: {
+      double a = NumericAsDouble(), b = other.NumericAsDouble();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case TypeId::kString: {
+      int c = AsString().compare(other.AsString());
+      return c == 0 ? 0 : (c < 0 ? -1 : 1);
+    }
+  }
+  return 0;
+}
+
+bool Value::operator<(const Value& other) const {
+  return Compare(other) < 0;
+}
+
+size_t Value::Hash() const {
+  size_t seed = 0;
+  switch (type_) {
+    case TypeId::kNull:
+      HashCombine(&seed, 0x6e756c6cULL);
+      break;
+    case TypeId::kBool:
+      HashCombine(&seed, AsBool() ? 2u : 1u);
+      break;
+    case TypeId::kInt:
+    case TypeId::kDouble: {
+      // Hash numerics by double value so 5 and 5.0 collide with equality.
+      double d = NumericAsDouble();
+      // Normalize -0.0 to 0.0 (they compare equal).
+      if (d == 0.0) d = 0.0;
+      int64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(d));
+      HashCombine(&seed, Mix64(static_cast<uint64_t>(bits)));
+      break;
+    }
+    case TypeId::kString:
+      HashCombineValue(&seed, AsString());
+      break;
+  }
+  return seed;
+}
+
+Result<Value> Value::CastTo(TypeId target) const {
+  if (is_null()) return Value::Null();
+  if (type_ == target) return *this;
+  if (target == TypeId::kDouble && type_ == TypeId::kInt) {
+    return Value::Double(static_cast<double>(AsInt()));
+  }
+  if (target == TypeId::kInt && type_ == TypeId::kDouble) {
+    double d = AsDouble();
+    if (std::floor(d) != d) {
+      return Status::TypeError(StrFormat(
+          "cannot cast non-integral DOUBLE %g to INTEGER losslessly", d));
+    }
+    return Value::Int(static_cast<int64_t>(d));
+  }
+  return Status::TypeError(
+      StrFormat("cannot cast %s to %s", TypeIdToString(type_),
+                TypeIdToString(target)));
+}
+
+size_t HashRow(const Row& row) {
+  size_t seed = row.size();
+  for (const Value& v : row) HashCombine(&seed, v.Hash());
+  return seed;
+}
+
+bool RowLess(const Row& a, const Row& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace hippo

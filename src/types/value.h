@@ -1,0 +1,112 @@
+// The runtime value type of the Hippo engine. Relations hold rows of Values;
+// scalar expressions evaluate to Values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hippo {
+
+/// Column / value types supported by the engine. This is the set needed by
+/// the paper's experiments (integers and strings dominate; doubles and bools
+/// round out scalar expressions).
+enum class TypeId : uint8_t {
+  kNull = 0,   ///< only as the type of the NULL literal before binding
+  kBool,
+  kInt,        ///< 64-bit signed
+  kDouble,
+  kString,
+};
+
+/// Short SQL-ish name: "BOOLEAN", "INTEGER", "DOUBLE", "VARCHAR", "NULL".
+const char* TypeIdToString(TypeId t);
+
+/// Parses a type name as accepted by CREATE TABLE (case-insensitive;
+/// accepts common aliases INT/INTEGER/BIGINT, VARCHAR/TEXT/STRING, etc.).
+Result<TypeId> TypeIdFromString(const std::string& name);
+
+/// \brief A dynamically typed scalar value (SQL semantics).
+///
+/// NULL is a distinct value of every type. Comparisons between values of
+/// different numeric types coerce int -> double. Ordering places NULL first
+/// (only used for deterministic output sorting, not SQL comparisons —
+/// three-valued logic is handled by the expression evaluator).
+class Value {
+ public:
+  Value() : type_(TypeId::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(TypeId::kBool, b); }
+  static Value Int(int64_t i) { return Value(TypeId::kInt, i); }
+  static Value Double(double d) { return Value(TypeId::kDouble, d); }
+  static Value String(std::string s) {
+    return Value(TypeId::kString, std::move(s));
+  }
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return type_ == TypeId::kNull; }
+
+  bool AsBool() const { return std::get<bool>(data_); }
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: int and double both convert; anything else is a
+  /// programmer error (the binder guarantees numeric operands).
+  double NumericAsDouble() const;
+
+  /// SQL-literal-ish rendering: NULL, TRUE, 42, 3.5, 'text'.
+  std::string ToString() const;
+
+  /// Structural equality: same type (after int/double coercion for numerics)
+  /// and same payload. NULL == NULL here (this is *identity*, used for
+  /// hashing and set semantics; SQL three-valued `=` lives in the evaluator).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order consistent with operator== (NULL < BOOL < numeric < STRING;
+  /// numerics compare by value across int/double).
+  bool operator<(const Value& other) const;
+
+  /// Three-way comparison helper returning -1/0/1 under the total order.
+  int Compare(const Value& other) const;
+
+  /// Hash consistent with operator== (numeric 5 and 5.0 hash equal).
+  size_t Hash() const;
+
+  /// Attempts to cast to `target` (used by INSERT coercion): int<->double,
+  /// anything -> string of itself is NOT performed; NULL casts to any type.
+  Result<Value> CastTo(TypeId target) const;
+
+ private:
+  template <typename T>
+  Value(TypeId t, T&& v) : type_(t), data_(std::forward<T>(v)) {}
+
+  TypeId type_;
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+/// A row of values.
+using Row = std::vector<Value>;
+
+/// Hash of an entire row (combines per-value hashes in order).
+size_t HashRow(const Row& row);
+
+/// Lexicographic row comparison under Value's total order.
+bool RowLess(const Row& a, const Row& b);
+
+/// Renders a row as "(v1, v2, ...)".
+std::string RowToString(const Row& row);
+
+struct RowHasher {
+  size_t operator()(const Row& r) const { return HashRow(r); }
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const { return a == b; }
+};
+
+}  // namespace hippo

@@ -1,0 +1,387 @@
+// SQL aggregation (GROUP BY / HAVING / aggregate functions) in the plain
+// engine, its exclusion from the CQA query class, and the grouped
+// range-consistent aggregation extension.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "db/database.h"
+#include "repairs/repair_enumerator.h"
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+class AggregationSqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.Execute(
+        "CREATE TABLE emp (name VARCHAR, dept VARCHAR, salary INTEGER);"
+        "INSERT INTO emp VALUES "
+        "('ann', 'sales', 10), ('bob', 'sales', 30), "
+        "('cat', 'eng', 20), ('dan', 'eng', 40), ('eve', 'eng', 60), "
+        "('fay', 'hr', 50)"));
+  }
+
+  ResultSet Q(const std::string& sql) {
+    auto rs = db_.Query(sql);
+    EXPECT_OK(rs.status()) << sql;
+    return rs.ok() ? std::move(rs).value() : ResultSet{};
+  }
+
+  Database db_;
+};
+
+TEST_F(AggregationSqlTest, GlobalCountStar) {
+  ResultSet rs = Q("SELECT COUNT(*) FROM emp");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(6));
+}
+
+TEST_F(AggregationSqlTest, GlobalAggregates) {
+  ResultSet rs = Q(
+      "SELECT COUNT(*), SUM(salary), MIN(salary), MAX(salary), AVG(salary) "
+      "FROM emp");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(6));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(210));
+  EXPECT_EQ(rs.rows[0][2], Value::Int(10));
+  EXPECT_EQ(rs.rows[0][3], Value::Int(60));
+  EXPECT_EQ(rs.rows[0][4], Value::Double(35.0));
+}
+
+TEST_F(AggregationSqlTest, GroupByCount) {
+  ResultSet rs = Q(
+      "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept ORDER BY dept");
+  ASSERT_EQ(rs.NumRows(), 3u);
+  EXPECT_EQ(rs.rows[0], (Row{Value::String("eng"), Value::Int(3)}));
+  EXPECT_EQ(rs.rows[1], (Row{Value::String("hr"), Value::Int(1)}));
+  EXPECT_EQ(rs.rows[2], (Row{Value::String("sales"), Value::Int(2)}));
+}
+
+TEST_F(AggregationSqlTest, GroupBySumWithWhere) {
+  ResultSet rs = Q(
+      "SELECT dept, SUM(salary) FROM emp WHERE salary > 15 "
+      "GROUP BY dept ORDER BY dept");
+  ASSERT_EQ(rs.NumRows(), 3u);
+  EXPECT_EQ(rs.rows[0], (Row{Value::String("eng"), Value::Int(120)}));
+  EXPECT_EQ(rs.rows[1], (Row{Value::String("hr"), Value::Int(50)}));
+  EXPECT_EQ(rs.rows[2], (Row{Value::String("sales"), Value::Int(30)}));
+}
+
+TEST_F(AggregationSqlTest, Having) {
+  ResultSet rs = Q(
+      "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept "
+      "HAVING COUNT(*) >= 2 ORDER BY dept");
+  ASSERT_EQ(rs.NumRows(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::String("eng"));
+  EXPECT_EQ(rs.rows[1][0], Value::String("sales"));
+}
+
+TEST_F(AggregationSqlTest, HavingOverGroupColumn) {
+  ResultSet rs = Q(
+      "SELECT dept, MAX(salary) FROM emp GROUP BY dept "
+      "HAVING dept <> 'hr' ORDER BY dept");
+  ASSERT_EQ(rs.NumRows(), 2u);
+}
+
+TEST_F(AggregationSqlTest, ArithmeticOverAggregates) {
+  ResultSet rs = Q(
+      "SELECT dept, MAX(salary) - MIN(salary) AS spread FROM emp "
+      "GROUP BY dept ORDER BY dept");
+  ASSERT_EQ(rs.NumRows(), 3u);
+  EXPECT_EQ(rs.rows[0], (Row{Value::String("eng"), Value::Int(40)}));
+  EXPECT_EQ(rs.rows[1], (Row{Value::String("hr"), Value::Int(0)}));
+  EXPECT_EQ(rs.rows[2], (Row{Value::String("sales"), Value::Int(20)}));
+}
+
+TEST_F(AggregationSqlTest, GroupByExpression) {
+  ResultSet rs = Q(
+      "SELECT salary / 20 AS bucket, COUNT(*) FROM emp "
+      "GROUP BY salary / 20 ORDER BY bucket");
+  // 10,30 -> 0,1 ; 20,40 -> 1,2 ; 60 -> 3 ; 50 -> 2.
+  ASSERT_EQ(rs.NumRows(), 4u);
+  EXPECT_EQ(rs.rows[0], (Row{Value::Int(0), Value::Int(1)}));
+  EXPECT_EQ(rs.rows[1], (Row{Value::Int(1), Value::Int(2)}));
+  EXPECT_EQ(rs.rows[2], (Row{Value::Int(2), Value::Int(2)}));
+  EXPECT_EQ(rs.rows[3], (Row{Value::Int(3), Value::Int(1)}));
+}
+
+TEST_F(AggregationSqlTest, CountColumnSkipsNulls) {
+  ASSERT_OK(db_.Execute("CREATE TABLE t (a INTEGER, b INTEGER);"
+                        "INSERT INTO t VALUES (1, 1), (2, NULL), (3, 3)"));
+  ResultSet rs = Q("SELECT COUNT(*), COUNT(b), SUM(b) FROM t");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(3));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(2));
+  EXPECT_EQ(rs.rows[0][2], Value::Int(4));
+}
+
+TEST_F(AggregationSqlTest, NullsFormOneGroup) {
+  ASSERT_OK(db_.Execute("CREATE TABLE n (k VARCHAR, v INTEGER);"
+                        "INSERT INTO n VALUES (NULL, 1), (NULL, 2), "
+                        "('x', 3)"));
+  ResultSet rs = Q("SELECT k, COUNT(*), SUM(v) FROM n GROUP BY k");
+  ASSERT_EQ(rs.NumRows(), 2u);
+  bool found_null_group = false;
+  for (const Row& row : rs.rows) {
+    if (row[0].is_null()) {
+      found_null_group = true;
+      EXPECT_EQ(row[1], Value::Int(2));
+      EXPECT_EQ(row[2], Value::Int(3));
+    }
+  }
+  EXPECT_TRUE(found_null_group);
+}
+
+TEST_F(AggregationSqlTest, AvgOfIntsIsDouble) {
+  ResultSet rs = Q("SELECT dept, AVG(salary) FROM emp GROUP BY dept "
+                   "ORDER BY dept");
+  ASSERT_EQ(rs.NumRows(), 3u);
+  EXPECT_EQ(rs.rows[0][1], Value::Double(40.0));  // eng (20+40+60)/3
+  EXPECT_EQ(rs.schema.column(1).type, TypeId::kDouble);
+}
+
+TEST_F(AggregationSqlTest, SumOfDoublesStaysDouble) {
+  ASSERT_OK(db_.Execute("CREATE TABLE d (g INTEGER, x DOUBLE);"
+                        "INSERT INTO d VALUES (1, 1.5), (1, 2.25)"));
+  ResultSet rs = Q("SELECT g, SUM(x) FROM d GROUP BY g");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.rows[0][1], Value::Double(3.75));
+}
+
+TEST_F(AggregationSqlTest, QualifiedAndBareGroupColumnMatch) {
+  // `emp.dept` in the select list must match `dept` in GROUP BY (and vice
+  // versa) — matching is by resolved ordinal, not by spelling.
+  ResultSet a = Q("SELECT emp.dept, COUNT(*) FROM emp GROUP BY dept "
+                  "ORDER BY dept");
+  ResultSet b = Q("SELECT dept, COUNT(*) FROM emp GROUP BY emp.dept "
+                  "ORDER BY dept");
+  EXPECT_EQ(SortedRows(a), SortedRows(b));
+  ASSERT_EQ(a.NumRows(), 3u);
+}
+
+TEST_F(AggregationSqlTest, EmptyInputGlobalVsGrouped) {
+  ASSERT_OK(db_.Execute("CREATE TABLE empty0 (a INTEGER)"));
+  ResultSet global = Q("SELECT COUNT(*), SUM(a) FROM empty0");
+  ASSERT_EQ(global.NumRows(), 1u);
+  EXPECT_EQ(global.rows[0][0], Value::Int(0));
+  EXPECT_TRUE(global.rows[0][1].is_null());
+  ResultSet grouped = Q("SELECT a, COUNT(*) FROM empty0 GROUP BY a");
+  EXPECT_EQ(grouped.NumRows(), 0u);
+}
+
+TEST_F(AggregationSqlTest, AggregateOverJoin) {
+  ASSERT_OK(db_.Execute(
+      "CREATE TABLE bonus (dept VARCHAR, amount INTEGER);"
+      "INSERT INTO bonus VALUES ('sales', 5), ('eng', 7)"));
+  ResultSet rs = Q(
+      "SELECT e.dept, SUM(e.salary + b.amount) FROM emp e "
+      "JOIN bonus b ON e.dept = b.dept GROUP BY e.dept ORDER BY dept");
+  ASSERT_EQ(rs.NumRows(), 2u);
+  EXPECT_EQ(rs.rows[0], (Row{Value::String("eng"), Value::Int(141)}));
+  EXPECT_EQ(rs.rows[1], (Row{Value::String("sales"), Value::Int(50)}));
+}
+
+// --- error cases ------------------------------------------------------------
+
+TEST_F(AggregationSqlTest, BareColumnOutsideGroupByFails) {
+  EXPECT_FALSE(db_.Query("SELECT name, COUNT(*) FROM emp GROUP BY dept")
+                   .ok());
+}
+
+TEST_F(AggregationSqlTest, AggregateInWhereFails) {
+  EXPECT_FALSE(db_.Query("SELECT dept FROM emp WHERE COUNT(*) > 1").ok());
+}
+
+TEST_F(AggregationSqlTest, NestedAggregateFails) {
+  EXPECT_FALSE(db_.Query("SELECT SUM(COUNT(*)) FROM emp").ok());
+}
+
+TEST_F(AggregationSqlTest, StarWithGroupByFails) {
+  EXPECT_FALSE(db_.Query("SELECT * FROM emp GROUP BY dept").ok());
+}
+
+TEST_F(AggregationSqlTest, SumOfVarcharFails) {
+  EXPECT_FALSE(db_.Query("SELECT SUM(name) FROM emp").ok());
+}
+
+TEST_F(AggregationSqlTest, CountStarOnlyForCount) {
+  EXPECT_FALSE(db_.Query("SELECT SUM(*) FROM emp").ok());
+}
+
+TEST_F(AggregationSqlTest, UnknownFunctionFails) {
+  EXPECT_FALSE(db_.Query("SELECT MEDIAN(salary) FROM emp").ok());
+}
+
+TEST_F(AggregationSqlTest, MinMaxOnStringsWork) {
+  ResultSet rs = Q("SELECT MIN(name), MAX(name) FROM emp");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::String("ann"));
+  EXPECT_EQ(rs.rows[0][1], Value::String("fay"));
+}
+
+// --- CQA boundary -----------------------------------------------------------
+
+TEST_F(AggregationSqlTest, CqaRejectsAggregatesWithPointer) {
+  ASSERT_OK(db_.Execute("CREATE CONSTRAINT fd FD ON emp (name -> salary)"));
+  auto st = db_.ConsistentAnswers("SELECT dept, COUNT(*) FROM emp GROUP BY "
+                                  "dept");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.status().message().find("range"), std::string::npos);
+  EXPECT_FALSE(
+      db_.ConsistentAnswersByRewriting("SELECT COUNT(*) FROM emp").ok());
+}
+
+// --- grouped range-consistent aggregation -----------------------------------
+
+class GroupedRangeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two conflicting salary reports for ann (sales) and dan (eng).
+    ASSERT_OK(db_.Execute(
+        "CREATE TABLE emp (name VARCHAR, dept VARCHAR, salary INTEGER);"
+        "INSERT INTO emp VALUES "
+        "('ann', 'sales', 10), ('ann', 'sales', 18), "
+        "('bob', 'sales', 30), "
+        "('cat', 'eng', 20), "
+        "('dan', 'eng', 40), ('dan', 'eng', 44);"
+        // name determines everything, so cliques never straddle depts.
+        "CREATE CONSTRAINT fd FD ON emp (name -> dept, salary)"));
+  }
+  Database db_;
+};
+
+TEST_F(GroupedRangeTest, ClosedFormPerDept) {
+  cqa::AggStats stats;
+  auto result = db_.GroupedRangeConsistentAggregate(
+      "emp", cqa::AggFn::kSum, "salary", {"dept"}, &stats);
+  ASSERT_OK(result.status());
+  EXPECT_TRUE(stats.used_clique_partition);
+  ASSERT_EQ(result.value().size(), 2u);
+  // eng: cat 20 fixed + dan {40,44} -> [60, 64]
+  EXPECT_EQ(result.value()[0].group, (Row{Value::String("eng")}));
+  EXPECT_EQ(result.value()[0].range.glb, Value::Int(60));
+  EXPECT_EQ(result.value()[0].range.lub, Value::Int(64));
+  EXPECT_TRUE(result.value()[0].certain);
+  // sales: bob 30 fixed + ann {10,18} -> [40, 48]
+  EXPECT_EQ(result.value()[1].group, (Row{Value::String("sales")}));
+  EXPECT_EQ(result.value()[1].range.glb, Value::Int(40));
+  EXPECT_EQ(result.value()[1].range.lub, Value::Int(48));
+}
+
+TEST_F(GroupedRangeTest, CountIsCertainPerGroup) {
+  auto result = db_.GroupedRangeConsistentAggregate(
+      "emp", cqa::AggFn::kCount, "", {"dept"});
+  ASSERT_OK(result.status());
+  ASSERT_EQ(result.value().size(), 2u);
+  EXPECT_EQ(result.value()[0].range.glb, Value::Int(2));  // eng
+  EXPECT_EQ(result.value()[0].range.lub, Value::Int(2));
+  EXPECT_EQ(result.value()[1].range.glb, Value::Int(2));  // sales
+}
+
+TEST_F(GroupedRangeTest, MatchesPerRepairSqlAggregation) {
+  // Differential check: run the SQL GROUP BY query over every repair (via
+  // row masks) and compare the per-group min/max against the closed form.
+  const char* kFn[] = {"COUNT(*)", "SUM(salary)", "MIN(salary)",
+                       "MAX(salary)", "AVG(salary)"};
+  const cqa::AggFn kAgg[] = {cqa::AggFn::kCount, cqa::AggFn::kSum,
+                             cqa::AggFn::kMin, cqa::AggFn::kMax,
+                             cqa::AggFn::kAvg};
+  auto graph = db_.Hypergraph();
+  ASSERT_OK(graph.status());
+  RepairEnumerator repairs(db_.catalog(), *graph.value());
+  auto masks = repairs.EnumerateMasks(1000);
+  ASSERT_OK(masks.status());
+  ASSERT_EQ(masks.value().size(), 4u);  // two cliques of size two
+
+  for (size_t f = 0; f < 5; ++f) {
+    auto plan = db_.Plan(std::string("SELECT dept, ") + kFn[f] +
+                         " FROM emp GROUP BY dept");
+    ASSERT_OK(plan.status());
+    std::map<std::string, std::pair<Value, Value>> expected;  // dept key
+    for (const RowMask& mask : masks.value()) {
+      ExecContext ctx{&db_.catalog(), &mask};
+      auto rs = Execute(*plan.value(), ctx);
+      ASSERT_OK(rs.status());
+      for (const Row& row : rs.value().rows) {
+        auto it = expected.find(row[0].ToString());
+        if (it == expected.end()) {
+          expected.emplace(row[0].ToString(),
+                           std::make_pair(row[1], row[1]));
+        } else {
+          if (row[1].Compare(it->second.first) < 0) it->second.first = row[1];
+          if (row[1].Compare(it->second.second) > 0) {
+            it->second.second = row[1];
+          }
+        }
+      }
+    }
+    auto closed = db_.GroupedRangeConsistentAggregate(
+        "emp", kAgg[f], f == 0 ? "" : "salary", {"dept"});
+    ASSERT_OK(closed.status());
+    ASSERT_EQ(closed.value().size(), expected.size()) << kFn[f];
+    for (const cqa::GroupRange& g : closed.value()) {
+      auto it = expected.find(g.group[0].ToString());
+      ASSERT_NE(it, expected.end()) << kFn[f];
+      EXPECT_EQ(g.range.glb, it->second.first)
+          << kFn[f] << " glb for " << g.group[0].ToString();
+      EXPECT_EQ(g.range.lub, it->second.second)
+          << kFn[f] << " lub for " << g.group[0].ToString();
+      EXPECT_TRUE(g.certain);
+    }
+  }
+}
+
+TEST_F(GroupedRangeTest, StraddlingCliqueFallsBackToEnumeration) {
+  // Group by salary: ann's clique members have different salaries, so the
+  // clique straddles groups and the closed form is invalid.
+  cqa::AggStats stats;
+  auto result = db_.GroupedRangeConsistentAggregate(
+      "emp", cqa::AggFn::kCount, "", {"salary"}, &stats);
+  ASSERT_OK(result.status());
+  EXPECT_FALSE(stats.used_clique_partition);
+  // Salary 10 exists only in repairs keeping ann/10: uncertain group.
+  bool found_uncertain = false;
+  for (const cqa::GroupRange& g : result.value()) {
+    if (g.group == Row{Value::Int(10)}) {
+      EXPECT_FALSE(g.certain);
+      found_uncertain = true;
+    }
+    if (g.group == Row{Value::Int(30)}) {  // bob: conflict-free
+      EXPECT_TRUE(g.certain);
+    }
+  }
+  EXPECT_TRUE(found_uncertain);
+}
+
+TEST_F(GroupedRangeTest, GroupOfOnlyOrphansIsOmitted) {
+  ASSERT_OK(db_.Execute(
+      "CREATE TABLE parent (k INTEGER);"
+      "CREATE TABLE child (k INTEGER, v INTEGER);"
+      "INSERT INTO parent VALUES (1);"
+      "INSERT INTO child VALUES (1, 10), (2, 20);"  // k=2 is an orphan
+      "CREATE CONSTRAINT fk FOREIGN KEY child (k) REFERENCES parent (k)"));
+  auto result = db_.GroupedRangeConsistentAggregate(
+      "child", cqa::AggFn::kSum, "v", {"k"});
+  ASSERT_OK(result.status());
+  ASSERT_EQ(result.value().size(), 1u);  // the k=2 group never exists
+  EXPECT_EQ(result.value()[0].group, (Row{Value::Int(1)}));
+  EXPECT_EQ(result.value()[0].range.glb, Value::Int(10));
+}
+
+TEST_F(GroupedRangeTest, ErrorsMirrorScalarForm) {
+  EXPECT_FALSE(db_.GroupedRangeConsistentAggregate(
+                      "emp", cqa::AggFn::kSum, "name", {"dept"})
+                   .ok());  // non-numeric
+  EXPECT_FALSE(db_.GroupedRangeConsistentAggregate(
+                      "emp", cqa::AggFn::kSum, "salary", {})
+                   .ok());  // no group columns
+  EXPECT_FALSE(db_.GroupedRangeConsistentAggregate(
+                      "emp", cqa::AggFn::kSum, "salary", {"nope"})
+                   .ok());  // unknown group column
+}
+
+}  // namespace
+}  // namespace hippo

@@ -1,0 +1,169 @@
+// Tests for Schema, Catalog and the set-semantics row store.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/schema.h"
+#include "storage/table.h"
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+Schema TwoCol() {
+  Schema s;
+  s.AddColumn(Column("a", TypeId::kInt));
+  s.AddColumn(Column("b", TypeId::kString));
+  return s;
+}
+
+TEST(SchemaTest, ResolveByName) {
+  Schema s = TwoCol();
+  EXPECT_EQ(s.ResolveColumn("", "a").value(), 0u);
+  EXPECT_EQ(s.ResolveColumn("", "B").value(), 1u);  // case-insensitive
+  EXPECT_EQ(s.ResolveColumn("", "c").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ResolveWithQualifier) {
+  Schema s = TwoCol().WithQualifier("t");
+  EXPECT_EQ(s.ResolveColumn("t", "a").value(), 0u);
+  EXPECT_EQ(s.ResolveColumn("T", "a").value(), 0u);
+  EXPECT_EQ(s.ResolveColumn("u", "a").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ResolveColumn("", "a").value(), 0u);  // unqualified still works
+}
+
+TEST(SchemaTest, AmbiguousReference) {
+  Schema s = Schema::Concat(TwoCol().WithQualifier("x"),
+                            TwoCol().WithQualifier("y"));
+  EXPECT_EQ(s.ResolveColumn("", "a").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ResolveColumn("x", "a").value(), 0u);
+  EXPECT_EQ(s.ResolveColumn("y", "a").value(), 2u);
+}
+
+TEST(SchemaTest, UnionCompatibility) {
+  Schema a = TwoCol();
+  Schema b = TwoCol().WithQualifier("z");  // names/qualifiers irrelevant
+  EXPECT_TRUE(a.UnionCompatible(b));
+  Schema c;
+  c.AddColumn(Column("a", TypeId::kInt));
+  EXPECT_FALSE(a.UnionCompatible(c));  // arity mismatch
+  Schema d;
+  d.AddColumn(Column("a", TypeId::kString));
+  d.AddColumn(Column("b", TypeId::kString));
+  EXPECT_FALSE(a.UnionCompatible(d));  // type mismatch
+}
+
+TEST(SchemaTest, ToStringRendering) {
+  EXPECT_EQ(TwoCol().ToString(), "(a INTEGER, b VARCHAR)");
+  EXPECT_EQ(TwoCol().WithQualifier("t").ToString(),
+            "(t.a INTEGER, t.b VARCHAR)");
+}
+
+TEST(TableTest, InsertAndRead) {
+  Table t(0, "t", TwoCol());
+  auto r = t.Insert({Value::Int(1), Value::String("x")});
+  ASSERT_OK(r.status());
+  EXPECT_TRUE(r.value().second);
+  EXPECT_EQ(r.value().first, (RowId{0, 0}));
+  EXPECT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.row(0)[1], Value::String("x"));
+}
+
+TEST(TableTest, SetSemanticsDeduplicates) {
+  Table t(0, "t", TwoCol());
+  ASSERT_OK(t.Insert({Value::Int(1), Value::String("x")}).status());
+  auto dup = t.Insert({Value::Int(1), Value::String("x")});
+  ASSERT_OK(dup.status());
+  EXPECT_FALSE(dup.value().second);
+  EXPECT_EQ(dup.value().first, (RowId{0, 0}));
+  EXPECT_EQ(t.NumRows(), 1u);
+}
+
+TEST(TableTest, InsertCoercesTypes) {
+  Schema s;
+  s.AddColumn(Column("d", TypeId::kDouble));
+  Table t(0, "t", s);
+  ASSERT_OK(t.Insert({Value::Int(3)}).status());
+  EXPECT_EQ(t.row(0)[0].type(), TypeId::kDouble);
+  EXPECT_EQ(t.row(0)[0].AsDouble(), 3.0);
+}
+
+TEST(TableTest, InsertChecksArityAndTypes) {
+  Table t(0, "t", TwoCol());
+  EXPECT_EQ(t.Insert({Value::Int(1)}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.Insert({Value::String("no"), Value::String("x")})
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST(TableTest, FindRow) {
+  Table t(0, "t", TwoCol());
+  ASSERT_OK(t.Insert({Value::Int(1), Value::String("x")}).status());
+  ASSERT_OK(t.Insert({Value::Int(2), Value::String("y")}).status());
+  auto found = t.Find({Value::Int(2), Value::String("y")});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, (RowId{0, 1}));
+  EXPECT_FALSE(t.Find({Value::Int(3), Value::String("z")}).has_value());
+}
+
+TEST(TableTest, FindAfterCoercion) {
+  Schema s;
+  s.AddColumn(Column("d", TypeId::kDouble));
+  Table t(0, "t", s);
+  ASSERT_OK(t.Insert({Value::Int(3)}).status());
+  // Numeric equality makes Int(3) hash/compare equal to Double(3.0).
+  EXPECT_TRUE(t.Find({Value::Int(3)}).has_value());
+  EXPECT_TRUE(t.Find({Value::Double(3.0)}).has_value());
+}
+
+TEST(TableTest, NullsStoreAndDedupe) {
+  Table t(0, "t", TwoCol());
+  ASSERT_OK(t.Insert({Value::Null(), Value::Null()}).status());
+  auto dup = t.Insert({Value::Null(), Value::Null()});
+  ASSERT_OK(dup.status());
+  EXPECT_FALSE(dup.value().second);
+  EXPECT_EQ(t.NumRows(), 1u);
+}
+
+TEST(TableTest, Clear) {
+  Table t(0, "t", TwoCol());
+  ASSERT_OK(t.Insert({Value::Int(1), Value::String("x")}).status());
+  t.Clear();
+  EXPECT_EQ(t.NumRows(), 0u);
+  auto again = t.Insert({Value::Int(1), Value::String("x")});
+  ASSERT_OK(again.status());
+  EXPECT_TRUE(again.value().second);
+}
+
+TEST(CatalogTest, CreateAndGet) {
+  Catalog c;
+  ASSERT_OK(c.CreateTable("T1", TwoCol()).status());
+  EXPECT_EQ(c.GetTable("t1").value()->id(), 0u);
+  EXPECT_EQ(c.GetTable("T1").value()->id(), 0u);  // case-insensitive
+  EXPECT_EQ(c.CreateTable("t1", TwoCol()).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(c.GetTable("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, RowOfAndTotals) {
+  Catalog c;
+  Table* t = c.CreateTable("t", TwoCol()).value();
+  ASSERT_OK(t->Insert({Value::Int(1), Value::String("x")}).status());
+  ASSERT_OK(t->Insert({Value::Int(2), Value::String("y")}).status());
+  EXPECT_EQ(c.TotalRows(), 2u);
+  EXPECT_EQ(c.RowOf(RowId{0, 1})[0], Value::Int(2));
+  EXPECT_EQ(c.TableNames(), std::vector<std::string>{"t"});
+}
+
+TEST(RowIdTest, OrderingAndPacking) {
+  RowId a{0, 5}, b{1, 0}, c{0, 6};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a < c);
+  EXPECT_NE(a.Pack(), b.Pack());
+  EXPECT_EQ(a.ToString(), "t0#5");
+}
+
+}  // namespace
+}  // namespace hippo

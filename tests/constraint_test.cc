@@ -1,0 +1,172 @@
+// Tests for denial-constraint construction and validation.
+#include "constraints/constraint.h"
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+class ConstraintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.Execute(
+        "CREATE TABLE emp (name VARCHAR, dept VARCHAR, salary INTEGER);"
+        "CREATE TABLE mgr (name VARCHAR, bonus INTEGER)"));
+  }
+
+  Result<DenialConstraint> FromSql(const std::string& text) {
+    auto stmt = sql::ParseStatement(text);
+    if (!stmt.ok()) return stmt.status();
+    auto& cc = std::get<sql::CreateConstraintStmt>(stmt.value().node);
+    return DenialConstraint::FromStatement(db_.catalog(), cc);
+  }
+
+  Database db_;
+};
+
+TEST_F(ConstraintTest, FdExpandsToTwoAtoms) {
+  auto dc = FromSql("CREATE CONSTRAINT fd FD ON emp (name -> salary)");
+  ASSERT_OK(dc.status());
+  EXPECT_EQ(dc.value().arity(), 2u);
+  EXPECT_TRUE(dc.value().IsBinary());
+  EXPECT_TRUE(dc.value().fd_info().has_value());
+  EXPECT_EQ(dc.value().fd_info()->lhs, (std::vector<size_t>{0}));
+  EXPECT_EQ(dc.value().fd_info()->rhs, (std::vector<size_t>{2}));
+  ASSERT_NE(dc.value().condition(), nullptr);
+  // t1.name = t2.name AND t1.salary <> t2.salary
+  EXPECT_NE(dc.value().condition()->ToString().find("<>"),
+            std::string::npos);
+}
+
+TEST_F(ConstraintTest, FdMultiColumn) {
+  auto dc = FromSql(
+      "CREATE CONSTRAINT fd FD ON emp (name, dept -> salary)");
+  ASSERT_OK(dc.status());
+  EXPECT_EQ(dc.value().fd_info()->lhs, (std::vector<size_t>{0, 1}));
+}
+
+TEST_F(ConstraintTest, FdMultiRhsBuildsDisjunction) {
+  auto dc = FromSql(
+      "CREATE CONSTRAINT fd FD ON emp (name -> dept, salary)");
+  ASSERT_OK(dc.status());
+  EXPECT_NE(dc.value().condition()->ToString().find("OR"),
+            std::string::npos);
+}
+
+TEST_F(ConstraintTest, FdUnknownColumnRejected) {
+  EXPECT_EQ(FromSql("CREATE CONSTRAINT fd FD ON emp (nope -> salary)")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ConstraintTest, FdUnknownTableRejected) {
+  EXPECT_EQ(FromSql("CREATE CONSTRAINT fd FD ON nope (a -> b)")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ConstraintTest, ExclusionBuildsEqualities) {
+  auto dc = FromSql(
+      "CREATE CONSTRAINT ex EXCLUSION ON emp (name), mgr (name)");
+  ASSERT_OK(dc.status());
+  EXPECT_EQ(dc.value().arity(), 2u);
+  EXPECT_FALSE(dc.value().fd_info().has_value());
+  EXPECT_EQ(dc.value().atoms()[0].table_name, "emp");
+  EXPECT_EQ(dc.value().atoms()[1].table_name, "mgr");
+}
+
+TEST_F(ConstraintTest, ExclusionColumnCountMismatch) {
+  EXPECT_EQ(
+      FromSql("CREATE CONSTRAINT ex EXCLUSION ON emp (name, dept), mgr (name)")
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(ConstraintTest, GeneralDenialBindsCondition) {
+  auto dc = FromSql(
+      "CREATE CONSTRAINT d DENIAL (emp AS e, mgr AS m WHERE "
+      "e.name = m.name AND e.salary > m.bonus)");
+  ASSERT_OK(dc.status());
+  EXPECT_EQ(dc.value().arity(), 2u);
+  EXPECT_EQ(dc.value().atom_offset(1), 3u);
+  EXPECT_EQ(dc.value().atom_width(1), 2u);
+  EXPECT_EQ(dc.value().combined_schema().NumColumns(), 5u);
+}
+
+TEST_F(ConstraintTest, UnaryDenial) {
+  auto dc = FromSql(
+      "CREATE CONSTRAINT d DENIAL (emp AS e WHERE e.salary < 0)");
+  ASSERT_OK(dc.status());
+  EXPECT_TRUE(dc.value().IsUnary());
+}
+
+TEST_F(ConstraintTest, DenialDuplicateAliasRejected) {
+  EXPECT_EQ(FromSql("CREATE CONSTRAINT d DENIAL (emp AS e, emp AS e)")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ConstraintTest, DenialConditionTypeChecked) {
+  EXPECT_EQ(FromSql("CREATE CONSTRAINT d DENIAL (emp AS e WHERE "
+                    "e.name = e.salary)")
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(FromSql("CREATE CONSTRAINT d DENIAL (emp AS e WHERE e.salary)")
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(ConstraintTest, ConditionReferencesBothAtoms) {
+  auto dc = FromSql(
+      "CREATE CONSTRAINT d DENIAL (emp AS a, emp AS b WHERE "
+      "a.name = b.name AND a.dept <> b.dept)");
+  ASSERT_OK(dc.status());
+  std::vector<int> idx = CollectColumnIndexes(*dc.value().condition());
+  std::sort(idx.begin(), idx.end());
+  EXPECT_EQ(idx, (std::vector<int>{0, 1, 3, 4}));
+}
+
+TEST_F(ConstraintTest, ToStringMentionsAtomsAndCondition) {
+  auto dc = FromSql("CREATE CONSTRAINT fd FD ON emp (name -> salary)");
+  ASSERT_OK(dc.status());
+  std::string s = dc.value().ToString();
+  EXPECT_NE(s.find("fd:"), std::string::npos);
+  EXPECT_NE(s.find("emp"), std::string::npos);
+  EXPECT_NE(s.find("WHERE"), std::string::npos);
+}
+
+TEST_F(ConstraintTest, EmptyFdSidesRejected) {
+  sql::FdSpec spec;
+  spec.table = "emp";
+  spec.rhs = {"salary"};
+  EXPECT_EQ(
+      DenialConstraint::FromFd(db_.catalog(), "x", spec).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(ConstraintTest, NoAtomsRejected) {
+  EXPECT_EQ(DenialConstraint::Make(db_.catalog(), "x", {}, nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ConstraintTest, DatabaseRejectsDuplicateConstraintNames) {
+  ASSERT_OK(db_.Execute("CREATE CONSTRAINT c1 FD ON emp (name -> salary)"));
+  EXPECT_EQ(db_.Execute("CREATE CONSTRAINT c1 FD ON emp (name -> dept)")
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace hippo

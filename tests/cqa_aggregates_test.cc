@@ -1,0 +1,264 @@
+// Range-consistent aggregation tests: known instances, the closed form vs
+// the enumeration fallback, and a randomized differential sweep.
+#include "cqa/aggregates.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/database.h"
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+using cqa::AggFn;
+using cqa::AggRange;
+using cqa::AggStats;
+
+// The classic salary example from "Scalar Aggregation in Inconsistent
+// Databases": emp(name, salary), FD name -> salary, two disputed salaries.
+class SalaryDb : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.Execute(
+        "CREATE TABLE emp (name VARCHAR, salary INTEGER);"
+        "INSERT INTO emp VALUES ('smith', 50), ('smith', 60),"
+        "                       ('jones', 40), ('brown', 70);"
+        "CREATE CONSTRAINT fd FD ON emp (name -> salary)"));
+  }
+  AggRange Range(AggFn fn, const char* col = "salary",
+                 AggStats* stats = nullptr) {
+    auto r = db_.RangeConsistentAggregate("emp", fn, col, stats);
+    EXPECT_OK(r.status());
+    return r.ValueOr(AggRange{});
+  }
+  Database db_;
+};
+
+TEST_F(SalaryDb, UsesClosedForm) {
+  AggStats stats;
+  Range(AggFn::kSum, "salary", &stats);
+  EXPECT_TRUE(stats.used_clique_partition);
+  EXPECT_EQ(stats.cliques, 1u);
+  EXPECT_EQ(stats.conflict_free, 2u);
+}
+
+TEST_F(SalaryDb, SumRange) {
+  AggRange r = Range(AggFn::kSum);
+  EXPECT_EQ(r.glb, Value::Int(160));  // 40+70+50
+  EXPECT_EQ(r.lub, Value::Int(170));  // 40+70+60
+}
+
+TEST_F(SalaryDb, CountIsCertain) {
+  AggRange r = Range(AggFn::kCount, "");
+  EXPECT_EQ(r.glb, Value::Int(3));
+  EXPECT_EQ(r.lub, Value::Int(3));
+}
+
+TEST_F(SalaryDb, MinRange) {
+  AggRange r = Range(AggFn::kMin);
+  // Min is jones' 40 in every repair (both smith options exceed it).
+  EXPECT_EQ(r.glb, Value::Int(40));
+  EXPECT_EQ(r.lub, Value::Int(40));
+}
+
+TEST_F(SalaryDb, MaxRange) {
+  AggRange r = Range(AggFn::kMax);
+  // Max is brown's 70 in every repair.
+  EXPECT_EQ(r.glb, Value::Int(70));
+  EXPECT_EQ(r.lub, Value::Int(70));
+}
+
+TEST_F(SalaryDb, AvgRange) {
+  AggRange r = Range(AggFn::kAvg);
+  EXPECT_DOUBLE_EQ(r.glb.AsDouble(), 160.0 / 3);
+  EXPECT_DOUBLE_EQ(r.lub.AsDouble(), 170.0 / 3);
+}
+
+TEST(AggRangeTest, MinMaxVaryWhenConflictsAtExtremes) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (k INTEGER, v INTEGER);"
+      "INSERT INTO t VALUES (1, 5), (1, 100), (2, 50);"
+      "CREATE CONSTRAINT fd FD ON t (k -> v)"));
+  auto min_r = db.RangeConsistentAggregate("t", AggFn::kMin, "v");
+  ASSERT_OK(min_r.status());
+  EXPECT_EQ(min_r.value().glb, Value::Int(5));    // repair keeps (1,5)
+  EXPECT_EQ(min_r.value().lub, Value::Int(50));   // repair keeps (1,100)
+  auto max_r = db.RangeConsistentAggregate("t", AggFn::kMax, "v");
+  ASSERT_OK(max_r.status());
+  EXPECT_EQ(max_r.value().glb, Value::Int(50));
+  EXPECT_EQ(max_r.value().lub, Value::Int(100));
+}
+
+TEST(AggRangeTest, ConsistentTableIsPointInterval) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (k INTEGER, v INTEGER);"
+      "INSERT INTO t VALUES (1, 10), (2, 20);"
+      "CREATE CONSTRAINT fd FD ON t (k -> v)"));
+  for (AggFn fn : {AggFn::kSum, AggFn::kMin, AggFn::kMax, AggFn::kAvg}) {
+    auto r = db.RangeConsistentAggregate("t", fn, "v");
+    ASSERT_OK(r.status());
+    EXPECT_EQ(r.value().glb, r.value().lub) << AggFnToString(fn);
+  }
+}
+
+TEST(AggRangeTest, UnaryEdgesExcludeTuplesEverywhere) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (k INTEGER, v INTEGER);"
+      "INSERT INTO t VALUES (1, -5), (2, 10), (3, 20);"
+      "CREATE CONSTRAINT pos DENIAL (t AS x WHERE x.v < 0)"));
+  AggStats stats;
+  auto r = db.RangeConsistentAggregate("t", AggFn::kSum, "v", &stats);
+  ASSERT_OK(r.status());
+  EXPECT_TRUE(stats.used_clique_partition);
+  EXPECT_EQ(r.value().glb, Value::Int(30));
+  EXPECT_EQ(r.value().lub, Value::Int(30));
+}
+
+TEST(AggRangeTest, CrossTableConflictFallsBackToEnumeration) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE a (k INTEGER); CREATE TABLE b (k INTEGER);"
+      "INSERT INTO a VALUES (1), (2); INSERT INTO b VALUES (2), (3);"
+      "CREATE CONSTRAINT ex EXCLUSION ON a (k), b (k)"));
+  AggStats stats;
+  auto r = db.RangeConsistentAggregate("a", AggFn::kCount, "", &stats);
+  ASSERT_OK(r.status());
+  EXPECT_FALSE(stats.used_clique_partition);
+  // Repairs: {a(1),a(2)} vs {a(1), b(2)}: count of a is 1 or 2.
+  EXPECT_EQ(r.value().glb, Value::Int(1));
+  EXPECT_EQ(r.value().lub, Value::Int(2));
+}
+
+TEST(AggRangeTest, TernaryConflictFallsBackToEnumeration) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (k INTEGER, v INTEGER);"
+      "INSERT INTO t VALUES (1, 1), (1, 2), (1, 3);"
+      "CREATE CONSTRAINT trip DENIAL (t AS x, t AS y, t AS z WHERE "
+      "x.k = y.k AND y.k = z.k AND x.v < y.v AND y.v < z.v)"));
+  AggStats stats;
+  auto r = db.RangeConsistentAggregate("t", AggFn::kSum, "v", &stats);
+  ASSERT_OK(r.status());
+  EXPECT_FALSE(stats.used_clique_partition);
+  // Repairs delete one tuple each: sums 5, 4, 3.
+  EXPECT_EQ(r.value().glb, Value::Int(3));
+  EXPECT_EQ(r.value().lub, Value::Int(5));
+}
+
+TEST(AggRangeTest, ErrorsAreInformative) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (k INTEGER, s VARCHAR, n INTEGER);"
+      "INSERT INTO t VALUES (1, 'x', NULL)"));
+  EXPECT_EQ(db.RangeConsistentAggregate("nope", AggFn::kSum, "k")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db.RangeConsistentAggregate("t", AggFn::kSum, "s")
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(db.RangeConsistentAggregate("t", AggFn::kSum, "n")
+                .status()
+                .code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(db.RangeConsistentAggregate("t", AggFn::kSum, "zz")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(AggRangeTest, AggFnParsing) {
+  EXPECT_EQ(cqa::AggFnFromString("Sum").value(), AggFn::kSum);
+  EXPECT_EQ(cqa::AggFnFromString("COUNT").value(), AggFn::kCount);
+  EXPECT_FALSE(cqa::AggFnFromString("median").ok());
+  EXPECT_STREQ(cqa::AggFnToString(AggFn::kAvg), "AVG");
+}
+
+// Differential property: closed form == enumeration on random single-FD
+// instances, for every aggregate function.
+class AggDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggDifferential, ClosedFormMatchesEnumeration) {
+  Rng rng(GetParam());
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (k INTEGER, v INTEGER);"
+      "CREATE CONSTRAINT fd FD ON t (k -> v)"));
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_OK(db.InsertRow("t", Row{Value::Int(rng.UniformInt(0, 4)),
+                                    Value::Int(rng.UniformInt(-20, 20))}));
+  }
+  auto graph = db.Hypergraph();
+  ASSERT_OK(graph.status());
+  cqa::RangeAggregator agg(db.catalog(), *graph.value());
+
+  for (AggFn fn : {AggFn::kCount, AggFn::kSum, AggFn::kMin, AggFn::kMax,
+                   AggFn::kAvg}) {
+    AggStats stats;
+    auto fast = agg.Range("t", fn, "v", &stats);
+    ASSERT_OK(fast.status());
+    EXPECT_TRUE(stats.used_clique_partition);
+    // Force enumeration by constructing a fresh aggregator and calling the
+    // internal path indirectly: compare against brute force over masks.
+    RepairEnumerator repairs(db.catalog(), *graph.value());
+    auto masks = repairs.EnumerateMasks(100000);
+    ASSERT_OK(masks.status());
+    const Table* table = db.catalog().GetTable("t").value();
+    Value glb, lub;
+    bool first = true;
+    for (const RowMask& mask : masks.value()) {
+      std::vector<double> values;
+      for (uint32_t i = 0; i < table->NumRows(); ++i) {
+        if (!mask.Allows(RowId{table->id(), i})) continue;
+        values.push_back(table->row(i)[1].NumericAsDouble());
+      }
+      Value v;
+      switch (fn) {
+        case AggFn::kCount:
+          v = Value::Int(static_cast<int64_t>(values.size()));
+          break;
+        case AggFn::kSum: {
+          double s = 0;
+          for (double x : values) s += x;
+          v = Value::Int(static_cast<int64_t>(s));
+          break;
+        }
+        case AggFn::kMin:
+          v = Value::Int(static_cast<int64_t>(
+              *std::min_element(values.begin(), values.end())));
+          break;
+        case AggFn::kMax:
+          v = Value::Int(static_cast<int64_t>(
+              *std::max_element(values.begin(), values.end())));
+          break;
+        case AggFn::kAvg: {
+          double s = 0;
+          for (double x : values) s += x;
+          v = Value::Double(s / static_cast<double>(values.size()));
+          break;
+        }
+      }
+      if (first) {
+        glb = v;
+        lub = v;
+        first = false;
+      } else {
+        if (v.Compare(glb) < 0) glb = v;
+        if (v.Compare(lub) > 0) lub = v;
+      }
+    }
+    EXPECT_EQ(fast.value().glb, glb) << AggFnToString(fn);
+    EXPECT_EQ(fast.value().lub, lub) << AggFnToString(fn);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggDifferential,
+                         ::testing::Range<uint64_t>(500, 532));
+
+}  // namespace
+}  // namespace hippo

@@ -1,0 +1,232 @@
+// Grounding tests: formulas produced for each operator of the query class,
+// plus the envelope construction.
+#include "cqa/ground_formula.h"
+
+#include <gtest/gtest.h>
+
+#include "cqa/envelope.h"
+#include "cqa/knowledge.h"
+#include "db/database.h"
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+using cqa::GroundFormula;
+using cqa::Grounder;
+using cqa::IndexMembershipProvider;
+
+class GroundTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.Execute(
+        "CREATE TABLE r (a INTEGER, b INTEGER);"
+        "CREATE TABLE s (a INTEGER, b INTEGER);"
+        "INSERT INTO r VALUES (1, 10), (2, 20);"
+        "INSERT INTO s VALUES (1, 10), (3, 30)"));
+  }
+
+  GroundFormula Ground(const std::string& q, const Row& tuple) {
+    auto plan = db_.Plan(q);
+    EXPECT_OK(plan.status());
+    IndexMembershipProvider membership(db_.catalog());
+    Grounder grounder(*plan.value(), &membership);
+    auto f = grounder.Ground(tuple);
+    EXPECT_OK(f.status());
+    return std::move(f).value();
+  }
+
+  Database db_;
+};
+
+TEST_F(GroundTest, ScanPresentFactIsLiteral) {
+  GroundFormula f =
+      Ground("SELECT * FROM r", Row{Value::Int(1), Value::Int(10)});
+  ASSERT_EQ(f.kind, GroundFormula::Kind::kLit);
+  EXPECT_EQ(f.fact, (RowId{0, 0}));
+}
+
+TEST_F(GroundTest, ScanAbsentFactIsFalse) {
+  GroundFormula f =
+      Ground("SELECT * FROM r", Row{Value::Int(9), Value::Int(9)});
+  ASSERT_TRUE(f.IsConst());
+  EXPECT_FALSE(f.const_value);
+}
+
+TEST_F(GroundTest, SelectionConstantFoldsPredicate) {
+  GroundFormula pass = Ground("SELECT * FROM r WHERE b > 5",
+                              Row{Value::Int(1), Value::Int(10)});
+  EXPECT_EQ(pass.kind, GroundFormula::Kind::kLit);
+  GroundFormula fail = Ground("SELECT * FROM r WHERE b > 15",
+                              Row{Value::Int(1), Value::Int(10)});
+  ASSERT_TRUE(fail.IsConst());
+  EXPECT_FALSE(fail.const_value);
+}
+
+TEST_F(GroundTest, ProductSplitsTuple) {
+  GroundFormula f = Ground(
+      "SELECT * FROM r, s WHERE r.a = s.a",
+      Row{Value::Int(1), Value::Int(10), Value::Int(1), Value::Int(10)});
+  ASSERT_EQ(f.kind, GroundFormula::Kind::kAnd);
+  ASSERT_EQ(f.children.size(), 2u);
+  EXPECT_EQ(f.children[0].fact, (RowId{0, 0}));
+  EXPECT_EQ(f.children[1].fact, (RowId{1, 0}));
+}
+
+TEST_F(GroundTest, JoinConditionFailureIsFalse) {
+  GroundFormula f = Ground(
+      "SELECT * FROM r, s WHERE r.a = s.a",
+      Row{Value::Int(1), Value::Int(10), Value::Int(3), Value::Int(30)});
+  ASSERT_TRUE(f.IsConst());
+  EXPECT_FALSE(f.const_value);
+}
+
+TEST_F(GroundTest, UnionIsDisjunction) {
+  GroundFormula f = Ground("SELECT * FROM r UNION SELECT * FROM s",
+                           Row{Value::Int(1), Value::Int(10)});
+  ASSERT_EQ(f.kind, GroundFormula::Kind::kOr);
+  EXPECT_EQ(f.children[0].fact, (RowId{0, 0}));
+  EXPECT_EQ(f.children[1].fact, (RowId{1, 0}));
+}
+
+TEST_F(GroundTest, UnionOneSideAbsentSimplifies) {
+  GroundFormula f = Ground("SELECT * FROM r UNION SELECT * FROM s",
+                           Row{Value::Int(2), Value::Int(20)});
+  // (2,20) only in r: formula simplifies to the single literal.
+  ASSERT_EQ(f.kind, GroundFormula::Kind::kLit);
+  EXPECT_EQ(f.fact, (RowId{0, 1}));
+}
+
+TEST_F(GroundTest, DifferenceIsConjunctionWithNegation) {
+  GroundFormula f = Ground("SELECT * FROM r EXCEPT SELECT * FROM s",
+                           Row{Value::Int(1), Value::Int(10)});
+  ASSERT_EQ(f.kind, GroundFormula::Kind::kAnd);
+  EXPECT_EQ(f.children[0].kind, GroundFormula::Kind::kLit);
+  ASSERT_EQ(f.children[1].kind, GroundFormula::Kind::kNot);
+  EXPECT_EQ(f.children[1].children[0].fact, (RowId{1, 0}));
+}
+
+TEST_F(GroundTest, DifferenceAbsentSubtrahendSimplifies) {
+  GroundFormula f = Ground("SELECT * FROM r EXCEPT SELECT * FROM s",
+                           Row{Value::Int(2), Value::Int(20)});
+  // Not in s -> ¬FALSE = TRUE -> just the r literal.
+  ASSERT_EQ(f.kind, GroundFormula::Kind::kLit);
+}
+
+TEST_F(GroundTest, IntersectIsConjunction) {
+  GroundFormula f = Ground("SELECT * FROM r INTERSECT SELECT * FROM s",
+                           Row{Value::Int(1), Value::Int(10)});
+  ASSERT_EQ(f.kind, GroundFormula::Kind::kAnd);
+}
+
+TEST_F(GroundTest, ProjectionPermutationInverts) {
+  GroundFormula f =
+      Ground("SELECT b, a FROM r", Row{Value::Int(10), Value::Int(1)});
+  ASSERT_EQ(f.kind, GroundFormula::Kind::kLit);
+  EXPECT_EQ(f.fact, (RowId{0, 0}));
+}
+
+TEST_F(GroundTest, DuplicatedColumnMustAgree) {
+  GroundFormula ok =
+      Ground("SELECT a, b, a FROM r",
+             Row{Value::Int(1), Value::Int(10), Value::Int(1)});
+  EXPECT_EQ(ok.kind, GroundFormula::Kind::kLit);
+  GroundFormula bad =
+      Ground("SELECT a, b, a FROM r",
+             Row{Value::Int(1), Value::Int(10), Value::Int(2)});
+  ASSERT_TRUE(bad.IsConst());
+  EXPECT_FALSE(bad.const_value);
+}
+
+TEST_F(GroundTest, FormulaEvalAndCollect) {
+  GroundFormula f = Ground("SELECT * FROM r EXCEPT SELECT * FROM s",
+                           Row{Value::Int(1), Value::Int(10)});
+  std::vector<RowId> facts;
+  f.CollectFacts(&facts);
+  EXPECT_EQ(facts.size(), 2u);
+  // r-present, s-absent => true.
+  EXPECT_TRUE(f.Eval([](RowId rid) { return rid.table == 0; }));
+  // both present => false (subtrahend kills it).
+  EXPECT_FALSE(f.Eval([](RowId) { return true; }));
+}
+
+TEST_F(GroundTest, ConstantFoldingConnectives) {
+  GroundFormula t = GroundFormula::True();
+  GroundFormula f = GroundFormula::False();
+  GroundFormula lit = GroundFormula::Lit(RowId{0, 0});
+  EXPECT_TRUE(GroundFormula::And(t, t).const_value);
+  EXPECT_FALSE(GroundFormula::And(t, f).const_value);
+  EXPECT_EQ(GroundFormula::And(t, lit).kind, GroundFormula::Kind::kLit);
+  EXPECT_TRUE(GroundFormula::Or(f, t).const_value);
+  EXPECT_EQ(GroundFormula::Or(f, lit).kind, GroundFormula::Kind::kLit);
+  EXPECT_FALSE(GroundFormula::Not(t).const_value);
+  EXPECT_EQ(GroundFormula::Not(lit).kind, GroundFormula::Kind::kNot);
+}
+
+TEST_F(GroundTest, ToStringRendering) {
+  GroundFormula f = Ground("SELECT * FROM r EXCEPT SELECT * FROM s",
+                           Row{Value::Int(1), Value::Int(10)});
+  std::string s = f.ToString();
+  EXPECT_NE(s.find("&"), std::string::npos);
+  EXPECT_NE(s.find("!"), std::string::npos);
+}
+
+// --- envelope -----------------------------------------------------------------
+
+TEST_F(GroundTest, EnvelopeDropsSubtrahend) {
+  auto plan = db_.Plan("SELECT * FROM r EXCEPT SELECT * FROM s");
+  ASSERT_OK(plan.status());
+  PlanNodePtr env = cqa::BuildEnvelope(*plan.value());
+  // Envelope of r − s is just (the projection over) r.
+  EXPECT_EQ(env->kind(), PlanKind::kProject);
+  ExecContext ctx{&db_.catalog(), nullptr};
+  auto rs = Execute(*env, ctx);
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs.value().NumRows(), 2u);  // all of r, including (1,10)
+}
+
+TEST_F(GroundTest, EnvelopeHomomorphicOnUnion) {
+  auto plan = db_.Plan("SELECT * FROM r UNION SELECT * FROM s");
+  ASSERT_OK(plan.status());
+  PlanNodePtr env = cqa::BuildEnvelope(*plan.value());
+  EXPECT_EQ(env->kind(), PlanKind::kUnion);
+}
+
+TEST_F(GroundTest, EnvelopeStripsSort) {
+  auto plan = db_.Plan("SELECT * FROM r ORDER BY a");
+  ASSERT_OK(plan.status());
+  PlanNodePtr env = cqa::BuildEnvelope(*plan.value());
+  EXPECT_NE(env->kind(), PlanKind::kSort);
+}
+
+TEST_F(GroundTest, EnvelopeIsSupersetOfAnswersInAnyRepair) {
+  // Make s inconsistent, then check env(r − s) ⊇ (r − s)(repair) for all
+  // repairs.
+  ASSERT_OK(db_.Execute(
+      "INSERT INTO s VALUES (1, 11);"
+      "CREATE CONSTRAINT fd_s FD ON s (a -> b)"));
+  auto plan = db_.Plan("SELECT * FROM r EXCEPT SELECT * FROM s");
+  ASSERT_OK(plan.status());
+  PlanNodePtr env = cqa::BuildEnvelope(*plan.value());
+  ExecContext ctx{&db_.catalog(), nullptr};
+  auto env_rs = Execute(*env, ctx);
+  ASSERT_OK(env_rs.status());
+
+  auto graph = db_.Hypergraph();
+  ASSERT_OK(graph.status());
+  RepairEnumerator re(db_.catalog(), *graph.value());
+  auto masks = re.EnumerateMasks(100);
+  ASSERT_OK(masks.status());
+  for (const RowMask& mask : masks.value()) {
+    ExecContext rctx{&db_.catalog(), &mask};
+    auto rs = Execute(*plan.value(), rctx);
+    ASSERT_OK(rs.status());
+    for (const Row& row : rs.value().rows) {
+      EXPECT_TRUE(env_rs.value().Contains(row))
+          << "envelope missed " << RowToString(row);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hippo

@@ -1,0 +1,187 @@
+// PRIMARY KEY / UNIQUE / CHECK constraint sugar in CREATE TABLE.
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+TEST(DdlSugarTest, PrimaryKeyBecomesFd) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE emp (id INTEGER PRIMARY KEY, name VARCHAR);"
+      "INSERT INTO emp VALUES (1, 'ann'), (1, 'bob'), (2, 'cat')"));
+  ASSERT_EQ(db.constraints().size(), 1u);
+  EXPECT_EQ(db.constraints()[0].name(), "emp_key1");
+  auto g = db.Hypergraph();
+  ASSERT_OK(g.status());
+  EXPECT_EQ(g.value()->NumEdges(), 1u);  // the two id=1 rows conflict
+  auto consistent = db.ConsistentAnswers("SELECT * FROM emp");
+  ASSERT_OK(consistent.status());
+  EXPECT_EQ(consistent.value().NumRows(), 1u);  // only (2, 'cat') certain
+}
+
+TEST(DdlSugarTest, ColumnUnique) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE u (a INTEGER UNIQUE, b VARCHAR);"
+      "INSERT INTO u VALUES (1, 'x'), (1, 'y')"));
+  auto consistent = db.IsConsistent();
+  ASSERT_OK(consistent.status());
+  EXPECT_FALSE(consistent.value());
+}
+
+TEST(DdlSugarTest, TableLevelCompositeKey) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (a INTEGER, b INTEGER, c VARCHAR, "
+      "PRIMARY KEY (a, b));"
+      "INSERT INTO t VALUES (1, 1, 'x'), (1, 2, 'y'), (1, 1, 'z')"));
+  auto g = db.Hypergraph();
+  ASSERT_OK(g.status());
+  EXPECT_EQ(g.value()->NumEdges(), 1u);  // (1,1,'x') vs (1,1,'z')
+}
+
+TEST(DdlSugarTest, WholeRowKeyIsTrivial) {
+  // Set semantics already dedupe identical rows; a key covering every
+  // column adds nothing and must not be registered.
+  Database db;
+  ASSERT_OK(db.Execute("CREATE TABLE t (a INTEGER, PRIMARY KEY (a))"));
+  EXPECT_EQ(db.constraints().size(), 0u);
+}
+
+TEST(DdlSugarTest, CheckConstraint) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE acct (id INTEGER, balance INTEGER, "
+      "CHECK (balance >= 0));"
+      "INSERT INTO acct VALUES (1, 100), (2, -5)"));
+  ASSERT_EQ(db.constraints().size(), 1u);
+  auto g = db.Hypergraph();
+  ASSERT_OK(g.status());
+  ASSERT_EQ(g.value()->NumEdges(), 1u);
+  EXPECT_EQ(g.value()->edge(0).size(), 1u);  // unary: the negative row
+  // The violating tuple is in no repair.
+  auto certain = db.ConsistentAnswers("SELECT * FROM acct");
+  ASSERT_OK(certain.status());
+  ASSERT_EQ(certain.value().NumRows(), 1u);
+  EXPECT_EQ(certain.value().rows[0][0], Value::Int(1));
+}
+
+TEST(DdlSugarTest, CheckWithNullPasses) {
+  // SQL CHECK: NULL is not a violation.
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (v INTEGER, CHECK (v > 0));"
+      "INSERT INTO t VALUES (NULL), (1)"));
+  auto consistent = db.IsConsistent();
+  ASSERT_OK(consistent.status());
+  EXPECT_TRUE(consistent.value());
+}
+
+TEST(DdlSugarTest, MultipleConstraintsCompose) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE emp (id INTEGER PRIMARY KEY, dept VARCHAR, "
+      "salary INTEGER, CHECK (salary > 0), UNIQUE (dept, salary))"));
+  EXPECT_EQ(db.constraints().size(), 3u);
+}
+
+TEST(DdlSugarTest, SugarRespectsRestrictedFkInvariant) {
+  // A keyed table cannot be an FK parent (it carries a constraint).
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE parent (k INTEGER PRIMARY KEY, v VARCHAR);"
+      "CREATE TABLE child (k INTEGER)"));
+  auto st = db.Execute(
+      "CREATE CONSTRAINT fk FOREIGN KEY child (k) REFERENCES parent (k)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotSupported);
+}
+
+TEST(DdlSugarTest, IncrementalMaintenanceCoversSugar) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE acct (id INTEGER PRIMARY KEY, balance INTEGER, "
+      "CHECK (balance >= 0))"));
+  ASSERT_OK(db.EnableIncrementalMaintenance());
+  ASSERT_OK(db.Execute("INSERT INTO acct VALUES (1, 5), (1, 7), (2, -1)"));
+  auto g = db.Hypergraph();
+  ASSERT_OK(g.status());
+  EXPECT_EQ(g.value()->NumEdges(), 2u);  // key pair + negative balance
+  ASSERT_OK(db.Execute("UPDATE acct SET balance = 3 WHERE id = 2"));
+  ASSERT_OK(db.Execute("DELETE FROM acct WHERE balance = 7"));
+  auto consistent = db.IsConsistent();
+  ASSERT_OK(consistent.status());
+  EXPECT_TRUE(consistent.value());
+}
+
+// --- DROP TABLE / DROP CONSTRAINT --------------------------------------------
+
+TEST(DropTest, DropConstraintRestoresAnswers) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE emp (name VARCHAR, salary INTEGER);"
+      "INSERT INTO emp VALUES ('ann', 10), ('ann', 11);"
+      "CREATE CONSTRAINT fd FD ON emp (name -> salary)"));
+  auto before = db.ConsistentAnswers("SELECT * FROM emp");
+  ASSERT_OK(before.status());
+  EXPECT_EQ(before.value().NumRows(), 0u);
+  ASSERT_OK(db.Execute("DROP CONSTRAINT fd"));
+  EXPECT_TRUE(db.constraints().empty());
+  auto after = db.ConsistentAnswers("SELECT * FROM emp");
+  ASSERT_OK(after.status());
+  EXPECT_EQ(after.value().NumRows(), 2u);  // no constraints, all certain
+}
+
+TEST(DropTest, DropForeignKeyByName) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE dir (k INTEGER);"
+      "CREATE TABLE emp (k INTEGER);"
+      "CREATE CONSTRAINT fk FOREIGN KEY emp (k) REFERENCES dir (k)"));
+  ASSERT_OK(db.Execute("DROP CONSTRAINT fk"));
+  EXPECT_TRUE(db.foreign_keys().empty());
+  EXPECT_FALSE(db.Execute("DROP CONSTRAINT fk").ok());  // already gone
+}
+
+TEST(DropTest, DropTableBasics) {
+  Database db;
+  ASSERT_OK(db.Execute("CREATE TABLE t (a INTEGER);"
+                       "INSERT INTO t VALUES (1)"));
+  ASSERT_OK(db.Execute("DROP TABLE t"));
+  EXPECT_FALSE(db.Query("SELECT * FROM t").ok());
+  EXPECT_FALSE(db.Execute("DROP TABLE t").ok());  // NotFound
+  // The name is reusable with a fresh schema.
+  ASSERT_OK(db.Execute("CREATE TABLE t (x VARCHAR);"
+                       "INSERT INTO t VALUES ('hello')"));
+  auto rs = db.Query("SELECT * FROM t");
+  ASSERT_OK(rs.status());
+  ASSERT_EQ(rs.value().NumRows(), 1u);
+  EXPECT_EQ(rs.value().rows[0][0], Value::String("hello"));
+}
+
+TEST(DropTest, ConstrainedTableRefusesDrop) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE dir (k INTEGER);"
+      "CREATE TABLE emp (k INTEGER, v INTEGER);"
+      "CREATE CONSTRAINT fd FD ON emp (k -> v);"
+      "CREATE CONSTRAINT fk FOREIGN KEY emp (k) REFERENCES dir (k)"));
+  EXPECT_EQ(db.Execute("DROP TABLE emp").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(db.Execute("DROP TABLE dir").code(), StatusCode::kNotSupported);
+  // Dropping the constraints unlocks the tables.
+  ASSERT_OK(db.Execute("DROP CONSTRAINT fd; DROP CONSTRAINT fk"));
+  ASSERT_OK(db.Execute("DROP TABLE emp; DROP TABLE dir"));
+}
+
+TEST(DropTest, ParserErrors) {
+  Database db;
+  EXPECT_FALSE(db.Execute("DROP t").ok());
+  EXPECT_FALSE(db.Execute("DROP TABLE").ok());
+  EXPECT_FALSE(db.Execute("DROP CONSTRAINT").ok());
+}
+
+}  // namespace
+}  // namespace hippo

@@ -1,0 +1,220 @@
+// DELETE / UPDATE statement semantics: tombstones, RowId stability,
+// resurrection, and interaction with constraint detection and CQA.
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "storage/table.h"
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+class DmlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.Execute(
+        "CREATE TABLE emp (name VARCHAR, dept VARCHAR, salary INTEGER);"
+        "INSERT INTO emp VALUES ('ann', 'sales', 10), ('bob', 'eng', 20), "
+        "('cat', 'eng', 30), ('dan', 'hr', 40)"));
+  }
+
+  size_t Count(const std::string& q = "SELECT * FROM emp") {
+    auto rs = db_.Query(q);
+    EXPECT_OK(rs.status());
+    return rs.value().NumRows();
+  }
+
+  Database db_;
+};
+
+TEST_F(DmlTest, DeleteAll) {
+  ASSERT_OK(db_.Execute("DELETE FROM emp"));
+  EXPECT_EQ(Count(), 0u);
+}
+
+TEST_F(DmlTest, DeleteWithPredicate) {
+  ASSERT_OK(db_.Execute("DELETE FROM emp WHERE dept = 'eng'"));
+  EXPECT_EQ(Count(), 2u);
+  EXPECT_EQ(Count("SELECT * FROM emp WHERE dept = 'eng'"), 0u);
+}
+
+TEST_F(DmlTest, DeleteWithQualifiedColumn) {
+  ASSERT_OK(db_.Execute("DELETE FROM emp WHERE emp.salary > 25"));
+  EXPECT_EQ(Count(), 2u);
+}
+
+TEST_F(DmlTest, DeleteNoMatchIsNoop) {
+  ASSERT_OK(db_.Execute("DELETE FROM emp WHERE salary > 1000"));
+  EXPECT_EQ(Count(), 4u);
+}
+
+TEST_F(DmlTest, DeleteUnknownTableFails) {
+  EXPECT_FALSE(db_.Execute("DELETE FROM nope").ok());
+}
+
+TEST_F(DmlTest, DeleteNonBooleanWhereFails) {
+  EXPECT_FALSE(db_.Execute("DELETE FROM emp WHERE salary").ok());
+}
+
+TEST_F(DmlTest, UpdateSingleColumn) {
+  ASSERT_OK(db_.Execute("UPDATE emp SET salary = 99 WHERE name = 'ann'"));
+  auto rs = db_.Query("SELECT salary FROM emp WHERE name = 'ann'");
+  ASSERT_OK(rs.status());
+  ASSERT_EQ(rs.value().NumRows(), 1u);
+  EXPECT_EQ(rs.value().rows[0][0], Value::Int(99));
+  EXPECT_EQ(Count(), 4u);
+}
+
+TEST_F(DmlTest, UpdateSeesPreUpdateImage) {
+  // salary = salary + 1 must read the old value for every row, not the
+  // value written by a previous assignment of the same statement.
+  ASSERT_OK(db_.Execute("UPDATE emp SET salary = salary + 1"));
+  auto rs = db_.Query("SELECT salary FROM emp ORDER BY salary");
+  ASSERT_OK(rs.status());
+  ASSERT_EQ(rs.value().NumRows(), 4u);
+  EXPECT_EQ(rs.value().rows[0][0], Value::Int(11));
+  EXPECT_EQ(rs.value().rows[3][0], Value::Int(41));
+}
+
+TEST_F(DmlTest, UpdateMultipleAssignmentsUsePreImage) {
+  ASSERT_OK(db_.Execute(
+      "UPDATE emp SET salary = salary * 2, dept = 'all' WHERE name = 'bob'"));
+  auto rs = db_.Query("SELECT dept, salary FROM emp WHERE name = 'bob'");
+  ASSERT_OK(rs.status());
+  ASSERT_EQ(rs.value().NumRows(), 1u);
+  EXPECT_EQ(rs.value().rows[0][0], Value::String("all"));
+  EXPECT_EQ(rs.value().rows[0][1], Value::Int(40));
+}
+
+TEST_F(DmlTest, UpdateOntoExistingRowMerges) {
+  // Set semantics: making bob's row identical to cat's leaves one copy.
+  ASSERT_OK(db_.Execute(
+      "UPDATE emp SET name = 'cat', salary = 30 WHERE name = 'bob'"));
+  EXPECT_EQ(Count(), 3u);
+}
+
+TEST_F(DmlTest, UpdateUnknownColumnFails) {
+  EXPECT_FALSE(db_.Execute("UPDATE emp SET nope = 1").ok());
+}
+
+TEST_F(DmlTest, ReinsertAfterDeleteResurrectsRowId) {
+  auto table = db_.catalog().GetTable("emp");
+  ASSERT_OK(table.status());
+  Row bob{Value::String("bob"), Value::String("eng"), Value::Int(20)};
+  std::optional<RowId> before = table.value()->Find(bob);
+  ASSERT_TRUE(before.has_value());
+  ASSERT_OK(db_.Execute("DELETE FROM emp WHERE name = 'bob'"));
+  EXPECT_FALSE(table.value()->Find(bob).has_value());
+  ASSERT_OK(db_.Execute("INSERT INTO emp VALUES ('bob', 'eng', 20)"));
+  std::optional<RowId> after = table.value()->Find(bob);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(before->row, after->row);
+  EXPECT_EQ(Count(), 4u);
+}
+
+TEST_F(DmlTest, TombstonesInvisibleEverywhere) {
+  ASSERT_OK(db_.Execute(
+      "CREATE CONSTRAINT fd FD ON emp (name -> salary);"
+      "INSERT INTO emp VALUES ('ann', 'ops', 11)"));  // conflicts with ann/10
+  auto g1 = db_.Hypergraph();
+  ASSERT_OK(g1.status());
+  EXPECT_EQ(g1.value()->NumEdges(), 1u);
+  // Deleting one side of the conflict clears it from a fresh detection.
+  ASSERT_OK(db_.Execute("DELETE FROM emp WHERE dept = 'ops'"));
+  auto g2 = db_.Hypergraph();
+  ASSERT_OK(g2.status());
+  EXPECT_EQ(g2.value()->NumEdges(), 0u);
+  auto consistent = db_.IsConsistent();
+  ASSERT_OK(consistent.status());
+  EXPECT_TRUE(consistent.value());
+}
+
+TEST_F(DmlTest, DeleteRowProgrammatic) {
+  ASSERT_OK(db_.DeleteRow(
+      "emp", Row{Value::String("ann"), Value::String("sales"),
+                 Value::Int(10)}));
+  EXPECT_EQ(Count(), 3u);
+  // Values are coerced like Insert: a double 40.0 matches INTEGER 40.
+  ASSERT_OK(db_.DeleteRow(
+      "emp", Row{Value::String("dan"), Value::String("hr"),
+                 Value::Double(40.0)}));
+  EXPECT_EQ(Count(), 2u);
+  // Absent row: no-op.
+  ASSERT_OK(db_.DeleteRow(
+      "emp", Row{Value::String("zed"), Value::String("hr"),
+                 Value::Int(1)}));
+  EXPECT_EQ(Count(), 2u);
+}
+
+TEST_F(DmlTest, AggregatesSkipTombstones) {
+  ASSERT_OK(db_.Execute("CREATE CONSTRAINT fd FD ON emp (name -> salary)"));
+  ASSERT_OK(db_.Execute("DELETE FROM emp WHERE salary >= 30"));
+  auto range = db_.RangeConsistentAggregate("emp", cqa::AggFn::kSum, "salary");
+  ASSERT_OK(range.status());
+  EXPECT_EQ(range.value().glb, Value::Int(30));
+  EXPECT_EQ(range.value().lub, Value::Int(30));
+}
+
+TEST_F(DmlTest, CqaAfterUpdateMatchesAllRepairs) {
+  ASSERT_OK(db_.Execute("CREATE CONSTRAINT fd FD ON emp (name -> salary)"));
+  ASSERT_OK(db_.Execute(
+      "INSERT INTO emp VALUES ('ann', 'ops', 11), ('bob', 'ops', 21)"));
+  ASSERT_OK(db_.Execute("UPDATE emp SET salary = 20 WHERE name = 'bob'"));
+  auto hippo = db_.ConsistentAnswers("SELECT * FROM emp");
+  auto exact = db_.ConsistentAnswersAllRepairs("SELECT * FROM emp");
+  ASSERT_OK(hippo.status());
+  ASSERT_OK(exact.status());
+  EXPECT_EQ(SortedRows(hippo.value()), SortedRows(exact.value()));
+  // bob/eng is now consistently salary=20 (merged with the existing row).
+  EXPECT_TRUE(hippo.value().Contains(
+      Row{Value::String("bob"), Value::String("eng"), Value::Int(20)}));
+}
+
+// --- Table-level tombstone unit tests --------------------------------------
+
+TEST(TableTombstoneTest, DeleteAndCounts) {
+  Schema schema;
+  schema.AddColumn(Column("a", TypeId::kInt));
+  Table t(7, "t", schema);
+  auto r0 = t.Insert(Row{Value::Int(1)});
+  auto r1 = t.Insert(Row{Value::Int(2)});
+  ASSERT_OK(r0.status());
+  ASSERT_OK(r1.status());
+  EXPECT_EQ(t.NumLiveRows(), 2u);
+  EXPECT_EQ(t.NumRows(), 2u);
+
+  EXPECT_TRUE(t.Delete(r0.value().first.row));
+  EXPECT_EQ(t.NumLiveRows(), 1u);
+  EXPECT_EQ(t.NumRows(), 2u);  // slot retained
+  EXPECT_FALSE(t.IsLive(r0.value().first.row));
+  EXPECT_TRUE(t.IsLive(r1.value().first.row));
+
+  // Double delete and out-of-range are no-ops.
+  EXPECT_FALSE(t.Delete(r0.value().first.row));
+  EXPECT_FALSE(t.Delete(999));
+  EXPECT_EQ(t.NumLiveRows(), 1u);
+}
+
+TEST(TableTombstoneTest, ResurrectionKeepsRowIdAndReportsChange) {
+  Schema schema;
+  schema.AddColumn(Column("a", TypeId::kInt));
+  Table t(7, "t", schema);
+  auto first = t.Insert(Row{Value::Int(5)});
+  ASSERT_OK(first.status());
+  EXPECT_TRUE(first.value().second);
+
+  // Duplicate insert of a live row: no change.
+  auto dup = t.Insert(Row{Value::Int(5)});
+  ASSERT_OK(dup.status());
+  EXPECT_FALSE(dup.value().second);
+
+  ASSERT_TRUE(t.Delete(first.value().first.row));
+  auto again = t.Insert(Row{Value::Int(5)});
+  ASSERT_OK(again.status());
+  EXPECT_TRUE(again.value().second);  // the instance changed
+  EXPECT_EQ(again.value().first.row, first.value().first.row);
+  EXPECT_EQ(t.NumRows(), 1u);  // no new slot
+}
+
+}  // namespace
+}  // namespace hippo

@@ -1,0 +1,260 @@
+// Tests for expression parsing + binding + evaluation, including SQL
+// three-valued logic. Parameterized sweeps evaluate expression strings
+// against a fixed row.
+#include <gtest/gtest.h>
+
+#include "expr/binder.h"
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+// Row fixture: a=1, b=2, s='abc', d=2.5, n=NULL, f=false
+Schema FixtureSchema() {
+  Schema s;
+  s.AddColumn(Column("a", TypeId::kInt));
+  s.AddColumn(Column("b", TypeId::kInt));
+  s.AddColumn(Column("s", TypeId::kString));
+  s.AddColumn(Column("d", TypeId::kDouble));
+  s.AddColumn(Column("n", TypeId::kInt));
+  s.AddColumn(Column("f", TypeId::kBool));
+  return s;
+}
+
+Row FixtureRow() {
+  return Row{Value::Int(1),      Value::Int(2),  Value::String("abc"),
+             Value::Double(2.5), Value::Null(),  Value::Bool(false)};
+}
+
+Value EvalString(const std::string& text) {
+  auto parsed = sql::ParseExpression(text);
+  EXPECT_OK(parsed.status()) << text;
+  ExprPtr e = std::move(parsed).value();
+  Schema schema = FixtureSchema();
+  ExprBinder binder(schema);
+  auto st = binder.Bind(e.get());
+  EXPECT_OK(st) << text;
+  return EvalExpr(*e, FixtureRow());
+}
+
+struct EvalCase {
+  const char* expr;
+  Value expected;
+};
+
+class EvalSweep : public ::testing::TestWithParam<EvalCase> {};
+
+TEST_P(EvalSweep, EvaluatesTo) {
+  const EvalCase& c = GetParam();
+  Value got = EvalString(c.expr);
+  if (c.expected.is_null()) {
+    EXPECT_TRUE(got.is_null()) << c.expr << " -> " << got.ToString();
+  } else {
+    EXPECT_EQ(got, c.expected) << c.expr << " -> " << got.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Comparisons, EvalSweep,
+    ::testing::Values(
+        EvalCase{"a = 1", Value::Bool(true)},
+        EvalCase{"a <> 1", Value::Bool(false)},
+        EvalCase{"a < b", Value::Bool(true)},
+        EvalCase{"a <= 1", Value::Bool(true)},
+        EvalCase{"b > d", Value::Bool(false)},
+        EvalCase{"d >= 2.5", Value::Bool(true)},
+        EvalCase{"a != b", Value::Bool(true)},  // != lexes to <>
+        EvalCase{"s = 'abc'", Value::Bool(true)},
+        EvalCase{"s < 'b'", Value::Bool(true)},
+        EvalCase{"a = 1.0", Value::Bool(true)},   // numeric coercion
+        EvalCase{"d = 2.5", Value::Bool(true)}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreeValuedLogic, EvalSweep,
+    ::testing::Values(
+        EvalCase{"n = 1", Value::Null()},
+        EvalCase{"n <> 1", Value::Null()},
+        EvalCase{"n = n", Value::Null()},
+        EvalCase{"n IS NULL", Value::Bool(true)},
+        EvalCase{"n IS NOT NULL", Value::Bool(false)},
+        EvalCase{"a IS NULL", Value::Bool(false)},
+        EvalCase{"n = 1 AND a = 1", Value::Null()},
+        EvalCase{"n = 1 AND a = 2", Value::Bool(false)},  // false absorbs
+        EvalCase{"n = 1 OR a = 1", Value::Bool(true)},    // true absorbs
+        EvalCase{"n = 1 OR a = 2", Value::Null()},
+        EvalCase{"NOT (n = 1)", Value::Null()},
+        EvalCase{"NOT f", Value::Bool(true)},
+        EvalCase{"n + 1 = 2", Value::Null()}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, EvalSweep,
+    ::testing::Values(
+        EvalCase{"a + b", Value::Int(3)},
+        EvalCase{"b - a", Value::Int(1)},
+        EvalCase{"b * 3", Value::Int(6)},
+        EvalCase{"7 / 2", Value::Int(3)},
+        EvalCase{"7 % 2", Value::Int(1)},
+        EvalCase{"b + d", Value::Double(4.5)},
+        EvalCase{"d * 2", Value::Double(5.0)},
+        EvalCase{"-a", Value::Int(-1)},
+        EvalCase{"-d", Value::Double(-2.5)},
+        EvalCase{"1 + 2 * 3", Value::Int(7)},       // precedence
+        EvalCase{"(1 + 2) * 3", Value::Int(9)},
+        EvalCase{"a / 0", Value::Null()},           // division by zero
+        EvalCase{"a % 0", Value::Null()}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Logic, EvalSweep,
+    ::testing::Values(
+        EvalCase{"TRUE", Value::Bool(true)},
+        EvalCase{"FALSE OR TRUE", Value::Bool(true)},
+        EvalCase{"TRUE AND FALSE", Value::Bool(false)},
+        EvalCase{"NOT TRUE", Value::Bool(false)},
+        EvalCase{"a = 1 AND b = 2 AND d = 2.5", Value::Bool(true)},
+        EvalCase{"a = 9 OR b = 9 OR s = 'abc'", Value::Bool(true)},
+        EvalCase{"NOT (a = 1 AND b = 9)", Value::Bool(true)}));
+
+TEST(BinderTest, ResolvesQualifiedColumns) {
+  Schema s = FixtureSchema().WithQualifier("t");
+  auto e = sql::ParseExpression("t.a + t.b").value();
+  ExprBinder binder(s);
+  ASSERT_OK(binder.Bind(e.get()));
+  EXPECT_EQ(EvalExpr(*e, FixtureRow()), Value::Int(3));
+}
+
+TEST(BinderTest, RejectsUnknownColumn) {
+  auto e = sql::ParseExpression("zzz = 1").value();
+  Schema schema = FixtureSchema();
+  ExprBinder binder(schema);
+  EXPECT_EQ(binder.Bind(e.get()).code(), StatusCode::kNotFound);
+}
+
+TEST(BinderTest, RejectsTypeMismatches) {
+  Schema schema = FixtureSchema();
+  ExprBinder binder(schema);
+  auto bad = [&](const std::string& text) {
+    auto e = sql::ParseExpression(text).value();
+    return binder.Bind(e.get()).code();
+  };
+  EXPECT_EQ(bad("s = 1"), StatusCode::kTypeError);
+  EXPECT_EQ(bad("s + 1"), StatusCode::kTypeError);
+  EXPECT_EQ(bad("f < TRUE"), StatusCode::kTypeError);  // bool only =/<>
+  EXPECT_EQ(bad("d % 2"), StatusCode::kTypeError);
+  EXPECT_EQ(bad("a AND b"), StatusCode::kTypeError);
+}
+
+TEST(BinderTest, PredicateMustBeBoolean) {
+  Schema schema = FixtureSchema();
+  ExprBinder binder(schema);
+  auto e = sql::ParseExpression("a + b").value();
+  EXPECT_EQ(binder.BindPredicate(e.get()).code(), StatusCode::kTypeError);
+  auto ok = sql::ParseExpression("a < b").value();
+  EXPECT_OK(binder.BindPredicate(ok.get()));
+}
+
+TEST(BinderTest, ResultTypes) {
+  Schema schema = FixtureSchema();
+  ExprBinder binder(schema);
+  auto typed = [&](const std::string& text) {
+    auto e = sql::ParseExpression(text).value();
+    EXPECT_OK(binder.Bind(e.get()));
+    return e->result_type();
+  };
+  EXPECT_EQ(typed("a + b"), TypeId::kInt);
+  EXPECT_EQ(typed("a + d"), TypeId::kDouble);
+  EXPECT_EQ(typed("a < b"), TypeId::kBool);
+  EXPECT_EQ(typed("n IS NULL"), TypeId::kBool);
+}
+
+TEST(ExprUtilTest, CloneIsDeepAndBound) {
+  auto e = sql::ParseExpression("a + b < 4 AND s = 'x'").value();
+  Schema schema = FixtureSchema();
+  ExprBinder binder(schema);
+  ASSERT_OK(binder.Bind(e.get()));
+  ExprPtr copy = e->Clone();
+  EXPECT_TRUE(copy->IsBound());
+  EXPECT_EQ(copy->ToString(), e->ToString());
+  EXPECT_EQ(EvalExpr(*copy, FixtureRow()), EvalExpr(*e, FixtureRow()));
+}
+
+TEST(ExprUtilTest, SplitConjunctsFlattens) {
+  auto e = sql::ParseExpression("a = 1 AND (b = 2 AND d = 2.5) AND f").value();
+  Schema schema = FixtureSchema();
+  ExprBinder binder(schema);
+  ASSERT_OK(binder.Bind(e.get()));
+  EXPECT_EQ(SplitConjuncts(*e).size(), 4u);
+}
+
+TEST(ExprUtilTest, SplitConjunctsDoesNotCrossOr) {
+  auto e = sql::ParseExpression("a = 1 OR b = 2").value();
+  Schema schema = FixtureSchema();
+  ExprBinder binder(schema);
+  ASSERT_OK(binder.Bind(e.get()));
+  EXPECT_EQ(SplitConjuncts(*e).size(), 1u);
+}
+
+TEST(ExprUtilTest, AndAllOfNothingIsTrue) {
+  ExprPtr e = AndAll({});
+  EXPECT_EQ(EvalConst(*e), Value::Bool(true));
+}
+
+TEST(ExprUtilTest, CollectColumnIndexes) {
+  auto e = sql::ParseExpression("a + b < d").value();
+  Schema schema = FixtureSchema();
+  ExprBinder binder(schema);
+  ASSERT_OK(binder.Bind(e.get()));
+  std::vector<int> idx = CollectColumnIndexes(*e);
+  std::sort(idx.begin(), idx.end());
+  EXPECT_EQ(idx, (std::vector<int>{0, 1, 3}));
+}
+
+TEST(ExprUtilTest, SplitJoinConditionExtractsEquiPairs) {
+  // Schema: left = (a,b,s,d,n,f) width 6, right = same appended.
+  Schema both = Schema::Concat(FixtureSchema().WithQualifier("l"),
+                               FixtureSchema().WithQualifier("r"));
+  auto e = sql::ParseExpression("l.a = r.b AND r.a = l.b AND l.d < r.d")
+               .value();
+  ExprBinder binder(both);
+  ASSERT_OK(binder.Bind(e.get()));
+  std::vector<EquiPair> pairs;
+  ExprPtr residual;
+  SplitJoinCondition(*e, 6, &pairs, &residual);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].left_index, 0);   // l.a
+  EXPECT_EQ(pairs[0].right_index, 1);  // r.b
+  EXPECT_EQ(pairs[1].left_index, 1);   // l.b
+  EXPECT_EQ(pairs[1].right_index, 0);  // r.a
+  ASSERT_NE(residual, nullptr);
+  EXPECT_EQ(residual->ToString(), "(l.d < r.d)");
+}
+
+TEST(ExprUtilTest, SplitJoinConditionSameSideEqualityIsResidual) {
+  Schema both = Schema::Concat(FixtureSchema().WithQualifier("l"),
+                               FixtureSchema().WithQualifier("r"));
+  auto e = sql::ParseExpression("l.a = l.b").value();
+  ExprBinder binder(both);
+  ASSERT_OK(binder.Bind(e.get()));
+  std::vector<EquiPair> pairs;
+  ExprPtr residual;
+  SplitJoinCondition(*e, 6, &pairs, &residual);
+  EXPECT_TRUE(pairs.empty());
+  ASSERT_NE(residual, nullptr);
+}
+
+TEST(ExprUtilTest, CompareOpHelpers) {
+  EXPECT_EQ(FlipCompare(CompareOp::kLt), CompareOp::kGt);
+  EXPECT_EQ(FlipCompare(CompareOp::kEq), CompareOp::kEq);
+  EXPECT_EQ(NegateCompare(CompareOp::kLt), CompareOp::kGe);
+  EXPECT_EQ(NegateCompare(CompareOp::kEq), CompareOp::kNe);
+}
+
+TEST(ExprToStringTest, Rendering) {
+  auto e = sql::ParseExpression("NOT (a = 1 OR b <> 2)").value();
+  EXPECT_EQ(e->ToString(), "NOT ((a = 1) OR (b <> 2))");
+}
+
+}  // namespace
+}  // namespace hippo

@@ -1,0 +1,197 @@
+// Restricted foreign-key constraint tests (the paper's future-work item).
+#include "constraints/foreign_key.h"
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+class FkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.Execute(
+        "CREATE TABLE dept (did INTEGER, name VARCHAR);"
+        "CREATE TABLE emp (eid INTEGER, did INTEGER, salary INTEGER);"
+        "INSERT INTO dept VALUES (1, 'sales'), (2, 'eng');"
+        "INSERT INTO emp VALUES (10, 1, 50), (11, 2, 60), (12, 3, 70);"
+        "CREATE CONSTRAINT fk_dept FOREIGN KEY emp (did) REFERENCES "
+        "dept (did)"));
+  }
+  Database db_;
+};
+
+TEST_F(FkTest, OrphanBecomesUnaryEdge) {
+  auto g = db_.Hypergraph();
+  ASSERT_OK(g.status());
+  ASSERT_EQ(g.value()->NumEdges(), 1u);
+  EXPECT_EQ(g.value()->edge(0).size(), 1u);
+  // Provenance index follows the denial constraints (none here).
+  EXPECT_EQ(g.value()->edge_constraint(0), 0u);
+}
+
+TEST_F(FkTest, OrphanExcludedFromConsistentAnswers) {
+  auto rs = db_.ConsistentAnswers("SELECT * FROM emp");
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs.value().NumRows(), 2u);
+  EXPECT_FALSE(rs.value().Contains(
+      Row{Value::Int(12), Value::Int(3), Value::Int(70)}));
+  auto exact = db_.ConsistentAnswersAllRepairs("SELECT * FROM emp");
+  ASSERT_OK(exact.status());
+  EXPECT_EQ(SortedRows(rs.value()), SortedRows(exact.value()));
+}
+
+TEST_F(FkTest, RewritingAgreesViaSemiJoinGuard) {
+  auto rewr = db_.ConsistentAnswersByRewriting("SELECT * FROM emp");
+  auto exact = db_.ConsistentAnswersAllRepairs("SELECT * FROM emp");
+  ASSERT_OK(rewr.status());
+  ASSERT_OK(exact.status());
+  EXPECT_EQ(SortedRows(rewr.value()), SortedRows(exact.value()));
+}
+
+TEST_F(FkTest, ParentRelationUntouched) {
+  auto rs = db_.ConsistentAnswers("SELECT * FROM dept");
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs.value().NumRows(), 2u);
+}
+
+TEST_F(FkTest, JoinThroughForeignKey) {
+  // Join emp-dept: the orphan can never join; conflicted members would be
+  // uncertain. Here only valid employees appear.
+  auto rs = db_.ConsistentAnswers(
+      "SELECT * FROM emp, dept WHERE emp.did = dept.did");
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs.value().NumRows(), 2u);
+  auto exact = db_.ConsistentAnswersAllRepairs(
+      "SELECT * FROM emp, dept WHERE emp.did = dept.did");
+  ASSERT_OK(exact.status());
+  EXPECT_EQ(SortedRows(rs.value()), SortedRows(exact.value()));
+}
+
+TEST_F(FkTest, FkComposesWithFdOnChild) {
+  ASSERT_OK(db_.Execute(
+      "INSERT INTO emp VALUES (10, 1, 55);"  // FD conflict with (10,1,50)
+      "CREATE CONSTRAINT fd_emp FD ON emp (eid -> salary)"));
+  auto rs = db_.ConsistentAnswers("SELECT * FROM emp");
+  ASSERT_OK(rs.status());
+  // (11,2,60) is the only certain employee: 12 is an orphan, the two
+  // eid-10 records conflict.
+  EXPECT_EQ(rs.value().NumRows(), 1u);
+  auto exact = db_.ConsistentAnswersAllRepairs("SELECT * FROM emp");
+  ASSERT_OK(exact.status());
+  EXPECT_EQ(SortedRows(rs.value()), SortedRows(exact.value()));
+}
+
+TEST_F(FkTest, MultiColumnForeignKey) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE pk (a INTEGER, b VARCHAR);"
+      "CREATE TABLE ref (x INTEGER, y VARCHAR, z INTEGER);"
+      "INSERT INTO pk VALUES (1, 'u'), (2, 'v');"
+      "INSERT INTO ref VALUES (1, 'u', 9), (1, 'v', 8), (2, 'v', 7);"
+      "CREATE CONSTRAINT fk FOREIGN KEY ref (x, y) REFERENCES pk (a, b)"));
+  auto rs = db.ConsistentAnswers("SELECT * FROM ref");
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs.value().NumRows(), 2u);  // (1,'v',8) is an orphan
+}
+
+TEST_F(FkTest, NoOrphansNoEdges) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE p (k INTEGER); CREATE TABLE c (k INTEGER);"
+      "INSERT INTO p VALUES (1), (2); INSERT INTO c VALUES (1), (1), (2);"
+      "CREATE CONSTRAINT fk FOREIGN KEY c (k) REFERENCES p (k)"));
+  auto consistent = db.IsConsistent();
+  ASSERT_OK(consistent.status());
+  EXPECT_TRUE(consistent.value());
+}
+
+// --- restriction validation -------------------------------------------------
+
+TEST_F(FkTest, ParentMayNotCarryDenialConstraints) {
+  // dept is an FK parent: adding an FD on it must be rejected.
+  EXPECT_EQ(db_.Execute("CREATE CONSTRAINT fd_d FD ON dept (did -> name)")
+                .code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(FkTest, FkOntoConstrainedParentRejected) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE p (k INTEGER, v INTEGER);"
+      "CREATE TABLE c (k INTEGER);"
+      "CREATE CONSTRAINT fd_p FD ON p (k -> v)"));
+  EXPECT_EQ(db.Execute(
+                  "CREATE CONSTRAINT fk FOREIGN KEY c (k) REFERENCES p (k)")
+                .code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(FkTest, FkChainRejected) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE a (k INTEGER); CREATE TABLE b (k INTEGER);"
+      "CREATE TABLE c (k INTEGER);"
+      "CREATE CONSTRAINT fk1 FOREIGN KEY b (k) REFERENCES a (k)"));
+  // b already loses tuples (as a child); it cannot be a parent.
+  EXPECT_EQ(db.Execute(
+                  "CREATE CONSTRAINT fk2 FOREIGN KEY c (k) REFERENCES b (k)")
+                .code(),
+            StatusCode::kNotSupported);
+  // a is a parent; it cannot become a child.
+  EXPECT_EQ(db.Execute(
+                  "CREATE CONSTRAINT fk3 FOREIGN KEY a (k) REFERENCES c (k)")
+                .code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(FkTest, SelfReferenceRejected) {
+  Database db;
+  ASSERT_OK(db.Execute("CREATE TABLE t (k INTEGER, pk INTEGER)"));
+  EXPECT_EQ(db.Execute(
+                  "CREATE CONSTRAINT fk FOREIGN KEY t (pk) REFERENCES t (k)")
+                .code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(FkTest, ValidationErrors) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE p (k INTEGER, s VARCHAR); CREATE TABLE c (k INTEGER)"));
+  EXPECT_EQ(db.Execute(
+                  "CREATE CONSTRAINT fk FOREIGN KEY c (k) REFERENCES p (s)")
+                .code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(db.Execute(
+                  "CREATE CONSTRAINT fk FOREIGN KEY c (k) REFERENCES p (zz)")
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db.Execute("CREATE CONSTRAINT fk FOREIGN KEY c (k) "
+                       "REFERENCES p (k, s)")
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FkTest, DuplicateNameAcrossKinds) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE p (k INTEGER, v INTEGER); CREATE TABLE c (k INTEGER);"
+      "CREATE CONSTRAINT same FD ON p (k -> v)"));
+  ASSERT_OK(db.Execute("CREATE TABLE q (k INTEGER)"));
+  EXPECT_EQ(db.Execute(
+                  "CREATE CONSTRAINT same FOREIGN KEY c (k) REFERENCES q (k)")
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(FkTest, ToStringMentionsTables) {
+  ASSERT_EQ(db_.foreign_keys().size(), 1u);
+  std::string s = db_.foreign_keys()[0].ToString();
+  EXPECT_NE(s.find("emp"), std::string::npos);
+  EXPECT_NE(s.find("dept"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hippo

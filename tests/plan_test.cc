@@ -1,0 +1,226 @@
+// Planner tests: plan shapes, binding, schema derivation, SJUD
+// classification.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "plan/planner.h"
+#include "plan/sjud.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema rs;
+    rs.AddColumn(Column("a", TypeId::kInt));
+    rs.AddColumn(Column("b", TypeId::kInt));
+    ASSERT_OK(catalog_.CreateTable("r", rs).status());
+    ASSERT_OK(catalog_.CreateTable("s", rs).status());
+    Schema ts;
+    ts.AddColumn(Column("x", TypeId::kInt));
+    ts.AddColumn(Column("y", TypeId::kString));
+    ASSERT_OK(catalog_.CreateTable("t", ts).status());
+  }
+
+  PlanNodePtr Plan(const std::string& text) {
+    auto stmt = sql::ParseStatement(text);
+    EXPECT_OK(stmt.status()) << text;
+    auto& sel = std::get<sql::SelectStmt>(stmt.value().node);
+    Planner planner(catalog_);
+    auto plan = planner.PlanSelect(sel);
+    EXPECT_OK(plan.status()) << text;
+    return std::move(plan).value();
+  }
+
+  Status PlanError(const std::string& text) {
+    auto stmt = sql::ParseStatement(text);
+    if (!stmt.ok()) return stmt.status();
+    auto* sel = std::get_if<sql::SelectStmt>(&stmt.value().node);
+    if (sel == nullptr) return Status::InvalidArgument("not a select");
+    Planner planner(catalog_);
+    return planner.PlanSelect(*sel).status();
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(PlannerTest, SimpleScanProject) {
+  PlanNodePtr p = Plan("SELECT * FROM r");
+  ASSERT_EQ(p->kind(), PlanKind::kProject);
+  EXPECT_EQ(p->child(0).kind(), PlanKind::kScan);
+  EXPECT_EQ(p->schema().NumColumns(), 2u);
+  EXPECT_EQ(p->schema().column(0).name, "a");
+}
+
+TEST_F(PlannerTest, WherePushedBelowProject) {
+  PlanNodePtr p = Plan("SELECT * FROM r WHERE a = 1");
+  ASSERT_EQ(p->kind(), PlanKind::kProject);
+  EXPECT_EQ(p->child(0).kind(), PlanKind::kFilter);
+  EXPECT_EQ(p->child(0).child(0).kind(), PlanKind::kScan);
+}
+
+TEST_F(PlannerTest, EquiJoinBecomesJoinNode) {
+  PlanNodePtr p = Plan("SELECT * FROM r, s WHERE r.a = s.a");
+  ASSERT_EQ(p->kind(), PlanKind::kProject);
+  const PlanNode& join = p->child(0);
+  ASSERT_EQ(join.kind(), PlanKind::kJoin);
+  EXPECT_EQ(join.child(0).kind(), PlanKind::kScan);
+  EXPECT_EQ(join.child(1).kind(), PlanKind::kScan);
+  EXPECT_EQ(join.schema().NumColumns(), 4u);
+}
+
+TEST_F(PlannerTest, SingleAtomConjunctsPushedToScans) {
+  PlanNodePtr p =
+      Plan("SELECT * FROM r, s WHERE r.a = s.a AND r.b < 5 AND s.b > 2");
+  const PlanNode& join = p->child(0);
+  ASSERT_EQ(join.kind(), PlanKind::kJoin);
+  EXPECT_EQ(join.child(0).kind(), PlanKind::kFilter);  // r.b < 5
+  EXPECT_EQ(join.child(1).kind(), PlanKind::kFilter);  // s.b > 2
+}
+
+TEST_F(PlannerTest, CartesianProductWithoutCondition) {
+  PlanNodePtr p = Plan("SELECT * FROM r, s");
+  EXPECT_EQ(p->child(0).kind(), PlanKind::kProduct);
+}
+
+TEST_F(PlannerTest, ThreeWayJoinIsLeftDeep) {
+  PlanNodePtr p = Plan(
+      "SELECT * FROM r, s, t WHERE r.a = s.a AND s.b = t.x");
+  const PlanNode& top = p->child(0);
+  ASSERT_EQ(top.kind(), PlanKind::kJoin);      // joins t
+  ASSERT_EQ(top.child(0).kind(), PlanKind::kJoin);  // joins r,s
+  EXPECT_EQ(top.child(1).kind(), PlanKind::kScan);  // t
+  EXPECT_EQ(top.schema().NumColumns(), 6u);
+}
+
+TEST_F(PlannerTest, JoinOnSyntax) {
+  PlanNodePtr p = Plan("SELECT * FROM r JOIN s ON r.a = s.a");
+  EXPECT_EQ(p->child(0).kind(), PlanKind::kJoin);
+}
+
+TEST_F(PlannerTest, OnCannotReferenceLaterTables) {
+  EXPECT_EQ(PlanError("SELECT * FROM r JOIN s ON r.a = t.x, t").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlannerTest, DuplicateAliasRejected) {
+  EXPECT_EQ(PlanError("SELECT * FROM r, r").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_OK(PlanError("SELECT * FROM r, r AS r2"));
+}
+
+TEST_F(PlannerTest, SelfJoinWithAliases) {
+  PlanNodePtr p =
+      Plan("SELECT * FROM r x, r y WHERE x.a = y.a AND x.b <> y.b");
+  const PlanNode& join = p->child(0);
+  ASSERT_EQ(join.kind(), PlanKind::kJoin);
+  EXPECT_EQ(join.schema().column(0).qualifier, "x");
+  EXPECT_EQ(join.schema().column(2).qualifier, "y");
+}
+
+TEST_F(PlannerTest, StarQualifierExpansion) {
+  PlanNodePtr p = Plan("SELECT s.*, r.a FROM r, s");
+  EXPECT_EQ(p->schema().NumColumns(), 3u);
+  EXPECT_EQ(p->schema().column(0).qualifier, "s");
+  EXPECT_EQ(p->schema().column(2).qualifier, "r");
+}
+
+TEST_F(PlannerTest, ComputedColumnNaming) {
+  PlanNodePtr p = Plan("SELECT a + b AS total, a + 1 FROM r");
+  EXPECT_EQ(p->schema().column(0).name, "total");
+  EXPECT_EQ(p->schema().column(1).name, "col2");
+  EXPECT_EQ(p->schema().column(0).type, TypeId::kInt);
+}
+
+TEST_F(PlannerTest, UnionCompatibleSchemas) {
+  PlanNodePtr p = Plan("SELECT * FROM r UNION SELECT * FROM s");
+  EXPECT_EQ(p->kind(), PlanKind::kUnion);
+  EXPECT_EQ(p->schema().column(0).qualifier, "");  // set op clears qualifiers
+}
+
+TEST_F(PlannerTest, UnionIncompatibleRejected) {
+  EXPECT_EQ(PlanError("SELECT * FROM r UNION SELECT * FROM t").code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(PlannerTest, ConstantWhereBecomesTopFilter) {
+  PlanNodePtr p = Plan("SELECT * FROM r WHERE 1 = 0");
+  ASSERT_EQ(p->kind(), PlanKind::kProject);
+  EXPECT_EQ(p->child(0).kind(), PlanKind::kFilter);
+}
+
+TEST_F(PlannerTest, OrderByProducesSortRoot) {
+  PlanNodePtr p = Plan("SELECT * FROM r ORDER BY b DESC");
+  ASSERT_EQ(p->kind(), PlanKind::kSort);
+  EXPECT_EQ(p->child(0).kind(), PlanKind::kProject);
+}
+
+TEST_F(PlannerTest, CrossAtomOrConditionStaysAtJoin) {
+  // An OR spanning both atoms cannot be split; it must be a join condition
+  // (executed as a nested-loop join).
+  PlanNodePtr p = Plan("SELECT * FROM r, s WHERE r.a = s.a OR r.b = s.b");
+  EXPECT_EQ(p->child(0).kind(), PlanKind::kJoin);
+}
+
+TEST_F(PlannerTest, UnknownTableAndColumn) {
+  EXPECT_EQ(PlanError("SELECT * FROM nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ(PlanError("SELECT zzz FROM r").code(), StatusCode::kNotFound);
+  EXPECT_EQ(PlanError("SELECT * FROM r WHERE t.x = 1").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(PlannerTest, PlanToStringIsIndentedTree) {
+  PlanNodePtr p = Plan("SELECT * FROM r, s WHERE r.a = s.a");
+  std::string rendered = p->ToString();
+  EXPECT_NE(rendered.find("Project"), std::string::npos);
+  EXPECT_NE(rendered.find("Join"), std::string::npos);
+  EXPECT_NE(rendered.find("Scan r"), std::string::npos);
+}
+
+TEST_F(PlannerTest, CloneIsDeep) {
+  PlanNodePtr p = Plan("SELECT * FROM r, s WHERE r.a = s.a AND r.b < 3");
+  PlanNodePtr c = p->Clone();
+  EXPECT_EQ(c->ToString(), p->ToString());
+  EXPECT_EQ(c->schema().NumColumns(), p->schema().NumColumns());
+}
+
+// --- SJUD classification -----------------------------------------------------
+
+TEST_F(PlannerTest, SjudAcceptsSupportedClass) {
+  EXPECT_OK(CheckSjudSupported(*Plan("SELECT * FROM r WHERE a < 3")));
+  EXPECT_OK(CheckSjudSupported(*Plan("SELECT * FROM r, s WHERE r.a = s.a")));
+  EXPECT_OK(CheckSjudSupported(
+      *Plan("SELECT * FROM r UNION SELECT * FROM s")));
+  EXPECT_OK(CheckSjudSupported(
+      *Plan("SELECT * FROM r EXCEPT SELECT * FROM s")));
+  EXPECT_OK(CheckSjudSupported(
+      *Plan("SELECT * FROM r INTERSECT SELECT * FROM s")));
+  EXPECT_OK(CheckSjudSupported(*Plan("SELECT b, a FROM r")));  // permutation
+  EXPECT_OK(CheckSjudSupported(*Plan("SELECT a, b, a FROM r")));  // duplicate
+  EXPECT_OK(CheckSjudSupported(*Plan("SELECT * FROM r ORDER BY a")));
+}
+
+TEST_F(PlannerTest, SjudRejectsNarrowingProjection) {
+  Status st = CheckSjudSupported(*Plan("SELECT a FROM r"));
+  EXPECT_EQ(st.code(), StatusCode::kNotSupported);
+  EXPECT_NE(st.message().find("existential"), std::string::npos);
+}
+
+TEST_F(PlannerTest, SjudRejectsComputedColumns) {
+  EXPECT_EQ(CheckSjudSupported(*Plan("SELECT a + 1, b, a FROM r")).code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(PlannerTest, SafeProjectionPredicate) {
+  PlanNodePtr p = Plan("SELECT b, a FROM r");
+  ASSERT_EQ(p->kind(), PlanKind::kProject);
+  EXPECT_TRUE(IsSafeProjection(static_cast<const ProjectNode&>(*p)));
+  PlanNodePtr q = Plan("SELECT b FROM r");
+  EXPECT_FALSE(IsSafeProjection(static_cast<const ProjectNode&>(*q)));
+}
+
+}  // namespace
+}  // namespace hippo

@@ -1,0 +1,249 @@
+// The central correctness property of the whole system:
+//
+//   For random small inconsistent databases and every query shape in the
+//   SJUD class, Hippo's consistent answers (in every optimization mode)
+//   equal the answers obtained by evaluating the query over every repair
+//   and intersecting.
+//
+// This differentially tests detection, the hypergraph, enveloping,
+// grounding, CNF, the prover, and the engine against the independent
+// repair-enumeration implementation.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/database.h"
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+using cqa::HippoOptions;
+
+/// Builds a random database with FD, exclusion and unary constraints.
+/// Small domains force plenty of conflicts of all shapes.
+void BuildRandomDb(Database* db, Rng* rng) {
+  ASSERT_OK(db->Execute(
+      "CREATE TABLE p (a INTEGER, b INTEGER);"
+      "CREATE TABLE q (a INTEGER, b INTEGER);"
+      "CREATE CONSTRAINT fd_p FD ON p (a -> b);"
+      "CREATE CONSTRAINT fd_q FD ON q (a -> b);"
+      "CREATE CONSTRAINT ex EXCLUSION ON p (a), q (b);"
+      "CREATE CONSTRAINT cap DENIAL (p AS x WHERE x.b > 2)"));
+  int np = 4 + static_cast<int>(rng->Uniform(6));
+  int nq = 4 + static_cast<int>(rng->Uniform(6));
+  for (int i = 0; i < np; ++i) {
+    ASSERT_OK(db->InsertRow("p", Row{Value::Int(rng->UniformInt(0, 4)),
+                                     Value::Int(rng->UniformInt(0, 3))}));
+  }
+  for (int i = 0; i < nq; ++i) {
+    ASSERT_OK(db->InsertRow("q", Row{Value::Int(rng->UniformInt(0, 4)),
+                                     Value::Int(rng->UniformInt(0, 3))}));
+  }
+}
+
+const char* kQueries[] = {
+    // S
+    "SELECT * FROM p",
+    "SELECT * FROM p WHERE b <= 1",
+    "SELECT * FROM p WHERE a = 2 OR b = 2",
+    // safe P (permutation)
+    "SELECT b, a FROM p",
+    // J
+    "SELECT * FROM p, q WHERE p.a = q.a",
+    "SELECT * FROM p, q WHERE p.a = q.a AND p.b < q.b",
+    "SELECT * FROM p x, p y WHERE x.a = y.a AND x.b < y.b",
+    // U
+    "SELECT * FROM p UNION SELECT * FROM q",
+    "SELECT * FROM p WHERE a = 0 UNION SELECT * FROM p WHERE a = 1",
+    // D
+    "SELECT * FROM p EXCEPT SELECT * FROM q",
+    "SELECT * FROM q EXCEPT SELECT * FROM p",
+    // I
+    "SELECT * FROM p INTERSECT SELECT * FROM q",
+    // compositions
+    "(SELECT * FROM p EXCEPT SELECT * FROM q) UNION "
+    "(SELECT * FROM q EXCEPT SELECT * FROM p)",
+    "(SELECT * FROM p UNION SELECT * FROM q) EXCEPT "
+    "(SELECT * FROM p INTERSECT SELECT * FROM q)",
+    "SELECT * FROM p WHERE b <= 1 EXCEPT "
+    "(SELECT * FROM q WHERE a = 1 UNION SELECT * FROM q WHERE a = 2)",
+};
+
+class CqaDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CqaDifferential, HippoEqualsAllRepairsOnRandomInstances) {
+  Rng rng(GetParam());
+  Database db;
+  BuildRandomDb(&db, &rng);
+
+  auto repair_count = db.CountRepairs(100000);
+  ASSERT_OK(repair_count.status());
+
+  for (const char* q : kQueries) {
+    auto exact = db.ConsistentAnswersAllRepairs(q);
+    ASSERT_OK(exact.status()) << q;
+
+    for (bool filtering : {true, false}) {
+      for (auto mode : {HippoOptions::MembershipMode::kKnowledgeGathering,
+                        HippoOptions::MembershipMode::kQuery}) {
+        HippoOptions opt;
+        opt.membership = mode;
+        opt.use_filtering = filtering;
+        auto hippo_rs = db.ConsistentAnswers(q, opt);
+        ASSERT_OK(hippo_rs.status()) << q;
+        EXPECT_EQ(SortedRows(hippo_rs.value()), SortedRows(exact.value()))
+            << "query: " << q << "\nfiltering: " << filtering
+            << " mode: " << static_cast<int>(mode)
+            << "\nrepairs: " << repair_count.value();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CqaDifferential,
+                         ::testing::Range<uint64_t>(1000, 1040));
+
+// A second sweep focused on FD-only instances with larger conflict groups
+// (3+ tuples sharing a key), which stress the prover's blocking search.
+class CqaFdGroups : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CqaFdGroups, DenseConflictGroups) {
+  Rng rng(GetParam());
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE p (a INTEGER, b INTEGER);"
+      "CREATE TABLE q (a INTEGER, b INTEGER);"
+      "CREATE CONSTRAINT fd_p FD ON p (a -> b);"
+      "CREATE CONSTRAINT fd_q FD ON q (a -> b)"));
+  // Two keys, many values: conflict cliques of size 3-4.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK(db.InsertRow("p", Row{Value::Int(rng.UniformInt(0, 1)),
+                                    Value::Int(rng.UniformInt(0, 3))}));
+    ASSERT_OK(db.InsertRow("q", Row{Value::Int(rng.UniformInt(0, 1)),
+                                    Value::Int(rng.UniformInt(0, 3))}));
+  }
+  for (const char* q :
+       {"SELECT * FROM p", "SELECT * FROM p EXCEPT SELECT * FROM q",
+        "SELECT * FROM p UNION SELECT * FROM q",
+        "SELECT * FROM p, q WHERE p.a = q.a"}) {
+    auto exact = db.ConsistentAnswersAllRepairs(q);
+    auto hippo_rs = db.ConsistentAnswers(q);
+    ASSERT_OK(exact.status()) << q;
+    ASSERT_OK(hippo_rs.status()) << q;
+    EXPECT_EQ(SortedRows(hippo_rs.value()), SortedRows(exact.value())) << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CqaFdGroups,
+                         ::testing::Range<uint64_t>(2000, 2024));
+
+// Metamorphic properties that must hold regardless of the instance.
+class CqaMetamorphic : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CqaMetamorphic, AnswersAreSubsetOfEnvelopeAndMonotone) {
+  Rng rng(GetParam());
+  Database db;
+  BuildRandomDb(&db, &rng);
+
+  // (1) CQA(Q) ⊆ Q(DB) for monotone Q (no difference): consistent answers
+  // of monotone queries are answers over the full instance.
+  for (const char* q :
+       {"SELECT * FROM p", "SELECT * FROM p, q WHERE p.a = q.a",
+        "SELECT * FROM p UNION SELECT * FROM q"}) {
+    auto plain = db.Query(q);
+    auto cqa_rs = db.ConsistentAnswers(q);
+    ASSERT_OK(plain.status());
+    ASSERT_OK(cqa_rs.status());
+    for (const Row& row : cqa_rs.value().rows) {
+      EXPECT_TRUE(plain.value().Contains(row)) << q;
+    }
+  }
+
+  // (2) Q(core) ⊆ CQA(Q) for monotone Q: everything true in the
+  // conflict-free part is true in every repair.
+  for (const char* q :
+       {"SELECT * FROM p", "SELECT * FROM p UNION SELECT * FROM q"}) {
+    auto core = db.QueryOverCore(q);
+    auto cqa_rs = db.ConsistentAnswers(q);
+    ASSERT_OK(core.status());
+    ASSERT_OK(cqa_rs.status());
+    for (const Row& row : core.value().rows) {
+      EXPECT_TRUE(cqa_rs.value().Contains(row)) << q;
+    }
+  }
+
+  // (3) Consistency restored => CQA = plain evaluation.
+  Database clean;
+  ASSERT_OK(clean.Execute(
+      "CREATE TABLE p (a INTEGER, b INTEGER);"
+      "CREATE CONSTRAINT fd_p FD ON p (a -> b)"));
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_OK(clean.InsertRow(
+        "p", Row{Value::Int(i), Value::Int(rng.UniformInt(0, 3))}));
+  }
+  auto plain = clean.Query("SELECT * FROM p");
+  auto cqa_rs = clean.ConsistentAnswers("SELECT * FROM p");
+  ASSERT_OK(plain.status());
+  ASSERT_OK(cqa_rs.status());
+  EXPECT_EQ(SortedRows(plain.value()), SortedRows(cqa_rs.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CqaMetamorphic,
+                         ::testing::Range<uint64_t>(3000, 3016));
+
+// The differential property must survive arbitrary update sequences with
+// incremental hypergraph maintenance switched on: after every batch of
+// random INSERT/DELETE/UPDATE statements, Hippo (over the incrementally
+// maintained graph) must still agree with all-repairs evaluation (over a
+// fresh enumeration of the mutated instance).
+class CqaAfterDml : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CqaAfterDml, DifferentialHoldsAcrossUpdates) {
+  Rng rng(GetParam());
+  Database db;
+  BuildRandomDb(&db, &rng);
+  ASSERT_OK(db.EnableIncrementalMaintenance());
+
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int op = 0; op < 6; ++op) {
+      const char* table = rng.Uniform(2) == 0 ? "p" : "q";
+      switch (rng.Uniform(3)) {
+        case 0:
+          ASSERT_OK(db.InsertRow(
+              table, Row{Value::Int(rng.UniformInt(0, 4)),
+                         Value::Int(rng.UniformInt(0, 3))}));
+          break;
+        case 1:
+          ASSERT_OK(db.DeleteRow(
+              table, Row{Value::Int(rng.UniformInt(0, 4)),
+                         Value::Int(rng.UniformInt(0, 3))}));
+          break;
+        case 2: {
+          std::string sql =
+              std::string("UPDATE ") + table + " SET b = " +
+              std::to_string(rng.UniformInt(0, 3)) + " WHERE a = " +
+              std::to_string(rng.UniformInt(0, 4));
+          ASSERT_OK(db.Execute(sql));
+          break;
+        }
+      }
+    }
+    for (const char* q :
+         {"SELECT * FROM p", "SELECT * FROM p EXCEPT SELECT * FROM q",
+          "SELECT * FROM p UNION SELECT * FROM q",
+          "SELECT * FROM p, q WHERE p.a = q.a"}) {
+      auto exact = db.ConsistentAnswersAllRepairs(q);
+      auto hippo_rs = db.ConsistentAnswers(q);
+      ASSERT_OK(exact.status()) << q;
+      ASSERT_OK(hippo_rs.status()) << q;
+      EXPECT_EQ(SortedRows(hippo_rs.value()), SortedRows(exact.value()))
+          << "after batch " << batch << ", query: " << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CqaAfterDml,
+                         ::testing::Range<uint64_t>(4000, 4020));
+
+}  // namespace
+}  // namespace hippo

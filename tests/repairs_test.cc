@@ -1,0 +1,205 @@
+// Repair enumeration tests: repairs = maximal independent sets.
+#include "repairs/repair_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/database.h"
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+TEST(RepairsTest, ConsistentInstanceHasOneEmptyRepair) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (a INTEGER, b INTEGER);"
+      "INSERT INTO t VALUES (1, 1), (2, 2);"
+      "CREATE CONSTRAINT fd FD ON t (a -> b)"));
+  auto g = db.Hypergraph();
+  ASSERT_OK(g.status());
+  RepairEnumerator re(db.catalog(), *g.value());
+  auto sets = re.EnumerateDeletedSets(100);
+  ASSERT_OK(sets.status());
+  ASSERT_EQ(sets.value().size(), 1u);
+  EXPECT_TRUE(sets.value()[0].empty());
+}
+
+TEST(RepairsTest, SingleConflictTwoRepairs) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (a INTEGER, b INTEGER);"
+      "INSERT INTO t VALUES (1, 1), (1, 2);"
+      "CREATE CONSTRAINT fd FD ON t (a -> b)"));
+  auto g = db.Hypergraph();
+  ASSERT_OK(g.status());
+  RepairEnumerator re(db.catalog(), *g.value());
+  auto sets = re.EnumerateDeletedSets(100);
+  ASSERT_OK(sets.status());
+  ASSERT_EQ(sets.value().size(), 2u);
+  // Each repair deletes exactly one of the two tuples.
+  for (const auto& deleted : sets.value()) {
+    EXPECT_EQ(deleted.size(), 1u);
+  }
+}
+
+TEST(RepairsTest, IndependentConflictsMultiply) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (a INTEGER, b INTEGER);"
+      "INSERT INTO t VALUES (1, 1), (1, 2), (2, 1), (2, 2), (3, 1), (3, 2);"
+      "CREATE CONSTRAINT fd FD ON t (a -> b)"));
+  // Three independent conflict pairs -> 2^3 repairs.
+  auto count = db.CountRepairs();
+  ASSERT_OK(count.status());
+  EXPECT_EQ(count.value(), 8u);
+}
+
+TEST(RepairsTest, TriangleOfPairwiseConflicts) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (a INTEGER, b INTEGER);"
+      "INSERT INTO t VALUES (1, 1), (1, 2), (1, 3);"
+      "CREATE CONSTRAINT fd FD ON t (a -> b)"));
+  // Pairwise conflicting: each repair keeps exactly one -> 3 repairs.
+  auto count = db.CountRepairs();
+  ASSERT_OK(count.status());
+  EXPECT_EQ(count.value(), 3u);
+}
+
+TEST(RepairsTest, UnaryEdgeTupleInNoRepair) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (v INTEGER);"
+      "INSERT INTO t VALUES (-1), (2);"
+      "CREATE CONSTRAINT pos DENIAL (t AS x WHERE x.v < 0)"));
+  auto g = db.Hypergraph();
+  ASSERT_OK(g.status());
+  RepairEnumerator re(db.catalog(), *g.value());
+  auto sets = re.EnumerateDeletedSets(100);
+  ASSERT_OK(sets.status());
+  ASSERT_EQ(sets.value().size(), 1u);
+  EXPECT_EQ(sets.value()[0], (std::vector<RowId>{RowId{0, 0}}));
+}
+
+TEST(RepairsTest, TernaryEdgeThreeRepairs) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (k INTEGER, v INTEGER);"
+      "INSERT INTO t VALUES (1, 1), (1, 2), (1, 3);"
+      "CREATE CONSTRAINT trip DENIAL (t AS x, t AS y, t AS z WHERE "
+      "x.k = y.k AND y.k = z.k AND x.v < y.v AND y.v < z.v)"));
+  // One ternary edge: delete any one vertex -> 3 maximal repairs.
+  auto count = db.CountRepairs();
+  ASSERT_OK(count.status());
+  EXPECT_EQ(count.value(), 3u);
+}
+
+TEST(RepairsTest, LimitEnforced) {
+  Database db;
+  std::string script =
+      "CREATE TABLE t (a INTEGER, b INTEGER);"
+      "CREATE CONSTRAINT fd FD ON t (a -> b);";
+  ASSERT_OK(db.Execute(script));
+  for (int i = 0; i < 12; ++i) {  // 2^12 repairs
+    ASSERT_OK(db.InsertRow("t", Row{Value::Int(i), Value::Int(0)}));
+    ASSERT_OK(db.InsertRow("t", Row{Value::Int(i), Value::Int(1)}));
+  }
+  EXPECT_EQ(db.CountRepairs(1000).status().code(),
+            StatusCode::kNotSupported);
+  auto full = db.CountRepairs(5000);
+  ASSERT_OK(full.status());
+  EXPECT_EQ(full.value(), 4096u);
+}
+
+TEST(RepairsTest, MasksHideExactlyDeletedRows) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (a INTEGER, b INTEGER);"
+      "INSERT INTO t VALUES (1, 1), (1, 2), (2, 5);"
+      "CREATE CONSTRAINT fd FD ON t (a -> b)"));
+  auto g = db.Hypergraph();
+  ASSERT_OK(g.status());
+  RepairEnumerator re(db.catalog(), *g.value());
+  auto masks = re.EnumerateMasks(10);
+  ASSERT_OK(masks.status());
+  ASSERT_EQ(masks.value().size(), 2u);
+  for (const RowMask& mask : masks.value()) {
+    // (2,5) is conflict-free: visible in every repair.
+    EXPECT_TRUE(mask.Allows(RowId{0, 2}));
+    // Exactly one of the two conflicting rows is visible.
+    EXPECT_NE(mask.Allows(RowId{0, 0}), mask.Allows(RowId{0, 1}));
+  }
+}
+
+TEST(RepairsTest, CoreMaskHidesAllConflicting) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (a INTEGER, b INTEGER);"
+      "INSERT INTO t VALUES (1, 1), (1, 2), (2, 5);"
+      "CREATE CONSTRAINT fd FD ON t (a -> b)"));
+  auto g = db.Hypergraph();
+  ASSERT_OK(g.status());
+  RepairEnumerator re(db.catalog(), *g.value());
+  RowMask core = re.CoreMask();
+  EXPECT_FALSE(core.Allows(RowId{0, 0}));
+  EXPECT_FALSE(core.Allows(RowId{0, 1}));
+  EXPECT_TRUE(core.Allows(RowId{0, 2}));
+}
+
+// Property: every enumerated repair is independent (no full edge survives)
+// and maximal (restoring any deleted tuple violates some edge).
+class RepairLaws : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RepairLaws, IndependentAndMaximal) {
+  Rng rng(GetParam());
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (a INTEGER, b INTEGER);"
+      "CREATE CONSTRAINT fd FD ON t (a -> b)"));
+  for (int i = 0; i < 14; ++i) {
+    ASSERT_OK(db.InsertRow("t", Row{Value::Int(rng.UniformInt(0, 4)),
+                                    Value::Int(rng.UniformInt(0, 2))}));
+  }
+  auto g = db.Hypergraph();
+  ASSERT_OK(g.status());
+  RepairEnumerator re(db.catalog(), *g.value());
+  auto sets = re.EnumerateDeletedSets(100000);
+  ASSERT_OK(sets.status());
+  ASSERT_GE(sets.value().size(), 1u);
+
+  for (const std::vector<RowId>& deleted : sets.value()) {
+    VertexSet dead(deleted.begin(), deleted.end());
+    // Independence: every edge loses at least one vertex.
+    for (size_t e = 0; e < g.value()->NumEdges(); ++e) {
+      const auto& edge =
+          g.value()->edge(static_cast<ConflictHypergraph::EdgeId>(e));
+      bool some_deleted = false;
+      for (const RowId& v : edge) some_deleted |= dead.count(v) > 0;
+      EXPECT_TRUE(some_deleted);
+    }
+    // Maximality: every deleted vertex has an edge whose other vertices
+    // all survived.
+    for (const RowId& v : deleted) {
+      bool blocked = false;
+      for (auto e : g.value()->IncidentEdges(v)) {
+        bool others_alive = true;
+        for (const RowId& u : g.value()->edge(e)) {
+          if (u != v && dead.count(u)) others_alive = false;
+        }
+        if (others_alive) blocked = true;
+      }
+      EXPECT_TRUE(blocked) << "repair not maximal at " << v.ToString();
+    }
+  }
+  // Repairs are pairwise distinct.
+  std::set<std::vector<RowId>> uniq(sets.value().begin(),
+                                    sets.value().end());
+  EXPECT_EQ(uniq.size(), sets.value().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairLaws,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38));
+
+}  // namespace
+}  // namespace hippo

@@ -1,0 +1,208 @@
+// Robustness: the front end must return Status errors — never crash — on
+// arbitrary malformed input, and the whole pipeline must stay correct on
+// instances mixing every constraint kind (including foreign keys).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/database.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+// Random token soup: the parser must always return (not crash, not hang).
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzz, NeverCrashesOnTokenSoup) {
+  Rng rng(GetParam());
+  static const char* kTokens[] = {
+      "SELECT", "FROM",  "WHERE", "UNION",  "EXCEPT", "JOIN",   "ON",
+      "(",      ")",     ",",     "*",      "=",      "<>",     "<",
+      "AND",    "OR",    "NOT",   "t",      "u",      "a",      "b",
+      "1",      "2.5",   "'x'",   "AS",     "BY",     "ORDER",  "->",
+      "CREATE", "TABLE", "INSERT", "INTO",  "VALUES", "CONSTRAINT",
+      "FD",     "DENIAL", "EXCLUSION", "FOREIGN", "KEY", "REFERENCES",
+      ";",      "NULL",  "IS",     "+",     "-",      "%",
+      "DELETE", "UPDATE", "SET",   "COPY",  "TO",     "GROUP",
+      "HAVING", "COUNT",  "SUM",   "PRIMARY", "UNIQUE", "CHECK",
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    size_t len = 1 + rng.Uniform(24);
+    for (size_t i = 0; i < len; ++i) {
+      text += kTokens[rng.Uniform(sizeof(kTokens) / sizeof(kTokens[0]))];
+      text += " ";
+    }
+    // Must terminate and produce either a parse tree or an error.
+    auto result = sql::ParseScript(text);
+    (void)result;
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(900, 901, 902, 903, 904, 905));
+
+TEST(RobustnessTest, MalformedDmlAndAggregatesRejectedCleanly) {
+  Database db;
+  ASSERT_OK(db.Execute("CREATE TABLE t (a INTEGER, b INTEGER);"
+                       "INSERT INTO t VALUES (1, 2)"));
+  for (const char* text : {
+           "DELETE t",                        // missing FROM
+           "DELETE FROM t WHERE",             // dangling WHERE
+           "UPDATE t SET",                    // no assignments
+           "UPDATE t SET a",                  // missing '='
+           "UPDATE t SET a = ",               // missing value
+           "UPDATE SET a = 1",                // missing table
+           "COPY t",                          // missing direction
+           "COPY t FROM",                     // missing path
+           "COPY t FROM t2",                  // unquoted path
+           "SELECT COUNT( FROM t",            // broken agg call
+           "SELECT COUNT(*, a) FROM t",       // extra agg args
+           "SELECT COUNT(DISTINCT a) FROM t", // DISTINCT aggregates: no
+           "SELECT SUM(a) FROM t GROUP BY SUM(a)",  // agg in GROUP BY
+           "SELECT a FROM t GROUP BY",        // dangling GROUP BY
+           "SELECT a FROM t HAVING",          // dangling HAVING
+           "CREATE TABLE x (a INTEGER PRIMARY)",   // PRIMARY without KEY
+           "CREATE TABLE x (CHECK)",          // CHECK without expr
+       }) {
+    Status st = db.Execute(text);
+    auto q = db.Query(text);
+    EXPECT_FALSE(st.ok() && q.ok()) << text;
+  }
+  // The instance must be untouched by the failed statements.
+  auto rs = db.Query("SELECT * FROM t");
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs.value().NumRows(), 1u);
+}
+
+TEST(RobustnessTest, GarbageBytesRejectedCleanly) {
+  for (const char* text :
+       {"", ";", ";;;", "   ", "\n\n", "@@@@", "SELECT 'unterminated",
+        "-- only a comment", "()", "''''''", "SELECT * FROM t WHERE ((((("}) {
+    Database db;
+    Status st = db.Execute(text);
+    auto q = db.Query(text);
+    (void)st;
+    (void)q;
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, DeepExpressionNesting) {
+  std::string expr = "1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  auto parsed = sql::ParseExpression(expr);
+  ASSERT_OK(parsed.status());
+}
+
+// Full-pipeline differential test on instances mixing all constraint kinds:
+// FDs, exclusion, unary denial, and a restricted foreign key.
+class MixedConstraintDifferential : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(MixedConstraintDifferential, HippoEqualsAllRepairs) {
+  Rng rng(GetParam());
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE dir (k INTEGER);"
+      "CREATE TABLE p (k INTEGER, v INTEGER);"
+      "CREATE TABLE q (k INTEGER, v INTEGER);"
+      "INSERT INTO dir VALUES (0), (1), (2), (3);"
+      "CREATE CONSTRAINT fd_p FD ON p (k -> v);"
+      "CREATE CONSTRAINT ex EXCLUSION ON p (v), q (v);"
+      "CREATE CONSTRAINT cap DENIAL (q AS x WHERE x.v > 8);"
+      "CREATE CONSTRAINT fk FOREIGN KEY p (k) REFERENCES dir (k)"));
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_OK(db.InsertRow("p", Row{Value::Int(rng.UniformInt(0, 5)),
+                                    Value::Int(rng.UniformInt(0, 9))}));
+    ASSERT_OK(db.InsertRow("q", Row{Value::Int(rng.UniformInt(0, 5)),
+                                    Value::Int(rng.UniformInt(0, 9))}));
+  }
+  for (const char* query :
+       {"SELECT * FROM p", "SELECT * FROM q",
+        "SELECT * FROM p, q WHERE p.k = q.k",
+        "SELECT * FROM p UNION SELECT * FROM q",
+        "SELECT * FROM p EXCEPT SELECT * FROM q",
+        "SELECT * FROM p, dir WHERE p.k = dir.k"}) {
+    auto exact = db.ConsistentAnswersAllRepairs(query);
+    ASSERT_OK(exact.status()) << query;
+    for (bool filtering : {true, false}) {
+      cqa::HippoOptions opt;
+      opt.use_filtering = filtering;
+      auto hippo_rs = db.ConsistentAnswers(query, opt);
+      ASSERT_OK(hippo_rs.status()) << query;
+      EXPECT_EQ(SortedRows(hippo_rs.value()), SortedRows(exact.value()))
+          << query;
+    }
+    auto rewr = db.ConsistentAnswersByRewriting(query);
+    if (rewr.ok()) {
+      EXPECT_EQ(SortedRows(rewr.value()), SortedRows(exact.value()))
+          << "rewriting: " << query;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedConstraintDifferential,
+                         ::testing::Range<uint64_t>(4000, 4024));
+
+TEST(RobustnessTest, HypergraphInvalidationOnDml) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (a INTEGER, b INTEGER);"
+      "INSERT INTO t VALUES (1, 1);"
+      "CREATE CONSTRAINT fd FD ON t (a -> b)"));
+  auto before = db.IsConsistent();
+  ASSERT_OK(before.status());
+  EXPECT_TRUE(before.value());
+  // New conflicting insert must be visible without manual invalidation.
+  ASSERT_OK(db.Execute("INSERT INTO t VALUES (1, 2)"));
+  auto after = db.IsConsistent();
+  ASSERT_OK(after.status());
+  EXPECT_FALSE(after.value());
+  auto rs = db.ConsistentAnswers("SELECT * FROM t");
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs.value().NumRows(), 0u);
+}
+
+TEST(RobustnessTest, LargeCliqueProverStress) {
+  // 30 tuples sharing one key: a 30-clique, 30 repairs, answers empty.
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (a INTEGER, b INTEGER);"
+      "CREATE CONSTRAINT fd FD ON t (a -> b)"));
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_OK(db.InsertRow("t", Row{Value::Int(1), Value::Int(i)}));
+  }
+  auto rs = db.ConsistentAnswers("SELECT * FROM t");
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs.value().NumRows(), 0u);
+  auto count = db.CountRepairs();
+  ASSERT_OK(count.status());
+  EXPECT_EQ(count.value(), 30u);
+  // Disjunction over the whole clique holds in every repair.
+  auto all_union = db.ConsistentAnswers(
+      "SELECT * FROM t WHERE b >= 0 UNION SELECT * FROM t WHERE b < 0");
+  ASSERT_OK(all_union.status());
+  EXPECT_EQ(all_union.value().NumRows(), 0u);  // per-tuple still uncertain
+}
+
+TEST(RobustnessTest, WideRowsAndStrings) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE w (c1 INTEGER, c2 VARCHAR, c3 DOUBLE, c4 INTEGER, "
+      "c5 VARCHAR, c6 INTEGER, c7 DOUBLE, c8 VARCHAR)"));
+  std::string big(10000, 'x');
+  ASSERT_OK(db.InsertRow(
+      "w", Row{Value::Int(1), Value::String(big), Value::Double(1.5),
+               Value::Int(2), Value::String("y"), Value::Int(3),
+               Value::Double(2.5), Value::String(big)}));
+  auto rs = db.Query("SELECT * FROM w");
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs.value().NumRows(), 1u);
+  EXPECT_EQ(rs.value().rows[0][1].AsString().size(), 10000u);
+}
+
+}  // namespace
+}  // namespace hippo

@@ -1,0 +1,153 @@
+// Documentation conformance checks: the structures and flows promised by
+// README.md and DESIGN.md exist and behave as documented. These tests keep
+// the docs honest as the code evolves.
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+// The README quickstart, verbatim.
+TEST(DocConformance, ReadmeQuickstartWorks) {
+  Database db;
+  ASSERT_OK(db.Execute(R"sql(
+    CREATE TABLE emp (name VARCHAR, salary INTEGER);
+    INSERT INTO emp VALUES ('smith', 50000), ('smith', 60000),
+                           ('jones', 40000);
+    CREATE CONSTRAINT fd FD ON emp (name -> salary)
+  )sql"));
+  auto all = db.Query("SELECT * FROM emp");
+  ASSERT_OK(all.status());
+  EXPECT_EQ(all.value().NumRows(), 3u);
+  auto sure = db.ConsistentAnswers("SELECT * FROM emp");
+  ASSERT_OK(sure.status());
+  ASSERT_EQ(sure.value().NumRows(), 1u);
+  EXPECT_EQ(sure.value().rows[0][0], Value::String("jones"));
+  EXPECT_OK(db.QueryOverCore("SELECT * FROM emp").status());
+  EXPECT_OK(db.ConsistentAnswersByRewriting("SELECT * FROM emp").status());
+  EXPECT_OK(db.ConsistentAnswersAllRepairs("SELECT * FROM emp").status());
+  auto r = db.RangeConsistentAggregate("emp", cqa::AggFn::kSum, "salary");
+  ASSERT_OK(r.status());
+  EXPECT_EQ(r.value().glb, Value::Int(90000));
+  EXPECT_EQ(r.value().lub, Value::Int(100000));
+}
+
+// The README's incremental-maintenance snippet, verbatim.
+TEST(DocConformance, ReadmeIncrementalMaintenanceWorks) {
+  Database db;
+  ASSERT_OK(db.Execute(R"sql(
+    CREATE TABLE emp (name VARCHAR, salary INTEGER);
+    INSERT INTO emp VALUES ('smith', 50000), ('smith', 60000),
+                           ('jones', 40000);
+    CREATE CONSTRAINT fd FD ON emp (name -> salary)
+  )sql"));
+  ASSERT_OK(db.EnableIncrementalMaintenance());
+  ASSERT_OK(db.Execute(
+      "UPDATE emp SET salary = 55000 WHERE name = 'smith'"));
+  ASSERT_OK(db.Execute("DELETE FROM emp WHERE salary < 45000"));
+  auto sure = db.ConsistentAnswers("SELECT * FROM emp");
+  ASSERT_OK(sure.status());
+  // Both smith records merged onto 55000; jones deleted.
+  ASSERT_EQ(sure.value().NumRows(), 1u);
+  EXPECT_EQ(sure.value().rows[0][0], Value::String("smith"));
+  EXPECT_GT(db.incremental_stats().deletes, 0u);
+}
+
+// The README's DDL-sugar snippet and the grouped range aggregate.
+TEST(DocConformance, ReadmeSugarAndGroupedRangeWork) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE acct (id INTEGER PRIMARY KEY, balance INTEGER, "
+      "CHECK (balance >= 0))"));
+  EXPECT_EQ(db.constraints().size(), 2u);
+
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE emp (name VARCHAR, salary INTEGER);"
+      "INSERT INTO emp VALUES ('smith', 50000), ('smith', 60000), "
+      "('jones', 40000);"
+      "CREATE CONSTRAINT fd FD ON emp (name -> salary)"));
+  auto g = db.GroupedRangeConsistentAggregate("emp", cqa::AggFn::kSum,
+                                              "salary", {"name"});
+  ASSERT_OK(g.status());
+  ASSERT_EQ(g.value().size(), 2u);  // jones, smith
+  EXPECT_EQ(g.value()[0].range.glb, Value::Int(40000));  // jones: certain
+  EXPECT_EQ(g.value()[1].range.glb, Value::Int(50000));  // smith: [50k,60k]
+  EXPECT_EQ(g.value()[1].range.lub, Value::Int(60000));
+}
+
+// Every constraint-DDL form in the README parses and registers.
+TEST(DocConformance, ReadmeConstraintDdlWorks) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE emp (name VARCHAR, dept VARCHAR, salary INTEGER, "
+      "did INTEGER);"
+      "CREATE TABLE mgr (name VARCHAR, bonus INTEGER);"
+      "CREATE TABLE certified (vid INTEGER);"
+      "CREATE TABLE revoked (vid INTEGER);"
+      "CREATE TABLE acct (balance INTEGER);"
+      "CREATE TABLE dept (did INTEGER)"));
+  ASSERT_OK(db.Execute(
+      "CREATE CONSTRAINT fd FD ON emp (name, dept -> salary);"
+      "CREATE CONSTRAINT ex EXCLUSION ON certified (vid), revoked (vid);"
+      "CREATE CONSTRAINT rule DENIAL (emp AS e, mgr AS m "
+      "WHERE e.name = m.name AND e.salary > m.bonus);"
+      "CREATE CONSTRAINT pos DENIAL (acct AS a WHERE a.balance < 0);"
+      "CREATE CONSTRAINT fk FOREIGN KEY emp (did) REFERENCES dept (did)"));
+  EXPECT_EQ(db.constraints().size(), 4u);
+  EXPECT_EQ(db.foreign_keys().size(), 1u);
+}
+
+// DESIGN.md §3.3: the three immediate non-falsifiability cases.
+TEST(DocConformance, ProverBaseCasesAsDocumented) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (a INTEGER, b INTEGER);"
+      "INSERT INTO t VALUES (1, 1), (1, 2), (7, 7);"
+      "CREATE CONSTRAINT fd FD ON t (a -> b)"));
+  // Conflict-free tuple (7,7) is a consistent answer (positive literal with
+  // no incident edge).
+  auto rs = db.ConsistentAnswers("SELECT * FROM t WHERE a = 7");
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs.value().NumRows(), 1u);
+  // The conflicting pair (1,·): neither tuple certain.
+  auto rs2 = db.ConsistentAnswers("SELECT * FROM t WHERE a = 1");
+  ASSERT_OK(rs2.status());
+  EXPECT_EQ(rs2.value().NumRows(), 0u);
+}
+
+// DESIGN.md §1: the envelope table — env(E1 − E2) = env(E1).
+TEST(DocConformance, EnvelopeEquationHolds) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE r (a INTEGER);"
+      "CREATE TABLE s (a INTEGER);"
+      "INSERT INTO r VALUES (1), (2);"
+      "INSERT INTO s VALUES (1)"));
+  auto explained = db.Explain("SELECT * FROM r EXCEPT SELECT * FROM s");
+  ASSERT_OK(explained.status());
+  size_t env = explained.value().find("-- envelope");
+  ASSERT_NE(env, std::string::npos);
+  EXPECT_EQ(explained.value().find("Scan s", env), std::string::npos)
+      << "envelope must not reference the subtrahend";
+}
+
+// DESIGN.md scope note: set semantics (duplicates collapse; UNION ALL is
+// rejected).
+TEST(DocConformance, SetSemanticsAsDocumented) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (a INTEGER);"
+      "INSERT INTO t VALUES (1), (1), (1)"));
+  auto rs = db.Query("SELECT * FROM t");
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs.value().NumRows(), 1u);
+  EXPECT_EQ(db.Query("SELECT * FROM t UNION ALL SELECT * FROM t")
+                .status()
+                .code(),
+            StatusCode::kNotSupported);
+}
+
+}  // namespace
+}  // namespace hippo

@@ -1,0 +1,31 @@
+// Shared gtest helpers.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/executor.h"
+#include "types/value.h"
+
+#define ASSERT_OK(expr) ASSERT_TRUE((expr).ok()) << (expr).ToString()
+#define EXPECT_OK(expr) EXPECT_TRUE((expr).ok()) << (expr).ToString()
+
+namespace hippo {
+
+/// Rows of a result set sorted under the Value total order (for
+/// order-insensitive comparisons).
+inline std::vector<Row> SortedRows(const ResultSet& rs) {
+  std::vector<Row> rows = rs.rows;
+  std::sort(rows.begin(), rows.end(), RowLess);
+  return rows;
+}
+
+inline std::vector<Row> SortedRows(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(), RowLess);
+  return rows;
+}
+
+}  // namespace hippo

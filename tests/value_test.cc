@@ -1,0 +1,170 @@
+// Unit and property tests for the Value type system.
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), TypeId::kNull);
+}
+
+TEST(ValueTest, Constructors) {
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(-3).AsInt(), -3);
+  EXPECT_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Double(3.5).ToString(), "3.5");
+  EXPECT_EQ(Value::String("a'b").ToString(), "'a''b'");
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value::Int(5), Value::Double(5.0));
+  EXPECT_EQ(Value::Double(5.0), Value::Int(5));
+  EXPECT_NE(Value::Int(5), Value::Double(5.5));
+}
+
+TEST(ValueTest, NullIdentity) {
+  // Structural identity (set semantics), not SQL three-valued equality.
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value::Int(0));
+}
+
+TEST(ValueTest, CrossTypeInequality) {
+  EXPECT_NE(Value::Bool(true), Value::Int(1));
+  EXPECT_NE(Value::String("1"), Value::Int(1));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, TotalOrderRanksTypes) {
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int(0));
+  EXPECT_LT(Value::Int(99), Value::String(""));
+}
+
+TEST(ValueTest, CompareNumeric) {
+  EXPECT_EQ(Value::Int(1).Compare(Value::Int(2)), -1);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Double(2.5).Compare(Value::Int(2)), 1);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_EQ(Value::String("a").Compare(Value::String("b")), -1);
+  EXPECT_EQ(Value::String("b").Compare(Value::String("b")), 0);
+  EXPECT_EQ(Value::String("c").Compare(Value::String("b")), 1);
+}
+
+TEST(ValueTest, CastNullToAnything) {
+  for (TypeId t : {TypeId::kBool, TypeId::kInt, TypeId::kDouble,
+                   TypeId::kString}) {
+    auto r = Value::Null().CastTo(t);
+    ASSERT_OK(r.status());
+    EXPECT_TRUE(r.value().is_null());
+  }
+}
+
+TEST(ValueTest, CastIntDouble) {
+  auto d = Value::Int(3).CastTo(TypeId::kDouble);
+  ASSERT_OK(d.status());
+  EXPECT_EQ(d.value().AsDouble(), 3.0);
+  auto i = Value::Double(4.0).CastTo(TypeId::kInt);
+  ASSERT_OK(i.status());
+  EXPECT_EQ(i.value().AsInt(), 4);
+  EXPECT_FALSE(Value::Double(4.5).CastTo(TypeId::kInt).ok());
+}
+
+TEST(ValueTest, CastRejectsLossy) {
+  EXPECT_FALSE(Value::Int(1).CastTo(TypeId::kString).ok());
+  EXPECT_FALSE(Value::String("x").CastTo(TypeId::kInt).ok());
+  EXPECT_FALSE(Value::Bool(true).CastTo(TypeId::kInt).ok());
+}
+
+TEST(ValueTest, TypeIdFromStringAliases) {
+  EXPECT_EQ(TypeIdFromString("INT").value(), TypeId::kInt);
+  EXPECT_EQ(TypeIdFromString("Integer").value(), TypeId::kInt);
+  EXPECT_EQ(TypeIdFromString("bigint").value(), TypeId::kInt);
+  EXPECT_EQ(TypeIdFromString("VARCHAR").value(), TypeId::kString);
+  EXPECT_EQ(TypeIdFromString("text").value(), TypeId::kString);
+  EXPECT_EQ(TypeIdFromString("DOUBLE").value(), TypeId::kDouble);
+  EXPECT_EQ(TypeIdFromString("real").value(), TypeId::kDouble);
+  EXPECT_EQ(TypeIdFromString("boolean").value(), TypeId::kBool);
+  EXPECT_FALSE(TypeIdFromString("blob").ok());
+}
+
+TEST(RowTest, HashAndEquality) {
+  Row a{Value::Int(1), Value::String("x")};
+  Row b{Value::Int(1), Value::String("x")};
+  Row c{Value::Int(1), Value::String("y")};
+  EXPECT_EQ(HashRow(a), HashRow(b));
+  EXPECT_TRUE(RowEq()(a, b));
+  EXPECT_FALSE(RowEq()(a, c));
+}
+
+TEST(RowTest, RowLessLexicographic) {
+  Row a{Value::Int(1), Value::Int(2)};
+  Row b{Value::Int(1), Value::Int(3)};
+  Row c{Value::Int(1)};
+  EXPECT_TRUE(RowLess(a, b));
+  EXPECT_FALSE(RowLess(b, a));
+  EXPECT_TRUE(RowLess(c, a));  // prefix is smaller
+}
+
+TEST(RowTest, RowToString) {
+  Row r{Value::Int(1), Value::String("a"), Value::Null()};
+  EXPECT_EQ(RowToString(r), "(1, 'a', NULL)");
+}
+
+// Property sweep: the total order is antisymmetric and transitive over a
+// mixed value pool, and Compare agrees with operator<.
+class ValueOrderProperty : public ::testing::TestWithParam<int> {};
+
+std::vector<Value> MixedPool() {
+  return {
+      Value::Null(),          Value::Bool(false),  Value::Bool(true),
+      Value::Int(-10),        Value::Int(0),       Value::Int(7),
+      Value::Double(-0.5),    Value::Double(0.0),  Value::Double(7.0),
+      Value::String(""),      Value::String("a"),  Value::String("ab"),
+  };
+}
+
+TEST(ValueOrderPropertyTest, TotalOrderLaws) {
+  std::vector<Value> pool = MixedPool();
+  for (const Value& a : pool) {
+    EXPECT_EQ(a.Compare(a), 0) << a.ToString();
+    for (const Value& b : pool) {
+      EXPECT_EQ(a.Compare(b), -b.Compare(a))
+          << a.ToString() << " vs " << b.ToString();
+      if (a == b) {
+        EXPECT_EQ(a.Hash(), b.Hash());
+        EXPECT_EQ(a.Compare(b), 0);
+      }
+      for (const Value& c : pool) {
+        if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+          EXPECT_LE(a.Compare(c), 0)
+              << a.ToString() << " " << b.ToString() << " " << c.ToString();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hippo

@@ -1,0 +1,128 @@
+// Tests for the benchmark workload generators and report utilities.
+#include "benchutil/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "benchutil/report.h"
+#include "tests/test_util.h"
+
+namespace hippo::bench {
+namespace {
+
+TEST(WorkloadTest, TwoRelationSizesAndConflicts) {
+  Database db;
+  WorkloadSpec spec;
+  spec.tuples_per_relation = 500;
+  spec.conflict_rate = 0.10;
+  ASSERT_OK(BuildTwoRelationWorkload(&db, spec));
+  EXPECT_GE(db.catalog().GetTable("p").value()->NumRows(), 500u);
+  auto g = db.Hypergraph();
+  ASSERT_OK(g.status());
+  // ~25 conflict pairs per relation; duplicates may collide on keys, so
+  // allow slack but require a meaningful number of edges.
+  EXPECT_GT(g.value()->NumEdges(), 20u);
+  EXPECT_LT(g.value()->NumEdges(), 120u);
+}
+
+TEST(WorkloadTest, ZeroConflictRateIsConsistent) {
+  Database db;
+  WorkloadSpec spec;
+  spec.tuples_per_relation = 200;
+  spec.conflict_rate = 0.0;
+  ASSERT_OK(BuildTwoRelationWorkload(&db, spec));
+  auto consistent = db.IsConsistent();
+  ASSERT_OK(consistent.status());
+  EXPECT_TRUE(consistent.value());
+}
+
+TEST(WorkloadTest, DeterministicAcrossRuns) {
+  WorkloadSpec spec;
+  spec.tuples_per_relation = 100;
+  spec.conflict_rate = 0.1;
+  Database a, b;
+  ASSERT_OK(BuildTwoRelationWorkload(&a, spec));
+  ASSERT_OK(BuildTwoRelationWorkload(&b, spec));
+  auto ra = a.Query("SELECT * FROM p ORDER BY a, b");
+  auto rb = b.Query("SELECT * FROM p ORDER BY a, b");
+  ASSERT_OK(ra.status());
+  ASSERT_OK(rb.status());
+  EXPECT_EQ(ra.value().rows, rb.value().rows);
+}
+
+TEST(WorkloadTest, SeedChangesData) {
+  WorkloadSpec s1, s2;
+  s1.tuples_per_relation = s2.tuples_per_relation = 100;
+  s1.conflict_rate = s2.conflict_rate = 0.2;
+  s2.seed = 77;
+  Database a, b;
+  ASSERT_OK(BuildTwoRelationWorkload(&a, s1));
+  ASSERT_OK(BuildTwoRelationWorkload(&b, s2));
+  auto ra = a.Query("SELECT * FROM p ORDER BY a, b");
+  auto rb = b.Query("SELECT * FROM p ORDER BY a, b");
+  EXPECT_NE(ra.value().rows, rb.value().rows);
+}
+
+TEST(WorkloadTest, EmployeeWorkloadHasFdConflicts) {
+  Database db;
+  WorkloadSpec spec;
+  spec.tuples_per_relation = 300;
+  spec.conflict_rate = 0.1;
+  ASSERT_OK(BuildEmployeeWorkload(&db, spec));
+  auto g = db.Hypergraph();
+  ASSERT_OK(g.status());
+  EXPECT_GT(g.value()->NumEdges(), 0u);
+  // Consistent answers over emp must be computable.
+  auto rs = db.ConsistentAnswers("SELECT * FROM emp");
+  ASSERT_OK(rs.status());
+  EXPECT_LT(rs.value().NumRows(),
+            db.catalog().GetTable("emp").value()->NumRows());
+}
+
+TEST(WorkloadTest, IntegrationWorkloadHasBothConstraintKinds) {
+  Database db;
+  WorkloadSpec spec;
+  spec.tuples_per_relation = 300;
+  spec.conflict_rate = 0.1;
+  ASSERT_OK(BuildIntegrationWorkload(&db, spec));
+  auto g = db.Hypergraph();
+  ASSERT_OK(g.status());
+  std::set<uint32_t> kinds;
+  for (size_t e = 0; e < g.value()->NumEdges(); ++e) {
+    kinds.insert(g.value()->edge_constraint(
+        static_cast<ConflictHypergraph::EdgeId>(e)));
+  }
+  EXPECT_GE(kinds.size(), 2u);  // FD edges and exclusion edges
+}
+
+TEST(WorkloadTest, QuerySetIsPlannableAndSjud) {
+  Database db;
+  WorkloadSpec spec;
+  spec.tuples_per_relation = 50;
+  ASSERT_OK(BuildTwoRelationWorkload(&db, spec));
+  for (const std::string& q :
+       {QuerySet::Selection(), QuerySet::Join(), QuerySet::SelectiveJoin(),
+        QuerySet::Union(), QuerySet::Difference(),
+        QuerySet::UnionOfDifferences()}) {
+    auto rs = db.ConsistentAnswers(q);
+    EXPECT_OK(rs.status()) << q;
+  }
+}
+
+TEST(ReportTest, TextTableAlignment) {
+  TextTable t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  std::string s = t.Render();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+  EXPECT_NE(s.find("|--------|-------|"), std::string::npos);
+}
+
+TEST(ReportTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(0.0000005), "0.5 us");
+  EXPECT_EQ(FormatSeconds(0.0123), "12.30 ms");
+  EXPECT_EQ(FormatSeconds(1.5), "1.500 s");
+}
+
+}  // namespace
+}  // namespace hippo::bench

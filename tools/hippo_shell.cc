@@ -1,0 +1,350 @@
+// hippo_shell — an interactive SQL shell over an inconsistent database.
+//
+// This is the live demonstration of the EDBT'04 demo paper in tool form:
+// load data and constraints, flip between answering modes, and inspect the
+// conflict hypergraph and repairs of the working instance.
+//
+//   $ ./build/tools/hippo_shell               # interactive
+//   $ ./build/tools/hippo_shell < script.sql  # batch
+//
+// Statements end with ';'. Meta commands start with '.':
+//   .mode plain|cqa|core|rewriting|allrepairs   answering mode for SELECTs
+//   .stats on|off                               print pipeline statistics
+//   .conflicts                                  hypergraph summary
+//   .constraints                                list declared constraints
+//   .repairs [limit]                            count repairs
+//   .agg <fn> <table> [column]                  range-consistent aggregate
+//   .groupagg <fn> <table> <column|-> <group-col> grouped range aggregate
+//   .report                                     full conflict report
+//   .incremental on|off                         hypergraph maintenance mode
+//   .tables                                     list tables and sizes
+//   .help                                       this text
+//   .quit
+//
+// DML (INSERT/DELETE/UPDATE) and COPY t FROM/TO 'file.csv' run like any
+// other statement.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "db/conflict_report.h"
+#include "db/database.h"
+
+namespace hippo::shell {
+namespace {
+
+enum class Mode { kPlain, kCqa, kCore, kRewriting, kAllRepairs };
+
+const char* ModeName(Mode m) {
+  switch (m) {
+    case Mode::kPlain:
+      return "plain";
+    case Mode::kCqa:
+      return "cqa";
+    case Mode::kCore:
+      return "core";
+    case Mode::kRewriting:
+      return "rewriting";
+    case Mode::kAllRepairs:
+      return "allrepairs";
+  }
+  return "?";
+}
+
+class Shell {
+ public:
+  int Run(std::istream& in, bool interactive) {
+    std::string buffer;
+    std::string line;
+    if (interactive) Prompt(buffer);
+    while (std::getline(in, line)) {
+      bool buffer_blank =
+          buffer.find_first_not_of(" \t\n") == std::string::npos;
+      if (buffer_blank && !line.empty() && line[0] == '.') {
+        buffer.clear();
+        if (!MetaCommand(line)) return 0;
+        if (interactive) Prompt(buffer);
+        continue;
+      }
+      buffer += line;
+      buffer += "\n";
+      // Execute every complete ';'-terminated statement in the buffer.
+      size_t pos;
+      while ((pos = buffer.find(';')) != std::string::npos) {
+        std::string stmt = buffer.substr(0, pos);
+        buffer.erase(0, pos + 1);
+        RunStatement(stmt);
+      }
+      if (interactive) Prompt(buffer);
+    }
+    if (!buffer.empty() &&
+        buffer.find_first_not_of(" \t\n") != std::string::npos) {
+      RunStatement(buffer);
+    }
+    return 0;
+  }
+
+ private:
+  void Prompt(const std::string& buffer) {
+    std::printf(buffer.empty() ? "hippo> " : "   ...> ");
+    std::fflush(stdout);
+  }
+
+  static std::vector<std::string> Split(const std::string& s) {
+    std::istringstream iss(s);
+    std::vector<std::string> out;
+    std::string tok;
+    while (iss >> tok) out.push_back(tok);
+    return out;
+  }
+
+  /// Returns false to quit.
+  bool MetaCommand(const std::string& line) {
+    std::vector<std::string> args = Split(line);
+    const std::string& cmd = args[0];
+    if (cmd == ".quit" || cmd == ".exit") return false;
+    if (cmd == ".help") {
+      std::printf(
+          ".mode plain|cqa|core|rewriting|allrepairs   answering mode\n"
+          ".stats on|off        pipeline statistics\n"
+          ".conflicts           hypergraph summary\n"
+          ".constraints         declared constraints\n"
+          ".repairs [limit]     number of repairs\n"
+          ".agg <fn> <table> [column]   range-consistent aggregate\n"
+          ".groupagg <fn> <table> <column|-> <group-col>   grouped range\n"
+          ".report              full conflict report\n"
+          ".incremental on|off  incremental hypergraph maintenance\n"
+          ".explain SELECT ...  show plan / envelope / rewriting\n"
+          ".tables              tables and row counts\n"
+          ".quit\n");
+      return true;
+    }
+    if (cmd == ".mode") {
+      if (args.size() != 2) {
+        std::printf("mode: %s\n", ModeName(mode_));
+        return true;
+      }
+      std::string m = ToLower(args[1]);
+      if (m == "plain") {
+        mode_ = Mode::kPlain;
+      } else if (m == "cqa" || m == "hippo") {
+        mode_ = Mode::kCqa;
+      } else if (m == "core") {
+        mode_ = Mode::kCore;
+      } else if (m == "rewriting") {
+        mode_ = Mode::kRewriting;
+      } else if (m == "allrepairs") {
+        mode_ = Mode::kAllRepairs;
+      } else {
+        std::printf("unknown mode: %s\n", args[1].c_str());
+      }
+      return true;
+    }
+    if (cmd == ".stats") {
+      stats_enabled_ = args.size() > 1 && ToLower(args[1]) == "on";
+      std::printf("stats: %s\n", stats_enabled_ ? "on" : "off");
+      return true;
+    }
+    if (cmd == ".explain") {
+      size_t rest = line.find(' ');
+      if (rest == std::string::npos) {
+        std::printf("usage: .explain SELECT ...\n");
+        return true;
+      }
+      auto text = db_.Explain(line.substr(rest + 1));
+      if (!text.ok()) {
+        std::printf("error: %s\n", text.status().ToString().c_str());
+      } else {
+        std::printf("%s", text.value().c_str());
+      }
+      return true;
+    }
+    if (cmd == ".conflicts") {
+      auto g = db_.Hypergraph();
+      if (!g.ok()) {
+        std::printf("error: %s\n", g.status().ToString().c_str());
+      } else {
+        std::printf("%s\n", g.value()->StatsString().c_str());
+      }
+      return true;
+    }
+    if (cmd == ".constraints") {
+      for (const auto& dc : db_.constraints()) {
+        std::printf("%s\n", dc.ToString().c_str());
+      }
+      for (const auto& fk : db_.foreign_keys()) {
+        std::printf("%s\n", fk.ToString().c_str());
+      }
+      if (db_.constraints().empty() && db_.foreign_keys().empty()) {
+        std::printf("(none)\n");
+      }
+      return true;
+    }
+    if (cmd == ".repairs") {
+      size_t limit = 100000;
+      if (args.size() > 1) limit = std::stoul(args[1]);
+      auto count = db_.CountRepairs(limit);
+      if (!count.ok()) {
+        std::printf("error: %s\n", count.status().ToString().c_str());
+      } else {
+        std::printf("repairs: %zu\n", count.value());
+      }
+      return true;
+    }
+    if (cmd == ".agg") {
+      if (args.size() < 3) {
+        std::printf("usage: .agg <count|sum|min|max|avg> <table> [column]\n");
+        return true;
+      }
+      auto fn = cqa::AggFnFromString(args[1]);
+      if (!fn.ok()) {
+        std::printf("error: %s\n", fn.status().ToString().c_str());
+        return true;
+      }
+      std::string col = args.size() >= 4 ? args[3] : "";
+      auto range = db_.RangeConsistentAggregate(args[2], fn.value(), col);
+      if (!range.ok()) {
+        std::printf("error: %s\n", range.status().ToString().c_str());
+      } else {
+        std::printf("%s(%s.%s) in every repair: %s\n",
+                    cqa::AggFnToString(fn.value()), args[2].c_str(),
+                    col.c_str(), range.value().ToString().c_str());
+      }
+      return true;
+    }
+    if (cmd == ".report") {
+      auto report = GenerateConflictReport(&db_);
+      if (!report.ok()) {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+      } else {
+        std::printf("%s", report.value().c_str());
+      }
+      return true;
+    }
+    if (cmd == ".incremental") {
+      if (args.size() > 1 && ToLower(args[1]) == "on") {
+        Status st = db_.EnableIncrementalMaintenance();
+        if (!st.ok()) {
+          std::printf("error: %s\n", st.ToString().c_str());
+          return true;
+        }
+      } else if (args.size() > 1 && ToLower(args[1]) == "off") {
+        db_.DisableIncrementalMaintenance();
+      }
+      auto stats = db_.incremental_stats();
+      std::printf("incremental maintenance: %s (+%zu/-%zu edges over "
+                  "%zu inserts, %zu deletes)\n",
+                  db_.incremental_maintenance_enabled() ? "on" : "off",
+                  stats.edges_added, stats.edges_removed, stats.inserts,
+                  stats.deletes);
+      return true;
+    }
+    if (cmd == ".groupagg") {
+      if (args.size() < 5) {
+        std::printf("usage: .groupagg <count|sum|min|max|avg> <table> "
+                    "<column|-> <group-col> [group-col ...]\n");
+        return true;
+      }
+      auto fn = cqa::AggFnFromString(args[1]);
+      if (!fn.ok()) {
+        std::printf("error: %s\n", fn.status().ToString().c_str());
+        return true;
+      }
+      std::string col = args[3] == "-" ? "" : args[3];
+      std::vector<std::string> group_cols(args.begin() + 4, args.end());
+      auto result = db_.GroupedRangeConsistentAggregate(args[2], fn.value(),
+                                                        col, group_cols);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        return true;
+      }
+      for (const cqa::GroupRange& g : result.value()) {
+        std::printf("%s\n", g.ToString().c_str());
+      }
+      return true;
+    }
+    if (cmd == ".tables") {
+      for (const std::string& name : db_.catalog().TableNames()) {
+        auto t = db_.catalog().GetTable(name);
+        std::printf("%s (%zu rows)\n", name.c_str(),
+                    t.value()->NumLiveRows());
+      }
+      return true;
+    }
+    std::printf("unknown command %s (try .help)\n", cmd.c_str());
+    return true;
+  }
+
+  void RunStatement(const std::string& text) {
+    if (text.find_first_not_of(" \t\n") == std::string::npos) return;
+    // SELECT goes through the current answering mode; anything else is DDL.
+    size_t start = text.find_first_not_of(" \t\n(");
+    bool is_select =
+        start != std::string::npos &&
+        EqualsIgnoreCase(std::string(text, start, 6), "select");
+    if (!is_select) {
+      Status st = db_.Execute(text);
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+      }
+      return;
+    }
+    cqa::HippoStats stats;
+    Result<ResultSet> rs = RunSelect(text, &stats);
+    if (!rs.ok()) {
+      std::printf("error: %s\n", rs.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s(%zu rows, mode %s)\n",
+                rs.value().ToString(100).c_str(), rs.value().NumRows(),
+                ModeName(mode_));
+    if (stats_enabled_ && mode_ == Mode::kCqa) {
+      std::printf(
+          "candidates=%zu answers=%zu filtered=%zu prover=%zu "
+          "membership=%zu envelope=%.3fms prove=%.3fms\n",
+          stats.candidates, stats.answers, stats.filtered_shortcuts,
+          stats.prover_invocations, stats.membership_checks,
+          stats.envelope_seconds * 1e3, stats.prove_seconds * 1e3);
+    }
+  }
+
+  Result<ResultSet> RunSelect(const std::string& text,
+                              cqa::HippoStats* stats) {
+    switch (mode_) {
+      case Mode::kPlain:
+        return db_.Query(text);
+      case Mode::kCqa:
+        return db_.ConsistentAnswers(text, cqa::HippoOptions(), stats);
+      case Mode::kCore:
+        return db_.QueryOverCore(text);
+      case Mode::kRewriting:
+        return db_.ConsistentAnswersByRewriting(text);
+      case Mode::kAllRepairs:
+        return db_.ConsistentAnswersAllRepairs(text);
+    }
+    return Status::Internal("unknown mode");
+  }
+
+  Database db_;
+  Mode mode_ = Mode::kCqa;
+  bool stats_enabled_ = false;
+};
+
+}  // namespace
+}  // namespace hippo::shell
+
+int main(int argc, char** argv) {
+  bool interactive = isatty(0);
+  (void)argc;
+  (void)argv;
+  if (interactive) {
+    std::printf(
+        "hippo shell — consistent query answering over inconsistent "
+        "databases\nmode: cqa (try .help)\n");
+  }
+  hippo::shell::Shell shell;
+  return shell.Run(std::cin, interactive);
+}
