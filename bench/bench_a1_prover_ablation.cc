@@ -123,9 +123,4 @@ void PrintTable() {
 }  // namespace
 }  // namespace hippo::bench
 
-int main(int argc, char** argv) {
-  hippo::bench::PrintTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HIPPO_BENCH_MAIN(hippo::bench::PrintTable())

@@ -155,9 +155,4 @@ BENCHMARK(BM_IncrementalPerOp)->RangeMultiplier(4)->Range(4096, 65536)
 }  // namespace
 }  // namespace hippo::bench
 
-int main(int argc, char** argv) {
-  hippo::bench::PrintFigureTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HIPPO_BENCH_MAIN(hippo::bench::PrintFigureTable())

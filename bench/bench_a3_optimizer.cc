@@ -127,9 +127,4 @@ BENCHMARK(BM_OptimizePassItself)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace hippo::bench
 
-int main(int argc, char** argv) {
-  hippo::bench::PrintFigureTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HIPPO_BENCH_MAIN(hippo::bench::PrintFigureTable())

@@ -78,4 +78,27 @@ inline cqa::HippoOptions BaseOptions(bool filtering = false) {
   return opt;
 }
 
+/// True when `--table-only` is among the arguments: print the paper-style
+/// tables and skip the google-benchmark series.
+inline bool TableOnly(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--table-only") return true;
+  }
+  return false;
+}
+
 }  // namespace hippo::bench
+
+/// Standard entry point shared by every bench binary: run the paper-style
+/// table printer(s), then the registered google-benchmark series (skipped
+/// under `--table-only`).
+#define HIPPO_BENCH_MAIN(print_tables)                \
+  int main(int argc, char** argv) {                   \
+    print_tables;                                     \
+    if (::hippo::bench::TableOnly(argc, argv)) {      \
+      return 0;                                       \
+    }                                                 \
+    benchmark::Initialize(&argc, argv);               \
+    benchmark::RunSpecifiedBenchmarks();              \
+    return 0;                                         \
+  }

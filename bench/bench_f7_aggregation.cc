@@ -151,10 +151,5 @@ void PrintTable() {
 }  // namespace
 }  // namespace hippo::bench
 
-int main(int argc, char** argv) {
-  hippo::bench::PrintTable();
-  hippo::bench::PrintGroupedTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HIPPO_BENCH_MAIN((hippo::bench::PrintTable(),
+                  hippo::bench::PrintGroupedTable()))

@@ -130,9 +130,4 @@ BENCHMARK(BM_CqaUnion)->RangeMultiplier(4)->Range(1024, 65536)
 }  // namespace
 }  // namespace hippo::bench
 
-int main(int argc, char** argv) {
-  hippo::bench::PrintTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HIPPO_BENCH_MAIN(hippo::bench::PrintTable())

@@ -121,9 +121,4 @@ BENCHMARK(BM_AllRepairsDifference)->Arg(5)->Arg(10)->Arg(12)
 }  // namespace
 }  // namespace hippo::bench
 
-int main(int argc, char** argv) {
-  hippo::bench::PrintTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+HIPPO_BENCH_MAIN(hippo::bench::PrintTable())

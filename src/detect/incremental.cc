@@ -217,20 +217,36 @@ Status IncrementalDetector::InsertFallback(const Fallback& fb, RowId rid) {
   return Status::OK();
 }
 
+bool IncrementalDetector::HasLiveParent(const FkState& fk, const Row& key) {
+  auto it = fk.parent_count.find(key);
+  return it != fk.parent_count.end() && it->second > 0;
+}
+
+bool IncrementalDetector::IsOrphanUnder(const FkState& fk,
+                                        RowId child) const {
+  if (child.table != fk.fk->child_table()) return false;
+  Row key;
+  if (!ExtractKey(catalog_.table(child.table).row(child.row),
+                  fk.fk->child_columns(), &key)) {
+    return true;  // NULL-keyed children are permanent orphans
+  }
+  return !HasLiveParent(fk, key);
+}
+
 Status IncrementalDetector::InsertFk(FkState* fk, RowId rid) {
   if (rid.table == fk->fk->child_table()) {
     const Table& child = catalog_.table(rid.table);
     Row key;
     if (!ExtractKey(child.row(rid.row), fk->fk->child_columns(), &key)) {
-      // NULL-keyed children can never acquire a parent: permanent orphan.
+      // NULL-keyed children can never acquire a parent (permanent
+      // orphans); they are not tracked in the children index.
       AddEdgeCounted({rid}, fk->constraint_index);
-      return Status::OK();
+    } else {
+      if (!HasLiveParent(*fk, key)) {
+        AddEdgeCounted({rid}, fk->constraint_index);
+      }
+      fk->children[std::move(key)].push_back(rid.row);
     }
-    auto it = fk->parent_count.find(key);
-    if (it == fk->parent_count.end() || it->second == 0) {
-      AddEdgeCounted({rid}, fk->constraint_index);
-    }
-    fk->children[std::move(key)].push_back(rid.row);
   }
   if (rid.table == fk->fk->parent_table()) {
     const Table& parent = catalog_.table(rid.table);
@@ -248,6 +264,9 @@ Status IncrementalDetector::InsertFk(FkState* fk, RowId rid) {
         for (uint32_t c : it->second) {
           RowId child_id{fk->fk->child_table(), c};
           // Find this FK's unary edge among the child's incident edges.
+          // The canonical {child} edge is shared by every constraint that
+          // orphans this row, with the provenance of the first of them; it
+          // only carries this FK's index when this FK was that first one.
           std::vector<ConflictHypergraph::EdgeId> incident =
               graph_->IncidentEdges(child_id);
           for (ConflictHypergraph::EdgeId e : incident) {
@@ -255,6 +274,15 @@ Status IncrementalDetector::InsertFk(FkState* fk, RowId rid) {
                 graph_->edge(e).size() == 1) {
               graph_->RemoveEdge(e);
               ++stats_.edges_removed;
+              // If another FK still orphans this child, the violation
+              // survives the cure: revive the edge under the first such
+              // FK, matching a fresh detection run's provenance.
+              for (const FkState& other : fks_) {
+                if (&other != fk && IsOrphanUnder(other, child_id)) {
+                  AddEdgeCounted({child_id}, other.constraint_index);
+                  break;
+                }
+              }
             }
           }
         }

@@ -117,6 +117,13 @@ class IncrementalDetector {
 
   Status BuildIndexes();
 
+  /// True when some live parent row carries `key`.
+  static bool HasLiveParent(const FkState& fk, const Row& key);
+
+  /// True when `child` is a live orphan under `fk`: its key is NULL
+  /// (permanent orphan) or has no live parent row.
+  bool IsOrphanUnder(const FkState& fk, RowId child) const;
+
   Status InsertUnary(const Unary& u, RowId rid);
   Status InsertBinaryEqui(BinaryEqui* be, RowId rid);
   Status InsertFallback(const Fallback& fb, RowId rid);

@@ -36,6 +36,12 @@ ConflictHypergraph::EdgeId ConflictHypergraph::AddEdge(
       ++num_live_edges_;
       edge_constraint_[id] = constraint_index;
       for (const RowId& v : edges_[id]) incident_[v].push_back(id);
+    } else if (constraint_index < edge_constraint_[id]) {
+      // Live merge: provenance is the first constraint in detection order
+      // that produces this vertex set, i.e. the smallest index. Detection
+      // adds edges in index order so this only fires for incremental
+      // maintenance, where a lower-indexed producer can appear later.
+      edge_constraint_[id] = constraint_index;
     }
     return id;
   }

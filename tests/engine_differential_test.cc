@@ -1,0 +1,158 @@
+// Engine option differential: the HippoEngine answer set is a function of
+// the instance and the query alone — none of the execution knobs
+// (membership mode, conflict-free filtering, prover-loop parallelism) may
+// change it. Exercised on the randomized benchmark workloads from
+// src/benchutil/workload.cc rather than hand-built instances, so the same
+// generators that drive the performance evaluation also gate correctness.
+#include "cqa/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "benchutil/workload.h"
+#include "db/database.h"
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+using bench::QuerySet;
+using bench::WorkloadSpec;
+using cqa::HippoOptions;
+using cqa::HippoStats;
+
+/// All knob combinations under test: {kQuery, kKnowledgeGathering} ×
+/// {filtering on, off} × {1 thread, 8 threads}.
+std::vector<HippoOptions> AllOptionCombos() {
+  std::vector<HippoOptions> combos;
+  for (auto mode : {HippoOptions::MembershipMode::kQuery,
+                    HippoOptions::MembershipMode::kKnowledgeGathering}) {
+    for (bool filtering : {true, false}) {
+      for (size_t threads : {size_t{1}, size_t{8}}) {
+        HippoOptions opt;
+        opt.membership = mode;
+        opt.use_filtering = filtering;
+        opt.num_threads = threads;
+        combos.push_back(opt);
+      }
+    }
+  }
+  return combos;
+}
+
+std::string DescribeOptions(const HippoOptions& opt) {
+  return std::string("membership=") +
+         (opt.membership == HippoOptions::MembershipMode::kQuery ? "query"
+                                                                 : "kg") +
+         " filtering=" + (opt.use_filtering ? "on" : "off") +
+         " threads=" + std::to_string(opt.num_threads);
+}
+
+/// Runs every query under every option combo and checks all answer sets
+/// (and the candidate/answer counts) coincide with the baseline combo.
+void ExpectOptionsInvariant(Database* db,
+                            const std::vector<std::string>& queries) {
+  const std::vector<HippoOptions> combos = AllOptionCombos();
+  for (const std::string& q : queries) {
+    HippoStats base_stats;
+    auto baseline = db->ConsistentAnswers(q, combos.front(), &base_stats);
+    ASSERT_OK(baseline.status()) << q;
+    std::vector<Row> expected = SortedRows(baseline.value());
+    for (size_t i = 1; i < combos.size(); ++i) {
+      HippoStats stats;
+      auto rs = db->ConsistentAnswers(q, combos[i], &stats);
+      ASSERT_OK(rs.status()) << q << "\n" << DescribeOptions(combos[i]);
+      EXPECT_EQ(SortedRows(rs.value()), expected)
+          << "query: " << q << "\n"
+          << DescribeOptions(combos[i]) << " diverged from "
+          << DescribeOptions(combos.front());
+      EXPECT_EQ(stats.candidates, base_stats.candidates) << q;
+      EXPECT_EQ(stats.answers, base_stats.answers) << q;
+    }
+  }
+}
+
+class TwoRelationDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TwoRelationDifferential, OptionsDoNotChangeAnswers) {
+  Database db;
+  WorkloadSpec spec;
+  spec.tuples_per_relation = 80;
+  spec.conflict_rate = 0.15;
+  spec.seed = GetParam();
+  ASSERT_OK(bench::BuildTwoRelationWorkload(&db, spec));
+
+  ExpectOptionsInvariant(
+      &db, {QuerySet::Selection(), QuerySet::Join(), QuerySet::SelectiveJoin(),
+            QuerySet::Union(), QuerySet::Difference(),
+            QuerySet::UnionOfDifferences()});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoRelationDifferential,
+                         ::testing::Values(7u, 21u, 99u, 4242u));
+
+class EmployeeDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EmployeeDifferential, OptionsDoNotChangeAnswers) {
+  Database db;
+  WorkloadSpec spec;
+  spec.tuples_per_relation = 60;
+  spec.conflict_rate = 0.2;
+  spec.seed = GetParam();
+  ASSERT_OK(bench::BuildEmployeeWorkload(&db, spec));
+
+  ExpectOptionsInvariant(&db, {"SELECT * FROM emp",
+                               "SELECT name, dept, salary FROM emp "
+                               "WHERE salary > 0"});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmployeeDifferential,
+                         ::testing::Values(1u, 2u, 3u));
+
+class IntegrationDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntegrationDifferential, OptionsDoNotChangeAnswers) {
+  Database db;
+  WorkloadSpec spec;
+  spec.tuples_per_relation = 60;
+  spec.conflict_rate = 0.2;
+  spec.seed = GetParam();
+  ASSERT_OK(bench::BuildIntegrationWorkload(&db, spec));
+
+  ExpectOptionsInvariant(
+      &db, {"SELECT * FROM vendors",
+            "SELECT * FROM certified EXCEPT SELECT * FROM revoked",
+            "SELECT * FROM certified UNION SELECT * FROM revoked"});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegrationDifferential,
+                         ::testing::Values(5u, 17u, 2026u));
+
+// On a small instance, every combo must also agree with exact all-repairs
+// evaluation — anchoring the differential family to ground truth, not just
+// to itself.
+TEST(EngineDifferentialGroundTruth, SmallWorkloadMatchesAllRepairs) {
+  Database db;
+  WorkloadSpec spec;
+  spec.tuples_per_relation = 14;
+  spec.conflict_rate = 0.3;
+  spec.seed = 11;
+  ASSERT_OK(bench::BuildTwoRelationWorkload(&db, spec));
+
+  for (const std::string& q :
+       {QuerySet::Join(), QuerySet::Union(), QuerySet::Difference()}) {
+    auto exact = db.ConsistentAnswersAllRepairs(q);
+    ASSERT_OK(exact.status()) << q;
+    for (const HippoOptions& opt : AllOptionCombos()) {
+      auto rs = db.ConsistentAnswers(q, opt);
+      ASSERT_OK(rs.status()) << q;
+      EXPECT_EQ(SortedRows(rs.value()), SortedRows(exact.value()))
+          << "query: " << q << "\n" << DescribeOptions(opt);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hippo

@@ -322,6 +322,104 @@ INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalRandomSweep,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 11u, 42u,
                                            1234u));
 
+// ---------------------------------------------------------------------------
+// FK-churn differential: a random insert/delete stream deliberately biased
+// toward parent-table churn, so the restricted-foreign-key orphan/cure
+// transitions (the one non-anti-monotone case) fire constantly: parent
+// deletes orphan children (new unary edges), parent re-inserts cure them
+// (edge removals), duplicate-key parents exercise the per-key counts, and
+// NULL-keyed children stay permanent orphans throughout. After every single
+// operation the maintained graph must be structurally identical to a fresh
+// ConflictDetector::DetectAll — same canonical edge multiset, same
+// constraint provenance.
+// ---------------------------------------------------------------------------
+
+class FkChurnDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FkChurnDifferential, MaintainedGraphEqualsFreshDetectAll) {
+  Rng rng(GetParam());
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE dept (did INTEGER);"
+      "CREATE TABLE proj (pid INTEGER);"
+      "CREATE TABLE emp (eid INTEGER, did INTEGER, pid INTEGER);"
+      "CREATE CONSTRAINT fk_dept FOREIGN KEY emp (did) REFERENCES "
+      "dept (did);"
+      "CREATE CONSTRAINT fk_proj FOREIGN KEY emp (pid) REFERENCES "
+      "proj (pid)"));
+  // A permanent orphan (NULL key) that no parent churn may ever cure,
+  // and duplicate-key parents whose counts must not go boolean.
+  ASSERT_OK(db.Execute(
+      "INSERT INTO dept VALUES (0), (0), (1);"
+      "INSERT INTO proj VALUES (0);"
+      "INSERT INTO emp VALUES (100, NULL, 0), (101, 0, 0)"));
+  ASSERT_OK(db.EnableIncrementalMaintenance());
+  ExpectGraphMatchesScratch(&db, "initial instance");
+
+  // Tiny key domains so deletes/re-inserts keep hitting live keys.
+  auto random_parent_key = [&] {
+    return Row{Value::Int(static_cast<int64_t>(rng.Uniform(3)))};
+  };
+  auto random_child = [&] {
+    Value did = rng.Chance(0.1)
+                    ? Value::Null()
+                    : Value::Int(static_cast<int64_t>(rng.Uniform(3)));
+    return Row{Value::Int(static_cast<int64_t>(rng.Uniform(5))),
+               std::move(did),
+               Value::Int(static_cast<int64_t>(rng.Uniform(3)))};
+  };
+
+  size_t cures = 0, orphanings = 0;
+  for (int step = 0; step < 100; ++step) {
+    size_t edges_before = 0;
+    {
+      auto g = db.Hypergraph();
+      ASSERT_OK(g.status());
+      edges_before = g.value()->NumEdges();
+    }
+    // Parent tables churn twice as often as the child table.
+    switch (rng.Uniform(6)) {
+      case 0:
+        ASSERT_OK(db.InsertRow("dept", random_parent_key()));
+        break;
+      case 1:
+        ASSERT_OK(db.DeleteRow("dept", random_parent_key()));
+        break;
+      case 2:
+        ASSERT_OK(db.InsertRow("proj", random_parent_key()));
+        break;
+      case 3:
+        ASSERT_OK(db.DeleteRow("proj", random_parent_key()));
+        break;
+      case 4:
+        ASSERT_OK(db.InsertRow("emp", random_child()));
+        break;
+      case 5:
+        ASSERT_OK(db.DeleteRow("emp", random_child()));
+        break;
+    }
+    ExpectGraphMatchesScratch(&db, "FK churn step " + std::to_string(step));
+    if (HasFatalFailure()) return;
+    auto g = db.Hypergraph();
+    ASSERT_OK(g.status());
+    if (g.value()->NumEdges() < edges_before) ++cures;
+    if (g.value()->NumEdges() > edges_before) ++orphanings;
+  }
+  // The stream is biased so both directions of the FK transition actually
+  // happened — otherwise this test silently stops covering the cure path.
+  EXPECT_GT(orphanings, 0u) << "churn never orphaned a child";
+  EXPECT_GT(cures, 0u) << "churn never cured an orphan";
+
+  // Maintained stats stay coherent with the observed transitions: every
+  // step that grew (shrank) the graph added (removed) at least one edge.
+  EXPECT_GE(db.incremental_stats().edges_added, orphanings);
+  EXPECT_GE(db.incremental_stats().edges_removed, cures);
+  ExpectGraphMatchesScratch(&db, "after the full FK churn stream");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FkChurnDifferential,
+                         ::testing::Values(7u, 13u, 77u, 2024u, 31415u));
+
 // Hypergraph removal primitives.
 TEST(HypergraphRemovalTest, RemoveEdgeScrubsIncidence) {
   ConflictHypergraph g;

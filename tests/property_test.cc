@@ -10,8 +10,13 @@
 // repair-enumeration implementation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/rng.h"
 #include "db/database.h"
+#include "hypergraph/hypergraph.h"
+#include "repairs/repair_enumerator.h"
 #include "tests/test_util.h"
 
 namespace hippo {
@@ -244,6 +249,133 @@ TEST_P(CqaAfterDml, DifferentialHoldsAcrossUpdates) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CqaAfterDml,
                          ::testing::Range<uint64_t>(4000, 4020));
+
+// ---------------------------------------------------------------------------
+// RepairEnumerator vs the hypergraph's maximal independent sets, computed by
+// an independent brute-force over all subsets of the conflicting vertices.
+// Repairs are exactly the maximal independent sets (conflict-free tuples
+// belong to every repair), so the enumerator's deleted sets must be the
+// complements of the MIS within the conflicting-vertex universe.
+// ---------------------------------------------------------------------------
+
+/// All maximal independent subsets of the conflicting vertices, returned as
+/// sorted *deleted* sets (conflicting vertices NOT in the set), themselves
+/// sorted — the same canonical form EnumerateDeletedSets uses.
+std::vector<std::vector<RowId>> BruteForceDeletedSets(
+    const ConflictHypergraph& graph) {
+  std::vector<RowId> vertices = graph.ConflictingVertices();
+  std::sort(vertices.begin(), vertices.end());
+  const size_t n = vertices.size();
+  EXPECT_LE(n, 20u) << "instance too large for subset brute force";
+
+  std::vector<VertexSet> independent;  // all independent subsets, by mask
+  std::vector<uint64_t> masks;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    VertexSet set;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) set.insert(vertices[i]);
+    }
+    if (!graph.ContainsFullEdge(set)) {
+      independent.push_back(std::move(set));
+      masks.push_back(mask);
+    }
+  }
+
+  std::vector<std::vector<RowId>> deleted_sets;
+  for (size_t i = 0; i < independent.size(); ++i) {
+    // Maximal iff no independent strict superset exists.
+    bool maximal = true;
+    for (size_t j = 0; j < independent.size() && maximal; ++j) {
+      if (i != j && (masks[i] & masks[j]) == masks[i] && masks[j] != masks[i]) {
+        maximal = false;
+      }
+    }
+    if (!maximal) continue;
+    std::vector<RowId> deleted;
+    for (const RowId& v : vertices) {
+      if (!independent[i].count(v)) deleted.push_back(v);
+    }
+    std::sort(deleted.begin(), deleted.end());
+    deleted_sets.push_back(std::move(deleted));
+  }
+  std::sort(deleted_sets.begin(), deleted_sets.end());
+  return deleted_sets;
+}
+
+class RepairsAreMaximalIndependentSets
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RepairsAreMaximalIndependentSets, EnumeratorMatchesBruteForce) {
+  Rng rng(GetParam());
+  Database db;
+  BuildRandomDb(&db, &rng);
+
+  auto graph = db.Hypergraph();
+  ASSERT_OK(graph.status());
+  if (graph.value()->NumConflictingVertices() > 18) {
+    GTEST_SKIP() << "too many conflicting vertices for brute force";
+  }
+
+  RepairEnumerator enumerator(db.catalog(), *graph.value());
+  auto enumerated = enumerator.EnumerateDeletedSets(1 << 20);
+  ASSERT_OK(enumerated.status());
+  std::vector<std::vector<RowId>> actual = enumerated.value();
+  std::sort(actual.begin(), actual.end());
+
+  EXPECT_EQ(actual, BruteForceDeletedSets(*graph.value()));
+
+  auto count = enumerator.CountRepairs(1 << 20);
+  ASSERT_OK(count.status());
+  EXPECT_EQ(count.value(), actual.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairsAreMaximalIndependentSets,
+                         ::testing::Range<uint64_t>(5000, 5024));
+
+// ---------------------------------------------------------------------------
+// Soundness against the repairs themselves: every consistent answer must
+// hold in *every* enumerated repair (not merely in their intersection as
+// computed by ConsistentAnswersAllRepairs — this re-checks repair by
+// repair, query plan evaluated under each repair's row mask).
+// ---------------------------------------------------------------------------
+
+class AnswersHoldInEveryRepair : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AnswersHoldInEveryRepair, EachRepairContainsEveryConsistentAnswer) {
+  Rng rng(GetParam());
+  Database db;
+  BuildRandomDb(&db, &rng);
+
+  auto graph = db.Hypergraph();
+  ASSERT_OK(graph.status());
+  RepairEnumerator enumerator(db.catalog(), *graph.value());
+  auto masks = enumerator.EnumerateMasks(100000);
+  ASSERT_OK(masks.status());
+  ASSERT_FALSE(masks.value().empty());
+
+  for (const char* q :
+       {"SELECT * FROM p", "SELECT * FROM p EXCEPT SELECT * FROM q",
+        "SELECT * FROM p UNION SELECT * FROM q",
+        "SELECT * FROM p, q WHERE p.a = q.a"}) {
+    auto answers = db.ConsistentAnswers(q);
+    ASSERT_OK(answers.status()) << q;
+    auto plan = db.Plan(q);
+    ASSERT_OK(plan.status()) << q;
+    for (size_t r = 0; r < masks.value().size(); ++r) {
+      ExecContext ctx{&db.catalog(), &masks.value()[r]};
+      auto in_repair = Execute(*plan.value(), ctx);
+      ASSERT_OK(in_repair.status()) << q;
+      for (const Row& row : answers.value().rows) {
+        EXPECT_TRUE(in_repair.value().Contains(row))
+            << "consistent answer missing from repair " << r << " of "
+            << masks.value().size() << ", query: " << q;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnswersHoldInEveryRepair,
+                         ::testing::Range<uint64_t>(6000, 6016));
 
 }  // namespace
 }  // namespace hippo

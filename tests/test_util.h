@@ -10,8 +10,22 @@
 #include "exec/executor.h"
 #include "types/value.h"
 
-#define ASSERT_OK(expr) ASSERT_TRUE((expr).ok()) << (expr).ToString()
-#define EXPECT_OK(expr) EXPECT_TRUE((expr).ok()) << (expr).ToString()
+namespace hippo::test_internal {
+
+/// Adapts any status-like value (`.ok()` + `.ToString()`) to a gtest
+/// AssertionResult, so the OK macros evaluate their argument exactly once
+/// (side-effecting expressions like `db.Execute(...)` must not re-run when
+/// the assertion renders its message).
+template <typename StatusLike>
+::testing::AssertionResult IsOk(const StatusLike& status) {
+  if (status.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << status.ToString();
+}
+
+}  // namespace hippo::test_internal
+
+#define ASSERT_OK(expr) ASSERT_TRUE(::hippo::test_internal::IsOk((expr)))
+#define EXPECT_OK(expr) EXPECT_TRUE(::hippo::test_internal::IsOk((expr)))
 
 namespace hippo {
 

@@ -23,6 +23,8 @@
 //
 // DML (INSERT/DELETE/UPDATE) and COPY t FROM/TO 'file.csv' run like any
 // other statement.
+#include <unistd.h>
+
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -89,7 +91,10 @@ class Shell {
 
  private:
   void Prompt(const std::string& buffer) {
-    std::printf(buffer.empty() ? "hippo> " : "   ...> ");
+    // Whitespace left over from a completed statement is not a continuation.
+    bool continuing =
+        buffer.find_first_not_of(" \t\n") != std::string::npos;
+    std::printf(continuing ? "   ...> " : "hippo> ");
     std::fflush(stdout);
   }
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Configure, build, and run the test suite for a named CMake preset.
+#
+#   tools/run_tests.sh [preset] [-- extra ctest args...]
+#
+# Presets (see CMakePresets.json): release (default), debug, asan, ubsan.
+#
+#   tools/run_tests.sh                # release
+#   tools/run_tests.sh asan
+#   tools/run_tests.sh debug -- -R incremental --repeat until-fail:3
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+preset="release"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  preset="$1"
+  shift
+fi
+if [[ $# -gt 0 && "$1" == "--" ]]; then
+  shift
+fi
+
+echo ">>> configure (preset: ${preset})"
+cmake --preset "${preset}"
+
+echo ">>> build (preset: ${preset})"
+cmake --build --preset "${preset}" -j "$(nproc)"
+
+echo ">>> test (preset: ${preset})"
+ctest --preset "${preset}" "$@"

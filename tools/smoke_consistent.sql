@@ -1,0 +1,4 @@
+-- Smoke script for hippo_check: a consistent instance (exit status 0).
+CREATE TABLE emp (name VARCHAR, salary INTEGER);
+INSERT INTO emp VALUES ('smith', 50000), ('jones', 40000);
+CREATE CONSTRAINT fd FD ON emp (name -> salary)

@@ -1,0 +1,9 @@
+-- Smoke script for hippo_check: an FD violation plus an FK orphan
+-- (exit status 1 — the CI "data developed conflicts" signal).
+CREATE TABLE dept (did INTEGER);
+CREATE TABLE emp (name VARCHAR, salary INTEGER, did INTEGER);
+INSERT INTO dept VALUES (1);
+INSERT INTO emp VALUES ('smith', 50000, 1), ('smith', 60000, 1),
+                       ('jones', 40000, 2);
+CREATE CONSTRAINT fd FD ON emp (name -> salary);
+CREATE CONSTRAINT fk FOREIGN KEY emp (did) REFERENCES dept (did)

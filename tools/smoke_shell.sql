@@ -1,0 +1,18 @@
+-- Batch-mode smoke for hippo_shell: DDL, DML, mode switches, meta commands.
+CREATE TABLE emp (name VARCHAR, salary INTEGER);
+INSERT INTO emp VALUES ('smith', 50000), ('smith', 60000), ('jones', 40000);
+CREATE CONSTRAINT fd FD ON emp (name -> salary);
+.tables
+.constraints
+.conflicts
+SELECT * FROM emp;
+.mode cqa
+SELECT * FROM emp;
+.mode core
+SELECT * FROM emp;
+.mode allrepairs
+SELECT * FROM emp;
+.repairs
+.agg min emp salary
+.report
+.quit
