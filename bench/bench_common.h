@@ -87,18 +87,46 @@ inline bool TableOnly(int argc, char** argv) {
   return false;
 }
 
+/// Smoke mode (`--smoke`): table printers shrink their workloads to sizes
+/// a CI runner finishes in seconds — catches bench-build and runtime rot
+/// without producing meaningful timings. Set by HIPPO_BENCH_MAIN before
+/// the printers run.
+inline bool& SmokeMode() {
+  static bool smoke = false;
+  return smoke;
+}
+
+/// Removes `flag` from argv (so google-benchmark's own flag parsing never
+/// sees it) and reports whether it was present.
+inline bool ConsumeFlag(int* argc, char** argv, const std::string& flag) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (argv[i] == flag) {
+      found = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;  // restore the argv[argc] == NULL sentinel
+  return found;
+}
+
 }  // namespace hippo::bench
 
 /// Standard entry point shared by every bench binary: run the paper-style
 /// table printer(s), then the registered google-benchmark series (skipped
 /// under `--table-only`).
-#define HIPPO_BENCH_MAIN(print_tables)                \
-  int main(int argc, char** argv) {                   \
-    print_tables;                                     \
-    if (::hippo::bench::TableOnly(argc, argv)) {      \
-      return 0;                                       \
-    }                                                 \
-    benchmark::Initialize(&argc, argv);               \
-    benchmark::RunSpecifiedBenchmarks();              \
-    return 0;                                         \
+#define HIPPO_BENCH_MAIN(print_tables)                            \
+  int main(int argc, char** argv) {                               \
+    ::hippo::bench::SmokeMode() =                                 \
+        ::hippo::bench::ConsumeFlag(&argc, argv, "--smoke");      \
+    print_tables;                                                 \
+    if (::hippo::bench::TableOnly(argc, argv)) {                  \
+      return 0;                                                   \
+    }                                                             \
+    benchmark::Initialize(&argc, argv);                           \
+    benchmark::RunSpecifiedBenchmarks();                          \
+    return 0;                                                     \
   }

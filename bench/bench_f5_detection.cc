@@ -88,7 +88,11 @@ BENCHMARK(BM_DetectManyConstraints)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
 void PrintFigureTable() {
   TextTable table({"N per relation", "fd fast path", "generic join path",
                    "edges", "conflicting tuples"});
-  for (size_t n : {4096u, 16384u, 65536u, 262144u}) {
+  std::vector<size_t> sizes = SmokeMode()
+                                  ? std::vector<size_t>{512}
+                                  : std::vector<size_t>{4096, 16384, 65536,
+                                                        262144};
+  for (size_t n : sizes) {
     Database* db = Db(n);
     ConflictDetector fast(db->catalog(), DetectOptions{true});
     ConflictDetector generic(db->catalog(), DetectOptions{false});

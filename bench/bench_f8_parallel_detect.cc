@@ -1,0 +1,138 @@
+// F8 — parallel sharded conflict detection (the data-scale front door:
+// ROADMAP's "next scale step"). Two workloads:
+//
+//   * hot FD table: one large relation under a single FD — parallelism can
+//     only come from determinant-hash sharding *within* the constraint;
+//   * constraint fan-out: many constraints over moderate relations —
+//     parallelism comes from detecting constraints concurrently.
+//
+// Each table sweeps the worker count and reports the speedup over one
+// thread plus the resulting hypergraph size; the binary checks that every
+// configuration produces the same number of edges (full set-equality
+// including provenance is proved by tests/detector_differential_test.cc).
+// Speedups require physical cores: on a single-core host every row
+// degenerates to ~1x.
+#include "bench/bench_common.h"
+
+#include "common/str_util.h"
+
+#include "detect/detector.h"
+
+namespace hippo::bench {
+namespace {
+
+constexpr double kConflictRate = 0.05;
+
+size_t HotTableRows() { return SmokeMode() ? 2048 : 262144; }
+size_t FanOutRows() { return SmokeMode() ? 512 : 32768; }
+// Scaled down in smoke mode so the CI lane still executes the
+// determinant-hash sharding path on the tiny workloads.
+size_t ShardRows() { return SmokeMode() ? 256 : 16384; }
+
+Database* HotDb() {
+  return DbCache::Get("employee_f8", &BuildEmployeeWorkload, HotTableRows(),
+                      kConflictRate);
+}
+
+// Two FDs plus six selective exclusion-style denial constraints, so the
+// worker pool has eight units to schedule even before FD sharding.
+Database* FanOutDb() {
+  static std::unique_ptr<Database> db;
+  if (db == nullptr) {
+    db = std::make_unique<Database>();
+    WorkloadSpec spec;
+    spec.tuples_per_relation = FanOutRows();
+    spec.conflict_rate = kConflictRate;
+    HIPPO_CHECK(BuildTwoRelationWorkload(db.get(), spec).ok());
+    for (size_t c = 0; c < 6; ++c) {
+      std::string ddl = StrFormat(
+          "CREATE CONSTRAINT extra%zu DENIAL (p AS x, q AS y WHERE "
+          "x.a = y.a AND x.b = y.b + %zu)",
+          c, 1000 + c);
+      HIPPO_CHECK(db->Execute(ddl).ok());
+    }
+  }
+  return db.get();
+}
+
+DetectOptions ParallelOptions(size_t threads, size_t shard_rows) {
+  DetectOptions options;
+  options.num_threads = threads;
+  options.shard_rows = shard_rows;
+  return options;
+}
+
+/// One timed DetectAll; returns (seconds, edges).
+std::pair<double, size_t> TimeDetect(Database* db,
+                                     const DetectOptions& options) {
+  ConflictDetector detector(db->catalog(), options);
+  ConflictHypergraph graph;
+  double secs = TimeOnce([&] {
+    auto g = detector.DetectAll(db->constraints(), db->foreign_keys());
+    HIPPO_CHECK(g.ok());
+    graph = std::move(g).value();
+  });
+  return {secs, graph.NumEdges()};
+}
+
+void PrintSweep(const std::string& caption, Database* db, size_t shard_rows) {
+  TextTable table({"threads", "detect time", "speedup vs 1 thread", "edges"});
+  double base = 0;
+  size_t base_edges = 0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    auto [secs, edges] = TimeDetect(db, ParallelOptions(threads, shard_rows));
+    if (threads == 1) {
+      base = secs;
+      base_edges = edges;
+    }
+    HIPPO_CHECK_MSG(edges == base_edges,
+                    "parallel detection changed the edge count");
+    table.AddRow({std::to_string(threads), FormatSeconds(secs),
+                  StrFormat("%.2fx", base / secs), std::to_string(edges)});
+  }
+  table.Print(caption);
+}
+
+void PrintFigureTables() {
+  PrintSweep(StrFormat("F8a: hot FD table, determinant-hash sharding "
+                       "(%zu rows, 5%% conflicts)",
+                       HotTableRows()),
+             HotDb(), ShardRows());
+  PrintSweep(StrFormat("F8b: constraint fan-out, 8 constraints "
+                       "(%zu rows per relation)",
+                       FanOutRows()),
+             FanOutDb(), ShardRows());
+}
+
+void BM_ParallelDetectHotFd(benchmark::State& state) {
+  Database* db = HotDb();
+  DetectOptions options =
+      ParallelOptions(static_cast<size_t>(state.range(0)), ShardRows());
+  for (auto _ : state) {
+    ConflictDetector detector(db->catalog(), options);
+    auto g = detector.DetectAll(db->constraints());
+    HIPPO_CHECK(g.ok());
+    benchmark::DoNotOptimize(g.value().NumEdges());
+  }
+}
+BENCHMARK(BM_ParallelDetectHotFd)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelDetectFanOut(benchmark::State& state) {
+  Database* db = FanOutDb();
+  DetectOptions options =
+      ParallelOptions(static_cast<size_t>(state.range(0)), ShardRows());
+  for (auto _ : state) {
+    ConflictDetector detector(db->catalog(), options);
+    auto g = detector.DetectAll(db->constraints());
+    HIPPO_CHECK(g.ok());
+    benchmark::DoNotOptimize(g.value().NumEdges());
+  }
+}
+BENCHMARK(BM_ParallelDetectFanOut)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hippo::bench
+
+HIPPO_BENCH_MAIN(hippo::bench::PrintFigureTables())

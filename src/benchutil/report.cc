@@ -1,10 +1,49 @@
 #include "benchutil/report.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/str_util.h"
 
 namespace hippo::bench {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonStringArray(const std::vector<std::string>& cells) {
+  std::string out = "[";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + JsonEscape(cells[i]) + "\"";
+  }
+  return out + "]";
+}
+
+}  // namespace
 
 std::string TextTable::Render() const {
   std::vector<size_t> widths(header_.size(), 0);
@@ -33,9 +72,29 @@ std::string TextTable::Render() const {
   return out;
 }
 
+std::string TextTable::RenderJson(const std::string& caption) const {
+  std::string out =
+      "{\"table\": \"" + JsonEscape(caption) + "\", \"columns\": " +
+      JsonStringArray(header_) + ", \"rows\": [";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += JsonStringArray(rows_[i]);
+  }
+  return out + "]}";
+}
+
 void TextTable::Print(const std::string& caption) const {
   std::printf("\n== %s ==\n%s\n", caption.c_str(), Render().c_str());
   std::fflush(stdout);
+  if (const char* path = std::getenv("HIPPO_BENCH_JSON")) {
+    if (std::FILE* f = std::fopen(path, "a")) {
+      std::fprintf(f, "%s\n", RenderJson(caption).c_str());
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "HIPPO_BENCH_JSON: cannot open %s for append\n",
+                   path);
+    }
+  }
 }
 
 std::string FormatSeconds(double s) {

@@ -12,9 +12,11 @@
 #pragma once
 
 #include <chrono>
+#include <optional>
 
 #include "catalog/catalog.h"
 #include "cqa/cnf.h"
+#include "detect/detector.h"
 #include "cqa/ground_formula.h"
 #include "cqa/knowledge.h"
 #include "cqa/prover.h"
@@ -39,6 +41,12 @@ struct HippoOptions {
   /// loop shards across this many worker threads (1 = sequential). Results
   /// are deterministic regardless of the thread count.
   size_t num_threads = 1;
+
+  /// Conflict-detection options (threads, FD sharding, fast path) used when
+  /// the conflict hypergraph must be (re)built on behalf of this call.
+  /// Unset = the Database's configured DetectOptions. Ignored when a cached
+  /// hypergraph already exists — the cache is reused unchanged.
+  std::optional<DetectOptions> detect;
 };
 
 struct HippoStats {

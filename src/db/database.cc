@@ -415,8 +415,13 @@ Result<ResultSet> Database::Query(const std::string& select_sql) const {
 }
 
 Result<const ConflictHypergraph*> Database::Hypergraph() {
+  return HypergraphWith(detect_options_);
+}
+
+Result<const ConflictHypergraph*> Database::HypergraphWith(
+    const DetectOptions& options) {
   if (!hypergraph_.has_value()) {
-    ConflictDetector detector(catalog_, detect_options_);
+    ConflictDetector detector(catalog_, options);
     HIPPO_ASSIGN_OR_RETURN(ConflictHypergraph graph,
                            detector.DetectAll(constraints_, foreign_keys_));
     detect_stats_ = detector.stats();
@@ -445,7 +450,9 @@ Result<ResultSet> Database::ConsistentAnswers(const std::string& select_sql,
                                               const cqa::HippoOptions& options,
                                               cqa::HippoStats* stats) {
   HIPPO_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(select_sql));
-  HIPPO_ASSIGN_OR_RETURN(const ConflictHypergraph* graph, Hypergraph());
+  HIPPO_ASSIGN_OR_RETURN(
+      const ConflictHypergraph* graph,
+      HypergraphWith(options.detect.value_or(detect_options_)));
   cqa::HippoEngine engine(catalog_, *graph);
   return engine.ConsistentAnswers(*plan, options, stats);
 }

@@ -131,6 +131,12 @@ class Database {
   /// until the next DML/constraint change).
   Result<const ConflictHypergraph*> Hypergraph();
 
+  /// As Hypergraph(), but detecting with explicit options when the cache is
+  /// cold (a cached graph is returned unchanged). This is how
+  /// HippoOptions::detect reaches the detector.
+  Result<const ConflictHypergraph*> HypergraphWith(
+      const DetectOptions& options);
+
   /// Number of repairs of the current instance (exponential; bounded).
   Result<size_t> CountRepairs(size_t limit = 100000);
 

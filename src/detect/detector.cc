@@ -1,5 +1,8 @@
 #include "detect/detector.h"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
 #include <unordered_map>
 
 #include "common/str_util.h"
@@ -32,10 +35,11 @@ ExprPtr RemapForRowidLayout(const Expr& condition,
 
 }  // namespace
 
-Status ConflictDetector::DetectGeneric(const DenialConstraint& dc,
-                                       uint32_t constraint_index,
-                                       ConflictHypergraph* graph) {
-  ++stats_.generic_constraints;
+Status ConflictDetector::DetectGenericInto(const DenialConstraint& dc,
+                                           uint32_t constraint_index,
+                                           EdgeBuffer* out,
+                                           DetectStats* stats) const {
+  ++stats->generic_constraints;
   // Build a left-deep join plan over rowid-emitting scans. Conjuncts are
   // attached at the step where their last atom enters (as in the planner),
   // so equality conditions become hash joins.
@@ -116,25 +120,39 @@ Status ConflictDetector::DetectGeneric(const DenialConstraint& dc,
           dc.atoms()[i].table_id,
           static_cast<uint32_t>(row[rowid_cols[i]].AsInt())});
     }
-    graph->AddEdge(std::move(edge), constraint_index);
-    ++stats_.edges_added;
+    out->Add(std::move(edge), constraint_index);
+    ++stats->edges_added;
   }
   return Status::OK();
 }
 
-Status ConflictDetector::DetectFdFast(const DenialConstraint& dc,
-                                      uint32_t constraint_index,
-                                      ConflictHypergraph* graph) {
-  ++stats_.fd_fast_path_constraints;
+Status ConflictDetector::DetectFdFastInto(const DenialConstraint& dc,
+                                          uint32_t constraint_index,
+                                          size_t shard, size_t num_shards,
+                                          EdgeBuffer* out,
+                                          DetectStats* stats) const {
+  if (shard == 0) ++stats->fd_fast_path_constraints;
+  if (num_shards > 1) ++stats->fd_shards;
   const FdInfo& fd = *dc.fd_info();
   const Table& table = catalog_.table(fd.table_id);
 
-  // Group rows by determinant values.
+  // Group rows by determinant values. When sharded, this shard owns the
+  // keys whose hash falls into its residue class — groups stay complete
+  // within exactly one shard, so sharding never splits or duplicates a
+  // violation pair. The shard hash is computed in place from the key
+  // columns (mirroring HashRow) so rows owned by other shards are skipped
+  // without materializing their key Row — that keeps the duplicated
+  // per-shard work at one cheap hash pass instead of one allocation pass.
   std::unordered_map<Row, std::vector<uint32_t>, RowHasher, RowEq> groups;
-  groups.reserve(table.NumRows());
+  groups.reserve(table.NumRows() / num_shards + 1);
   for (uint32_t i = 0; i < table.NumRows(); ++i) {
     if (!table.IsLive(i)) continue;
     const Row& row = table.row(i);
+    if (num_shards > 1) {
+      size_t h = fd.lhs.size();
+      for (size_t c : fd.lhs) HashCombine(&h, row[c].Hash());
+      if (h % num_shards != shard) continue;
+    }
     Row key;
     key.reserve(fd.lhs.size());
     for (size_t c : fd.lhs) key.push_back(row[c]);
@@ -167,10 +185,10 @@ Status ConflictDetector::DetectFdFast(const DenialConstraint& dc,
     for (size_t a = 0; a < members.size(); ++a) {
       for (size_t b = a + 1; b < members.size(); ++b) {
         if (rhs_differ(members[a], members[b])) {
-          graph->AddEdge({RowId{fd.table_id, members[a]},
-                          RowId{fd.table_id, members[b]}},
-                         constraint_index);
-          ++stats_.edges_added;
+          out->Add({RowId{fd.table_id, members[a]},
+                    RowId{fd.table_id, members[b]}},
+                   constraint_index);
+          ++stats->edges_added;
         }
       }
     }
@@ -178,18 +196,32 @@ Status ConflictDetector::DetectFdFast(const DenialConstraint& dc,
   return Status::OK();
 }
 
+void ConflictDetector::Flush(EdgeBuffer buffer, ConflictHypergraph* graph) {
+  for (EdgeBuffer::StagedEdge& e : buffer.mutable_entries()) {
+    graph->AddEdge(std::move(e.vertices), e.constraint_index);
+  }
+}
+
 Status ConflictDetector::Detect(const DenialConstraint& constraint,
                                 uint32_t constraint_index,
                                 ConflictHypergraph* graph) {
+  EdgeBuffer buffer;
   if (options_.use_fd_fast_path && constraint.fd_info().has_value()) {
-    return DetectFdFast(constraint, constraint_index, graph);
+    HIPPO_RETURN_NOT_OK(DetectFdFastInto(constraint, constraint_index,
+                                         /*shard=*/0, /*num_shards=*/1,
+                                         &buffer, &stats_));
+  } else {
+    HIPPO_RETURN_NOT_OK(
+        DetectGenericInto(constraint, constraint_index, &buffer, &stats_));
   }
-  return DetectGeneric(constraint, constraint_index, graph);
+  Flush(std::move(buffer), graph);
+  return Status::OK();
 }
 
-Status ConflictDetector::DetectForeignKey(const ForeignKeyConstraint& fk,
-                                          uint32_t constraint_index,
-                                          ConflictHypergraph* graph) {
+Status ConflictDetector::DetectForeignKeyInto(const ForeignKeyConstraint& fk,
+                                              uint32_t constraint_index,
+                                              EdgeBuffer* out,
+                                              DetectStats* stats) const {
   const Table& child = catalog_.table(fk.child_table());
   const Table& parent = catalog_.table(fk.parent_table());
   PlanNodePtr child_scan =
@@ -216,27 +248,149 @@ Status ConflictDetector::DetectForeignKey(const ForeignKeyConstraint& fk,
   HIPPO_ASSIGN_OR_RETURN(ResultSet orphans, Execute(*plan, ctx));
   size_t rowid_col = child.schema().NumColumns();
   for (const Row& row : orphans.rows) {
-    graph->AddEdge({RowId{fk.child_table(),
-                          static_cast<uint32_t>(row[rowid_col].AsInt())}},
-                   constraint_index);
-    ++stats_.edges_added;
+    out->Add({RowId{fk.child_table(),
+                    static_cast<uint32_t>(row[rowid_col].AsInt())}},
+             constraint_index);
+    ++stats->edges_added;
   }
   return Status::OK();
 }
+
+Status ConflictDetector::DetectForeignKey(const ForeignKeyConstraint& fk,
+                                          uint32_t constraint_index,
+                                          ConflictHypergraph* graph) {
+  EdgeBuffer buffer;
+  HIPPO_RETURN_NOT_OK(
+      DetectForeignKeyInto(fk, constraint_index, &buffer, &stats_));
+  Flush(std::move(buffer), graph);
+  return Status::OK();
+}
+
+namespace {
+
+/// One schedulable piece of a DetectAll run: a whole constraint, one
+/// determinant-hash shard of a large FD, or a foreign key.
+struct DetectUnit {
+  enum class Kind { kFdShard, kGeneric, kForeignKey };
+  Kind kind = Kind::kGeneric;
+  size_t list_index = 0;          ///< index into constraints / foreign_keys
+  uint32_t constraint_index = 0;  ///< global provenance index
+  size_t shard = 0;
+  size_t num_shards = 1;
+};
+
+}  // namespace
 
 Result<ConflictHypergraph> ConflictDetector::DetectAll(
     const std::vector<DenialConstraint>& constraints,
     const std::vector<ForeignKeyConstraint>& foreign_keys) {
   ConflictHypergraph graph;
+  if (options_.num_threads <= 1) {
+    // Serial: preserve constraint-order edge insertion (stable historical
+    // edge ids; structurally identical to the parallel path below).
+    for (size_t i = 0; i < constraints.size(); ++i) {
+      HIPPO_RETURN_NOT_OK(
+          Detect(constraints[i], static_cast<uint32_t>(i), &graph));
+    }
+    for (size_t i = 0; i < foreign_keys.size(); ++i) {
+      HIPPO_RETURN_NOT_OK(DetectForeignKey(
+          foreign_keys[i], static_cast<uint32_t>(constraints.size() + i),
+          &graph));
+    }
+    return graph;
+  }
+
+  // Plan the work units. An FD over a table larger than shard_rows is split
+  // into determinant-hash-range shards (at most one per worker — each shard
+  // pays one pass over the table for hashing, so more shards than workers
+  // only adds overhead).
+  std::vector<DetectUnit> units;
   for (size_t i = 0; i < constraints.size(); ++i) {
-    HIPPO_RETURN_NOT_OK(
-        Detect(constraints[i], static_cast<uint32_t>(i), &graph));
+    const DenialConstraint& dc = constraints[i];
+    DetectUnit unit;
+    unit.list_index = i;
+    unit.constraint_index = static_cast<uint32_t>(i);
+    if (options_.use_fd_fast_path && dc.fd_info().has_value()) {
+      unit.kind = DetectUnit::Kind::kFdShard;
+      size_t rows = catalog_.table(dc.fd_info()->table_id).NumLiveRows();
+      size_t num_shards = 1;
+      if (options_.shard_rows > 0 && rows > options_.shard_rows) {
+        num_shards = std::min(options_.num_threads,
+                              (rows + options_.shard_rows - 1) /
+                                  options_.shard_rows);
+      }
+      unit.num_shards = num_shards;
+      for (size_t s = 0; s < num_shards; ++s) {
+        unit.shard = s;
+        units.push_back(unit);
+      }
+    } else {
+      unit.kind = DetectUnit::Kind::kGeneric;
+      units.push_back(unit);
+    }
   }
   for (size_t i = 0; i < foreign_keys.size(); ++i) {
-    HIPPO_RETURN_NOT_OK(DetectForeignKey(
-        foreign_keys[i], static_cast<uint32_t>(constraints.size() + i),
-        &graph));
+    DetectUnit unit;
+    unit.kind = DetectUnit::Kind::kForeignKey;
+    unit.list_index = i;
+    unit.constraint_index = static_cast<uint32_t>(constraints.size() + i);
+    units.push_back(unit);
   }
+
+  // Fan out: workers pull units off a shared counter, each unit staging
+  // into its own buffer (indexed by unit, not worker, so nothing about the
+  // output depends on the scheduling).
+  size_t workers = std::min(options_.num_threads, units.size());
+  std::vector<EdgeBuffer> buffers(units.size());
+  std::vector<DetectStats> worker_stats(workers);
+  std::vector<Status> worker_status(workers);
+  std::atomic<size_t> next{0};
+  auto run_worker = [&](size_t w) {
+    for (;;) {
+      size_t u = next.fetch_add(1);
+      if (u >= units.size()) return;
+      const DetectUnit& unit = units[u];
+      Status st;
+      switch (unit.kind) {
+        case DetectUnit::Kind::kFdShard:
+          st = DetectFdFastInto(constraints[unit.list_index],
+                                unit.constraint_index, unit.shard,
+                                unit.num_shards, &buffers[u],
+                                &worker_stats[w]);
+          break;
+        case DetectUnit::Kind::kGeneric:
+          st = DetectGenericInto(constraints[unit.list_index],
+                                 unit.constraint_index, &buffers[u],
+                                 &worker_stats[w]);
+          break;
+        case DetectUnit::Kind::kForeignKey:
+          st = DetectForeignKeyInto(foreign_keys[unit.list_index],
+                                    unit.constraint_index, &buffers[u],
+                                    &worker_stats[w]);
+          break;
+      }
+      if (!st.ok()) {
+        worker_status[w] = std::move(st);
+        return;
+      }
+    }
+  };
+  if (workers <= 1) {
+    run_worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) threads.emplace_back(run_worker, w);
+    for (std::thread& t : threads) t.join();
+  }
+  for (size_t w = 0; w < workers; ++w) {
+    HIPPO_RETURN_NOT_OK(worker_status[w]);
+    stats_.edges_added += worker_stats[w].edges_added;
+    stats_.fd_fast_path_constraints += worker_stats[w].fd_fast_path_constraints;
+    stats_.generic_constraints += worker_stats[w].generic_constraints;
+    stats_.fd_shards += worker_stats[w].fd_shards;
+  }
+  graph.BulkLoad(std::move(buffers));
   return graph;
 }
 

@@ -6,6 +6,11 @@
 // collects the rowid columns of each result row. FDs additionally have a
 // hash-grouping fast path: group by the determinant, emit an edge for every
 // pair in a group that differs on the dependent columns.
+//
+// DetectAll parallelizes across constraints and, for large FD tables,
+// across determinant-hash shards within one constraint; every work unit
+// stages edges into a private EdgeBuffer and the buffers are merged
+// deterministically by ConflictHypergraph::BulkLoad (see detector.cc).
 #pragma once
 
 #include <vector>
@@ -21,12 +26,31 @@ namespace hippo {
 struct DetectOptions {
   /// Use the hash-grouping fast path for constraints with FD provenance.
   bool use_fd_fast_path = true;
+
+  /// Detection worker threads for DetectAll: constraints (and shards of
+  /// large FDs) fan out across this many workers, each staging edges into
+  /// a private EdgeBuffer; the buffers are merged deterministically with
+  /// ConflictHypergraph::BulkLoad, so the resulting graph — edges, ids and
+  /// provenance — is identical for every thread count > 1. The serial run
+  /// (0 or 1) produces the same edges and provenance but numbers edge ids
+  /// in historical constraint/discovery order rather than BulkLoad's
+  /// sorted order.
+  size_t num_threads = 1;
+
+  /// Minimum live row slots of an FD table per grouping shard: when
+  /// num_threads > 1 and the table exceeds this, the FD fast path is split
+  /// into determinant-hash-range shards (each shard groups only the keys
+  /// hashing into its range), so a single hot table also parallelizes.
+  size_t shard_rows = 16384;
 };
 
 struct DetectStats {
   size_t edges_added = 0;
   size_t fd_fast_path_constraints = 0;
   size_t generic_constraints = 0;
+  /// Grouping shards executed for FD constraints that were split (0 when
+  /// nothing was sharded; each sharded FD contributes all of its shards).
+  size_t fd_shards = 0;
 };
 
 class ConflictDetector {
@@ -48,6 +72,12 @@ class ConflictDetector {
 
   /// Detects violations of all constraints into a fresh hypergraph. Foreign
   /// keys receive constraint indexes following the denial constraints'.
+  /// With options.num_threads > 1 the constraints (and determinant-hash
+  /// shards of large FDs) are detected concurrently into private
+  /// EdgeBuffers and merged with ConflictHypergraph::BulkLoad; the result
+  /// is set-equal to the serial run (same canonical edges and provenance;
+  /// edge ids follow BulkLoad's sorted order instead of the serial
+  /// insertion order) and id-identical across all parallel runs.
   Result<ConflictHypergraph> DetectAll(
       const std::vector<DenialConstraint>& constraints,
       const std::vector<ForeignKeyConstraint>& foreign_keys = {});
@@ -55,10 +85,23 @@ class ConflictDetector {
   const DetectStats& stats() const { return stats_; }
 
  private:
-  Status DetectGeneric(const DenialConstraint& constraint,
-                       uint32_t constraint_index, ConflictHypergraph* graph);
-  Status DetectFdFast(const DenialConstraint& constraint,
-                      uint32_t constraint_index, ConflictHypergraph* graph);
+  /// Stage-into-buffer internals, shared by the serial and parallel paths.
+  /// They are const (catalog and options are read-only), so workers can run
+  /// them concurrently, each with its own buffer and stats accumulator.
+  Status DetectGenericInto(const DenialConstraint& constraint,
+                           uint32_t constraint_index, EdgeBuffer* out,
+                           DetectStats* stats) const;
+  Status DetectFdFastInto(const DenialConstraint& constraint,
+                          uint32_t constraint_index, size_t shard,
+                          size_t num_shards, EdgeBuffer* out,
+                          DetectStats* stats) const;
+  Status DetectForeignKeyInto(const ForeignKeyConstraint& fk,
+                              uint32_t constraint_index, EdgeBuffer* out,
+                              DetectStats* stats) const;
+
+  /// Flushes a staged buffer into `graph` in staging order (the serial
+  /// insertion-order behavior of Detect/DetectForeignKey).
+  static void Flush(EdgeBuffer buffer, ConflictHypergraph* graph);
 
   const Catalog& catalog_;
   DetectOptions options_;

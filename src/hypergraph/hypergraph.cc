@@ -20,6 +20,31 @@ std::string CanonicalKey(const std::vector<RowId>& sorted_vertices) {
 
 }  // namespace
 
+void EdgeBuffer::Add(std::vector<RowId> vertices, uint32_t constraint_index) {
+  HIPPO_CHECK_MSG(!vertices.empty(), "hyperedge needs at least one vertex");
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  entries_.push_back(StagedEdge{std::move(vertices), constraint_index});
+}
+
+size_t ConflictHypergraph::BulkLoad(std::vector<EdgeBuffer> buffers) {
+  size_t total = 0;
+  for (const EdgeBuffer& b : buffers) total += b.NumEntries();
+  std::vector<EdgeBuffer::StagedEdge> staged;
+  staged.reserve(total);
+  for (EdgeBuffer& b : buffers) {
+    for (EdgeBuffer::StagedEdge& e : b.mutable_entries()) {
+      staged.push_back(std::move(e));
+    }
+  }
+  std::sort(staged.begin(), staged.end());
+  for (EdgeBuffer::StagedEdge& e : staged) {
+    AddEdge(std::move(e.vertices), e.constraint_index);
+  }
+  return total;
+}
+
 ConflictHypergraph::EdgeId ConflictHypergraph::AddEdge(
     std::vector<RowId> vertices, uint32_t constraint_index) {
   HIPPO_CHECK_MSG(!vertices.empty(), "hyperedge needs at least one vertex");

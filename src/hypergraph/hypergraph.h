@@ -21,6 +21,40 @@ namespace hippo {
 /// A set of vertices, used for independence checks.
 using VertexSet = std::unordered_set<RowId, RowIdHasher>;
 
+/// \brief Append-only staging area for hyperedges built off the graph.
+///
+/// Parallel conflict detection gives each work unit (a constraint, or one
+/// determinant-hash shard of a large FD) a private EdgeBuffer, so workers
+/// never touch the shared graph; ConflictHypergraph::BulkLoad merges the
+/// buffers afterwards. Vertices are canonicalized (sorted, deduplicated)
+/// at Add time, exactly as ConflictHypergraph::AddEdge would, so merging
+/// is a plain sort over canonical vertex sets.
+class EdgeBuffer {
+ public:
+  struct StagedEdge {
+    std::vector<RowId> vertices;  ///< canonical: sorted, deduplicated
+    uint32_t constraint_index = 0;
+
+    bool operator<(const StagedEdge& o) const {
+      return vertices != o.vertices ? vertices < o.vertices
+                                    : constraint_index < o.constraint_index;
+    }
+  };
+
+  /// Stages an edge (same canonicalization as ConflictHypergraph::AddEdge;
+  /// duplicates are kept and collapse at BulkLoad time).
+  void Add(std::vector<RowId> vertices, uint32_t constraint_index);
+
+  const std::vector<StagedEdge>& entries() const { return entries_; }
+  /// Mutable access for consumers that move the staged edges out
+  /// (ConflictHypergraph::BulkLoad, ConflictDetector::Flush).
+  std::vector<StagedEdge>& mutable_entries() { return entries_; }
+  size_t NumEntries() const { return entries_.size(); }
+
+ private:
+  std::vector<StagedEdge> entries_;
+};
+
 class ConflictHypergraph {
  public:
   using EdgeId = uint32_t;
@@ -30,6 +64,16 @@ class ConflictHypergraph {
   /// records provenance. Returns the edge id (existing one on merge; a
   /// previously removed edge with the same vertex set is revived in place).
   EdgeId AddEdge(std::vector<RowId> vertices, uint32_t constraint_index);
+
+  /// Merges staged buffers into the graph deterministically: the entries of
+  /// all buffers are sorted by (canonical vertex set, constraint index) and
+  /// inserted in that order. Edge ids and provenance therefore depend only
+  /// on the staged edge multiset — never on how detection was decomposed
+  /// into threads or shards. Duplicate vertex sets collapse onto the
+  /// smallest producing constraint index (the same min-provenance invariant
+  /// AddEdge maintains for live merges). Returns the number of staged
+  /// entries consumed (pre-dedup, mirroring one AddEdge call per entry).
+  size_t BulkLoad(std::vector<EdgeBuffer> buffers);
 
   /// Removes an edge (no-op when already removed). The slot stays reserved
   /// so other edge ids remain stable; incident lists are scrubbed. Used by

@@ -52,6 +52,23 @@ TEST_F(InconsistentEmpDb, ConsistentAnswersDropOnlyConflictedFacts) {
       Row{Value::String("brown"), Value::Int(70000)}));
 }
 
+TEST_F(InconsistentEmpDb, ParallelDetectionOptionReachesTheDetector) {
+  // HippoOptions::detect is used when the hypergraph cache is cold: the
+  // graph is built with 4 detection threads (1-row shards force real
+  // sharding even on this tiny table) and the answers must not change.
+  cqa::HippoOptions options;
+  options.detect = DetectOptions();
+  options.detect->num_threads = 4;
+  options.detect->shard_rows = 1;
+  auto rs = db_.ConsistentAnswers("SELECT * FROM emp", options);
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs.value().NumRows(), 2u);
+  auto graph = db_.Hypergraph();
+  ASSERT_OK(graph.status());
+  EXPECT_EQ(graph.value()->NumEdges(), 1u);
+  EXPECT_EQ(db_.detect_stats().fd_shards, 4u);  // proves the knob arrived
+}
+
 TEST_F(InconsistentEmpDb, SelectionOnUncertainValue) {
   // smith earns > 45000 in *every* repair (50000 or 60000), but neither
   // individual salary fact is certain. The selection query keeps tuples,

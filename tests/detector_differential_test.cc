@@ -1,0 +1,336 @@
+// Randomized differential battery for parallel sharded conflict detection.
+//
+// Three oracles are compared on seeded random schemas/instances:
+//
+//   1. a naive O(n^arity) reference detector (nested loops over live rows,
+//      evaluating each denial constraint's condition on the combined row —
+//      no join plans, no fast paths, no sharding);
+//   2. serial ConflictDetector::DetectAll (num_threads = 1);
+//   3. parallel DetectAll across thread counts {2, 4, 8} and shard_rows
+//      settings down to 1 (which forces the FD fast path into one shard
+//      per worker even on tiny tables).
+//
+// All three must produce set-equal hypergraphs including constraint
+// provenance (CanonicalEdges compares canonical vertex sets AND the
+// producing constraint index). A second battery fuzzes the FD fast path
+// against the generic join path over NULL-heavy instances, pinning the
+// NULL-determinant and NULL-rhs corners documented in detector.cc.
+#include "detect/detector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "db/database.h"
+#include "expr/evaluator.h"
+#include "tests/test_util.h"
+
+namespace hippo {
+namespace {
+
+using CanonicalEdgeList = std::vector<std::pair<std::vector<RowId>, uint32_t>>;
+
+/// Naive reference: enumerate every assignment of live rows to the atoms
+/// of every denial constraint (with repetition — a tuple may satisfy a
+/// multi-atom constraint with itself; AddEdge collapses {t, t} to a unary
+/// edge exactly like the executor's self-join does) and every child row of
+/// every foreign key. Quadratic/cubic in the instance — only for tiny
+/// inputs.
+ConflictHypergraph NaiveDetect(
+    const Catalog& catalog, const std::vector<DenialConstraint>& constraints,
+    const std::vector<ForeignKeyConstraint>& foreign_keys) {
+  ConflictHypergraph graph;
+  for (size_t ci = 0; ci < constraints.size(); ++ci) {
+    const DenialConstraint& dc = constraints[ci];
+    // Odometer over one live-row index per atom.
+    std::vector<std::vector<uint32_t>> live(dc.arity());
+    for (size_t a = 0; a < dc.arity(); ++a) {
+      const Table& t = catalog.table(dc.atoms()[a].table_id);
+      for (uint32_t i = 0; i < t.NumRows(); ++i) {
+        if (t.IsLive(i)) live[a].push_back(i);
+      }
+    }
+    std::vector<size_t> pick(dc.arity(), 0);
+    bool exhausted = false;
+    for (size_t a = 0; a < dc.arity(); ++a) {
+      if (live[a].empty()) exhausted = true;
+    }
+    while (!exhausted) {
+      Row combined;
+      std::vector<RowId> edge;
+      for (size_t a = 0; a < dc.arity(); ++a) {
+        const Table& t = catalog.table(dc.atoms()[a].table_id);
+        const Row& r = t.row(live[a][pick[a]]);
+        combined.insert(combined.end(), r.begin(), r.end());
+        edge.push_back(RowId{dc.atoms()[a].table_id, live[a][pick[a]]});
+      }
+      if (dc.condition() == nullptr ||
+          EvalPredicate(*dc.condition(), combined)) {
+        graph.AddEdge(std::move(edge), static_cast<uint32_t>(ci));
+      }
+      size_t a = 0;
+      for (; a < dc.arity(); ++a) {
+        if (++pick[a] < live[a].size()) break;
+        pick[a] = 0;
+      }
+      if (a == dc.arity()) exhausted = true;
+    }
+  }
+  for (size_t fi = 0; fi < foreign_keys.size(); ++fi) {
+    const ForeignKeyConstraint& fk = foreign_keys[fi];
+    const Table& child = catalog.table(fk.child_table());
+    const Table& parent = catalog.table(fk.parent_table());
+    for (uint32_t c = 0; c < child.NumRows(); ++c) {
+      if (!child.IsLive(c)) continue;
+      // SQL equality: a NULL on either side never matches, so NULL-keyed
+      // children are orphans regardless of the parent relation.
+      bool has_parent = false;
+      for (uint32_t p = 0; p < parent.NumRows() && !has_parent; ++p) {
+        if (!parent.IsLive(p)) continue;
+        bool match = true;
+        for (size_t i = 0; i < fk.child_columns().size(); ++i) {
+          const Value& cv = child.row(c)[fk.child_columns()[i]];
+          const Value& pv = parent.row(p)[fk.parent_columns()[i]];
+          if (cv.is_null() || pv.is_null() || !(cv == pv)) {
+            match = false;
+            break;
+          }
+        }
+        has_parent = match;
+      }
+      if (!has_parent) {
+        graph.AddEdge({RowId{fk.child_table(), c}},
+                      static_cast<uint32_t>(constraints.size() + fi));
+      }
+    }
+  }
+  return graph;
+}
+
+CanonicalEdgeList DetectWith(Database* db, const DetectOptions& options) {
+  ConflictDetector detector(db->catalog(), options);
+  auto g = detector.DetectAll(db->constraints(), db->foreign_keys());
+  EXPECT_OK(g.status());
+  return g.ok() ? g.value().CanonicalEdges() : CanonicalEdgeList{};
+}
+
+Value MaybeNullInt(Rng* rng, double null_p, uint64_t domain) {
+  if (rng->Chance(null_p)) return Value::Null();
+  return Value::Int(static_cast<int64_t>(rng->Uniform(domain)));
+}
+
+/// Builds a random instance of a schema exercising every detection path:
+/// an FD with a randomized multi-column determinant over `child`, an FD
+/// over `other`, an exclusion constraint across the two, a unary CHECK
+/// style constraint, a generic inequality-only constraint (product plan),
+/// and a restricted foreign key into a constraint-free parent. Column
+/// domains are tiny and NULL-seasoned so conflicts, shared-vertex-set
+/// duplicates (exercising min-provenance merges) and NULL corners all
+/// occur.
+void BuildRandomScenario(Database* db, Rng* rng) {
+  ASSERT_OK(db->Execute(
+      "CREATE TABLE parent (k INTEGER);"
+      "CREATE TABLE child (a INTEGER, b INTEGER, c INTEGER);"
+      "CREATE TABLE other (a INTEGER, b INTEGER)"));
+
+  // Randomized FD determinant on child: a -> b,c | a,b -> c | b -> a,c.
+  static const char* kChildFds[] = {"(a -> b, c)", "(a, b -> c)",
+                                    "(b -> a, c)"};
+  ASSERT_OK(db->Execute(
+      std::string("CREATE CONSTRAINT fd_child FD ON child ") +
+      kChildFds[rng->Uniform(3)]));
+  ASSERT_OK(db->Execute("CREATE CONSTRAINT fd_other FD ON other (a -> b)"));
+  if (rng->Chance(0.75)) {
+    ASSERT_OK(db->Execute(
+        "CREATE CONSTRAINT excl EXCLUSION ON child (a), other (a)"));
+  }
+  if (rng->Chance(0.75)) {
+    // Unary CHECK-style denial.
+    ASSERT_OK(db->Execute(
+        "CREATE CONSTRAINT pos DENIAL (child AS x WHERE x.c < 0)"));
+  }
+  if (rng->Chance(0.75)) {
+    // Inequality-only: no equi-conjunct, so the generic path runs a
+    // product plan; self-pairs are possible when b values collide.
+    ASSERT_OK(db->Execute(
+        "CREATE CONSTRAINT near DENIAL (other AS x, other AS y WHERE "
+        "x.b < y.b AND y.b - x.b < 2)"));
+  }
+  ASSERT_OK(db->Execute(
+      "CREATE CONSTRAINT fk FOREIGN KEY child (c) REFERENCES parent (k)"));
+
+  size_t n_child = 12 + rng->Uniform(24);
+  size_t n_other = 8 + rng->Uniform(16);
+  size_t n_parent = 1 + rng->Uniform(4);
+  for (size_t i = 0; i < n_parent; ++i) {
+    ASSERT_OK(db->InsertRow(
+        "parent", Row{Value::Int(static_cast<int64_t>(rng->Uniform(5)))}));
+  }
+  for (size_t i = 0; i < n_child; ++i) {
+    // c doubles as FK key and CHECK subject: small ints, occasional
+    // negatives, occasional NULLs.
+    Value c = rng->Chance(0.15)
+                  ? Value::Null()
+                  : Value::Int(rng->UniformInt(-1, 5));
+    ASSERT_OK(db->InsertRow(
+        "child", Row{MaybeNullInt(rng, 0.15, 4), MaybeNullInt(rng, 0.15, 3),
+                     std::move(c)}));
+  }
+  for (size_t i = 0; i < n_other; ++i) {
+    ASSERT_OK(db->InsertRow(
+        "other", Row{MaybeNullInt(rng, 0.15, 4), MaybeNullInt(rng, 0.15, 6)}));
+  }
+}
+
+class DetectorDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DetectorDifferential, ParallelEqualsSerialEqualsNaive) {
+  Rng rng(GetParam());
+  Database db;
+  BuildRandomScenario(&db, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  CanonicalEdgeList naive =
+      NaiveDetect(db.catalog(), db.constraints(), db.foreign_keys())
+          .CanonicalEdges();
+  DetectOptions serial;
+  CanonicalEdgeList reference = DetectWith(&db, serial);
+  EXPECT_EQ(reference, naive) << "serial DetectAll diverged from the naive "
+                                 "reference detector";
+
+  for (size_t threads : {2u, 4u, 8u}) {
+    for (size_t shard_rows : {1u, 7u, 4096u}) {
+      DetectOptions parallel;
+      parallel.num_threads = threads;
+      parallel.shard_rows = shard_rows;
+      EXPECT_EQ(DetectWith(&db, parallel), reference)
+          << "parallel detection diverged at " << threads << " threads, "
+          << "shard_rows=" << shard_rows;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectorDifferential,
+                         ::testing::Values(1u, 7u, 42u, 101u, 2024u, 90210u));
+
+// Parallel BulkLoad merges are deterministic at the edge-id level too: two
+// parallel runs with different thread counts must agree edge by edge (id,
+// vertex set, provenance), because BulkLoad orders insertions by canonical
+// vertex set independently of the decomposition.
+TEST(DetectorDeterminismTest, ParallelEdgeIdsIndependentOfThreadCount) {
+  Rng rng(31337);
+  Database db;
+  BuildRandomScenario(&db, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  auto detect_full = [&](size_t threads, size_t shard_rows) {
+    DetectOptions opts;
+    opts.num_threads = threads;
+    opts.shard_rows = shard_rows;
+    ConflictDetector detector(db.catalog(), opts);
+    auto g = detector.DetectAll(db.constraints(), db.foreign_keys());
+    EXPECT_OK(g.status());
+    return std::move(g).value();
+  };
+  ConflictHypergraph base = detect_full(2, 1);
+  for (size_t threads : {3u, 4u, 8u}) {
+    ConflictHypergraph other = detect_full(threads, threads == 4 ? 5 : 1);
+    ASSERT_EQ(base.NumEdgeSlots(), other.NumEdgeSlots());
+    for (size_t e = 0; e < base.NumEdgeSlots(); ++e) {
+      auto id = static_cast<ConflictHypergraph::EdgeId>(e);
+      EXPECT_EQ(base.edge(id), other.edge(id));
+      EXPECT_EQ(base.edge_constraint(id), other.edge_constraint(id));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FD fast path vs generic join path fuzz, NULL corners included.
+// ---------------------------------------------------------------------------
+
+class FdPathFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FdPathFuzz, FastPathEqualsGenericPathUnderNulls) {
+  Rng rng(GetParam());
+  Database db;
+  // Multi-column determinant AND multi-column dependent side, so both the
+  // NULL-determinant rule (a NULL anywhere in the key kills the group) and
+  // the NULL-rhs rule (NULL vs anything is not a difference) fire.
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (a INTEGER, b INTEGER, c INTEGER, d INTEGER);"
+      "CREATE CONSTRAINT fd FD ON t (a, b -> c, d)"));
+  double null_p = 0.1 + 0.2 * rng.UniformDouble();
+  size_t n = 20 + rng.Uniform(40);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_OK(db.InsertRow(
+        "t", Row{MaybeNullInt(&rng, null_p, 3), MaybeNullInt(&rng, null_p, 3),
+                 MaybeNullInt(&rng, null_p, 4),
+                 MaybeNullInt(&rng, null_p, 4)}));
+  }
+
+  DetectOptions fast;
+  DetectOptions generic;
+  generic.use_fd_fast_path = false;
+  CanonicalEdgeList want = DetectWith(&db, generic);
+  EXPECT_EQ(DetectWith(&db, fast), want)
+      << "FD fast path diverged from the generic join path";
+
+  // The same instance through every parallel/shard configuration of both
+  // paths (generic parallelizes at constraint granularity, fast by shards).
+  for (size_t threads : {2u, 4u}) {
+    for (size_t shard_rows : {1u, 8u}) {
+      for (bool use_fast : {true, false}) {
+        DetectOptions opts;
+        opts.use_fd_fast_path = use_fast;
+        opts.num_threads = threads;
+        opts.shard_rows = shard_rows;
+        EXPECT_EQ(DetectWith(&db, opts), want)
+            << "diverged at fast=" << use_fast << " threads=" << threads
+            << " shard_rows=" << shard_rows;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FdPathFuzz,
+                         ::testing::Values(3u, 17u, 99u, 4242u, 31415u,
+                                           271828u));
+
+// Deterministic pinning of the NULL corners (documented in detector.cc):
+// a NULL determinant never groups; a NULL dependent value never witnesses
+// a difference (`<>` is unknown), but two non-NULL differing values do,
+// even when another dependent column is NULL on either side.
+TEST(FdNullCornersTest, PinnedSemantics) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (a INTEGER, c INTEGER, d INTEGER);"
+      "CREATE CONSTRAINT fd FD ON t (a -> c, d);"
+      // NULL determinants: never conflict, even with equal-NULL partners.
+      "INSERT INTO t VALUES (NULL, 1, 1), (NULL, 2, 2);"
+      // NULL rhs on one side only: not a violation.
+      "INSERT INTO t VALUES (1, 1, NULL), (1, 1, 7);"
+      // NULL in one rhs column but a real difference in the other: IS a
+      // violation.
+      "INSERT INTO t VALUES (2, 3, NULL), (2, 4, 5);"
+      // NULL in the same rhs column on both sides, NULL vs value in the
+      // other: not a violation (two distinct all-NULL-difference rows
+      // cannot exist under set semantics — they would be equal).
+      "INSERT INTO t VALUES (3, NULL, 1), (3, NULL, NULL)"));
+
+  DetectOptions fast;
+  DetectOptions generic;
+  generic.use_fd_fast_path = false;
+  CanonicalEdgeList fast_edges = DetectWith(&db, fast);
+  EXPECT_EQ(fast_edges, DetectWith(&db, generic));
+  ASSERT_EQ(fast_edges.size(), 1u);  // only the a=2 pair violates
+  DetectOptions sharded;
+  sharded.num_threads = 4;
+  sharded.shard_rows = 1;
+  EXPECT_EQ(DetectWith(&db, sharded), fast_edges);
+}
+
+}  // namespace
+}  // namespace hippo

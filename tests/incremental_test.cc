@@ -420,6 +420,83 @@ TEST_P(FkChurnDifferential, MaintainedGraphEqualsFreshDetectAll) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FkChurnDifferential,
                          ::testing::Values(7u, 13u, 77u, 2024u, 31415u));
 
+// ---------------------------------------------------------------------------
+// Incremental maintenance on top of a PARALLEL-built hypergraph: the graph
+// is constructed with multiple detection threads (edge ids come from
+// BulkLoad's deterministic merge, not serial insertion order), then the
+// FK-churn stream runs on it. After every operation the maintained graph
+// must match a fresh parallel re-detection — guarding the min-provenance
+// invariant across both subsystems regardless of how the initial graph was
+// decomposed into threads and shards.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalAfterParallelTest, FkChurnMatchesParallelRedetection) {
+  Rng rng(8086);
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE dept (did INTEGER);"
+      "CREATE TABLE emp (eid INTEGER, salary INTEGER, did INTEGER);"
+      // An FD on the child table too, so the parallel build exercises FD
+      // sharding and the FK fan-out in one graph and the maintainer keeps
+      // both edge flavours coherent.
+      "CREATE CONSTRAINT fd FD ON emp (eid -> salary);"
+      "CREATE CONSTRAINT fk FOREIGN KEY emp (did) REFERENCES dept (did)"));
+  ASSERT_OK(db.Execute(
+      "INSERT INTO dept VALUES (0), (1);"
+      "INSERT INTO emp VALUES (1, 10, 0), (1, 20, 1), (2, 10, 9), "
+      "(3, 5, NULL)"));
+
+  // Force real parallelism on a tiny instance: 4 threads, shards of 2 rows.
+  DetectOptions popt;
+  popt.num_threads = 4;
+  popt.shard_rows = 2;
+  db.SetDetectOptions(popt);
+  ASSERT_OK(db.EnableIncrementalMaintenance());  // builds the graph in parallel
+
+  auto expect_matches_parallel_scratch = [&](const std::string& where) {
+    auto maintained = db.Hypergraph();
+    ASSERT_OK(maintained.status());
+    ConflictDetector detector(db.catalog(), popt);
+    auto scratch = detector.DetectAll(db.constraints(), db.foreign_keys());
+    ASSERT_OK(scratch.status());
+    EXPECT_EQ(maintained.value()->CanonicalEdges(),
+              scratch.value().CanonicalEdges())
+        << "maintained graph diverged from parallel re-detection " << where;
+  };
+  expect_matches_parallel_scratch("after the parallel initial build");
+
+  auto random_parent = [&] {
+    return Row{Value::Int(static_cast<int64_t>(rng.Uniform(3)))};
+  };
+  auto random_emp = [&] {
+    Value did = rng.Chance(0.1)
+                    ? Value::Null()
+                    : Value::Int(static_cast<int64_t>(rng.Uniform(3)));
+    return Row{Value::Int(static_cast<int64_t>(rng.Uniform(4))),
+               Value::Int(static_cast<int64_t>(rng.Uniform(3))),
+               std::move(did)};
+  };
+  for (int step = 0; step < 80; ++step) {
+    switch (rng.Uniform(5)) {
+      case 0:
+        ASSERT_OK(db.InsertRow("dept", random_parent()));
+        break;
+      case 1:
+        ASSERT_OK(db.DeleteRow("dept", random_parent()));
+        break;
+      case 2:
+      case 3:
+        ASSERT_OK(db.InsertRow("emp", random_emp()));
+        break;
+      case 4:
+        ASSERT_OK(db.DeleteRow("emp", random_emp()));
+        break;
+    }
+    expect_matches_parallel_scratch("at step " + std::to_string(step));
+    if (HasFatalFailure()) return;
+  }
+}
+
 // Hypergraph removal primitives.
 TEST(HypergraphRemovalTest, RemoveEdgeScrubsIncidence) {
   ConflictHypergraph g;

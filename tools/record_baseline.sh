@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Records the committed perf baseline (BENCH_baseline.json).
+#
+#   tools/record_baseline.sh [build_dir] [out_file]
+#
+# Runs every bench binary under build_dir (default: build/release) with
+# --table-only — the paper-style tables on their fixed default seeds and
+# sizes — and captures each printed table as JSON via the HIPPO_BENCH_JSON
+# hook in src/benchutil/report.cc, plus the wall-clock seconds of each
+# binary. The output (default: BENCH_baseline.json) is committed so
+# optimisation PRs have a reference to diff against: re-run this script on
+# the same class of machine and compare the timing cells.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build="${1:-build/release}"
+out="${2:-BENCH_baseline.json}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+shopt -s nullglob
+benches=("$build"/bench_*)
+if (( ${#benches[@]} == 0 )); then
+  echo "no bench binaries under $build — build the release preset with" >&2
+  echo "google-benchmark available first (see EXPERIMENTS.md)" >&2
+  exit 1
+fi
+
+{
+  echo '{'
+  echo "  \"recorded_utc\": \"$(date -u +%FT%TZ)\","
+  echo "  \"host_cores\": $(nproc),"
+  echo "  \"build_dir\": \"$build\","
+  echo '  "benches": {'
+  first=1
+  for bin in "${benches[@]}"; do
+    [[ -x "$bin" ]] || continue
+    name="$(basename "$bin")"
+    echo ">>> $name" >&2
+    jsonl="$tmp/$name.jsonl"
+    : > "$jsonl"
+    start_ns=$(date +%s%N)
+    HIPPO_BENCH_JSON="$jsonl" "$bin" --table-only > /dev/null
+    end_ns=$(date +%s%N)
+    secs=$(awk "BEGIN{printf \"%.2f\", ($end_ns - $start_ns) / 1e9}")
+    (( first )) || echo ','
+    first=0
+    printf '    "%s": {"seconds": %s, "tables": [%s]}' \
+      "$name" "$secs" "$(paste -sd, "$jsonl")"
+  done
+  echo ''
+  echo '  }'
+  echo '}'
+} > "$out"
+
+echo "wrote $out" >&2
