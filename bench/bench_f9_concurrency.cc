@@ -1,0 +1,190 @@
+// F9 — concurrent serving through the query service (the tentpole of the
+// snapshot/epoch subsystem). Two tables:
+//
+//   * F9a reader scaling: a fixed two-relation workload is served read-only
+//     at increasing worker-pool widths; the table reports throughput and
+//     the speedup over one worker. Requires physical cores to show > 1x —
+//     on a single-core host every row degenerates to ~1x, exactly like F8.
+//   * F9b mixed traffic: the same pool with a writer streaming FD-churn
+//     commits; the table shows reader p50/p99 latency and throughput with
+//     0 and 1 writers, plus the epochs published during the run — the cost
+//     of snapshot publication visible as tail latency, not blocking.
+//
+// Correctness of served answers (bit-identical to a serial oracle at the
+// same epoch) is proved by tests/service_concurrency_test.cc; this binary
+// only times the pool.
+#include "bench/bench_common.h"
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <thread>
+
+#include "common/str_util.h"
+#include "service/query_service.h"
+#include "service/session.h"
+
+namespace hippo::bench {
+namespace {
+
+using service::QueryService;
+using service::ServiceOptions;
+using service::SnapshotPtr;
+
+constexpr double kConflictRate = 0.05;
+
+size_t Rows() { return SmokeMode() ? 512 : 8192; }
+size_t ReadOps() { return SmokeMode() ? 16 : 96; }
+
+std::string ServedQuery() { return QuerySet::UnionOfDifferences(); }
+
+std::unique_ptr<QueryService> BootService(size_t workers) {
+  ServiceOptions options;
+  options.num_workers = workers;
+  auto service = std::make_unique<QueryService>(options);
+  WorkloadSpec spec;
+  spec.tuples_per_relation = Rows();
+  spec.conflict_rate = kConflictRate;
+  Status st = service->Commit(TwoRelationWorkloadSql(spec));
+  HIPPO_CHECK_MSG(st.ok(), st.ToString().c_str());
+  return service;
+}
+
+/// Submits `ops` consistent-answer requests through the pool from
+/// `submitters` closed-loop threads; returns (wall seconds, latencies).
+std::pair<double, std::vector<double>> DriveReads(QueryService* service,
+                                                  size_t submitters,
+                                                  size_t ops) {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> errors{0};
+  std::vector<std::vector<double>> lat(submitters);
+  double wall = TimeOnce([&] {
+    std::vector<std::thread> threads;
+    for (size_t s = 0; s < submitters; ++s) {
+      threads.emplace_back([&, s] {
+        while (next.fetch_add(1) < ops) {
+          double secs = 0;
+          Result<ResultSet> rs(Status::Internal("unset"));
+          secs = TimeOnce([&] {
+            rs = service
+                     ->Submit(QueryService::ReadMode::kConsistent,
+                              ServedQuery())
+                     .get();
+          });
+          if (rs.ok()) {
+            lat[s].push_back(secs);
+          } else {
+            ++errors;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  });
+  HIPPO_CHECK_MSG(errors.load() == 0, "read requests failed");
+  std::vector<double> merged;
+  for (const auto& v : lat) merged.insert(merged.end(), v.begin(), v.end());
+  return {wall, std::move(merged)};
+}
+
+void PrintReaderScaling() {
+  TextTable table(
+      {"pool workers", "ops", "wall", "throughput", "speedup vs 1"});
+  double base = 0;
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    auto service = BootService(workers);
+    // One warm-up op keeps first-touch allocation out of the timed run.
+    auto warm =
+        service->Submit(QueryService::ReadMode::kConsistent, ServedQuery())
+            .get();
+    HIPPO_CHECK(warm.ok());
+    auto [wall, lat] = DriveReads(service.get(), workers, ReadOps());
+    if (workers == 1) base = wall;
+    table.AddRow({std::to_string(workers), std::to_string(lat.size()),
+                  FormatSeconds(wall),
+                  StrFormat("%.1f ops/s", lat.size() / wall),
+                  StrFormat("%.2fx", base / wall)});
+  }
+  table.Print(StrFormat(
+      "F9a: reader throughput scaling, %zu rows/relation, query UD",
+      Rows()));
+}
+
+void PrintMixedTraffic() {
+  TextTable table({"writers", "reader ops", "throughput", "p50", "p99",
+                   "epochs published"});
+  for (size_t writers : {0u, 1u}) {
+    auto service = BootService(2);
+    uint64_t epoch_before = service->epoch();
+    std::atomic<bool> done{false};
+    std::thread writer;
+    if (writers > 0) {
+      writer = std::thread([&] {
+        Rng rng(7);
+        while (!done.load()) {
+          std::string stmt = StrFormat(
+              "INSERT INTO p VALUES (%llu, %llu)",
+              (unsigned long long)rng.Uniform(Rows()),
+              (unsigned long long)(2000 + rng.Uniform(1000)));
+          Status st = service->Commit(stmt);
+          HIPPO_CHECK_MSG(st.ok(), st.ToString().c_str());
+        }
+      });
+    }
+    auto [wall, lat] = DriveReads(service.get(), 2, ReadOps());
+    done.store(true);
+    if (writer.joinable()) writer.join();
+    uint64_t epochs = service->epoch() - epoch_before;
+    table.AddRow({std::to_string(writers), std::to_string(lat.size()),
+                  StrFormat("%.1f ops/s", lat.size() / wall),
+                  FormatSeconds(Percentile(lat, 50)),
+                  FormatSeconds(Percentile(lat, 99)),
+                  std::to_string(epochs)});
+  }
+  table.Print(StrFormat(
+      "F9b: mixed read/write traffic, %zu rows/relation, pool of 2",
+      Rows()));
+}
+
+void PrintFigureTables() {
+  PrintReaderScaling();
+  PrintMixedTraffic();
+}
+
+void BM_ServiceConsistentRead(benchmark::State& state) {
+  static std::map<size_t, std::unique_ptr<QueryService>> services;
+  size_t workers = static_cast<size_t>(state.range(0));
+  auto it = services.find(workers);
+  if (it == services.end()) {
+    it = services.emplace(workers, BootService(workers)).first;
+  }
+  QueryService* service = it->second.get();
+  for (auto _ : state) {
+    auto rs =
+        service->Submit(QueryService::ReadMode::kConsistent, ServedQuery())
+            .get();
+    HIPPO_CHECK(rs.ok());
+    benchmark::DoNotOptimize(rs.value().NumRows());
+  }
+}
+BENCHMARK(BM_ServiceConsistentRead)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CommitPublishLatency(benchmark::State& state) {
+  auto service = BootService(2);
+  Rng rng(11);
+  for (auto _ : state) {
+    Status st = service->Commit(StrFormat(
+        "INSERT INTO p VALUES (%llu, %llu)",
+        (unsigned long long)rng.Uniform(Rows()),
+        (unsigned long long)(5000 + rng.Uniform(100000))));
+    HIPPO_CHECK(st.ok());
+  }
+  state.counters["epoch"] = static_cast<double>(service->epoch());
+}
+BENCHMARK(BM_CommitPublishLatency)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hippo::bench
+
+HIPPO_BENCH_MAIN(hippo::bench::PrintFigureTables())

@@ -1,5 +1,7 @@
 #include "benchutil/report.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -101,6 +103,20 @@ std::string FormatSeconds(double s) {
   if (s < 1e-3) return StrFormat("%.1f us", s * 1e6);
   if (s < 1.0) return StrFormat("%.2f ms", s * 1e3);
   return StrFormat("%.3f s", s);
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  if (p <= 0) return samples.front();
+  if (p >= 100) return samples.back();
+  // Nearest-rank: the smallest sample with at least p% of the sample at or
+  // below it — ceil(p/100 * N), 1-based.
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  if (rank == 0) rank = 1;
+  if (rank > samples.size()) rank = samples.size();
+  return samples[rank - 1];
 }
 
 }  // namespace hippo::bench

@@ -50,6 +50,34 @@ Status BuildTwoRelationWorkload(Database* db, const WorkloadSpec& spec) {
   return Status::OK();
 }
 
+std::string TwoRelationWorkloadSql(const WorkloadSpec& spec) {
+  std::string sql =
+      "CREATE TABLE p (a INTEGER, b INTEGER);"
+      "CREATE TABLE q (a INTEGER, b INTEGER);"
+      "CREATE CONSTRAINT fd_p FD ON p (a -> b);"
+      "CREATE CONSTRAINT fd_q FD ON q (a -> b);";
+  Rng rng(spec.seed);
+  size_t n = spec.tuples_per_relation;
+  size_t conflict_pairs =
+      static_cast<size_t>(static_cast<double>(n) * spec.conflict_rate / 2.0);
+  for (const char* table : {"p", "q"}) {
+    bool offset_odd_keys = table[0] == 'q';
+    for (size_t i = 0; i < n; ++i) {
+      int64_t value = static_cast<int64_t>(i % 1000);
+      if (offset_odd_keys && (i % 2 == 1)) value += 5000;
+      sql += StrFormat("INSERT INTO %s VALUES (%zu, %lld);", table, i,
+                       (long long)value);
+    }
+    for (size_t c = 0; c < conflict_pairs; ++c) {
+      int64_t key = rng.UniformInt(0, static_cast<int64_t>(n) - 1);
+      int64_t other = (key % 1000) + 1000 + rng.UniformInt(0, 9);
+      sql += StrFormat("INSERT INTO %s VALUES (%lld, %lld);", table,
+                       (long long)key, (long long)other);
+    }
+  }
+  return sql;
+}
+
 Status BuildEmployeeWorkload(Database* db, const WorkloadSpec& spec) {
   HIPPO_RETURN_NOT_OK(db->Execute(
       "CREATE TABLE emp (name VARCHAR, dept VARCHAR, salary INTEGER);"

@@ -34,6 +34,14 @@ struct WorkloadSpec {
 /// them are selective but non-empty. Key values are dense in [0, n).
 Status BuildTwoRelationWorkload(Database* db, const WorkloadSpec& spec);
 
+/// The same two-relation workload as one ';'-separated SQL script (schema,
+/// constraints, consistent bulk, conflict pairs) — for consumers that load
+/// through a commit path instead of a Database* (the query service's
+/// serving driver and the F9 concurrency bench). Row counts and conflict
+/// structure match BuildTwoRelationWorkload's shape but values are drawn
+/// from the script's own deterministic RNG stream.
+std::string TwoRelationWorkloadSql(const WorkloadSpec& spec);
+
 /// Employee-style workload used by T1 and the examples:
 ///
 ///   emp(name VARCHAR, dept VARCHAR, salary INTEGER)  with FD name -> salary

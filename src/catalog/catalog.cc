@@ -6,6 +6,16 @@
 
 namespace hippo {
 
+Catalog Catalog::Clone() const {
+  Catalog copy;
+  copy.tables_.reserve(tables_.size());
+  for (const auto& table : tables_) {
+    copy.tables_.push_back(std::make_unique<Table>(*table));
+  }
+  copy.by_name_ = by_name_;
+  return copy;
+}
+
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   std::string key = ToLower(name);
   if (by_name_.count(key)) {

@@ -16,6 +16,14 @@ class Catalog {
  public:
   Catalog() = default;
   HIPPO_DISALLOW_COPY(Catalog);
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Deep copy of the whole instance: every table (schema, rows, tombstones,
+  /// row index) is duplicated, preserving table ids and RowIds exactly, so a
+  /// conflict hypergraph built against `this` remains valid against the
+  /// clone. Used by service::Snapshot to freeze an epoch.
+  Catalog Clone() const;
 
   /// Creates a table; AlreadyExists if the name is taken. Re-creating a
   /// dropped name allocates a fresh table id — slots are never reused,

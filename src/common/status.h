@@ -20,6 +20,7 @@ enum class StatusCode {
   kNotSupported,      ///< outside the supported query/constraint class
   kTypeError,         ///< expression type mismatch
   kInternal,          ///< invariant violation surfaced as a status
+  kResourceExhausted, ///< admission control: queue full / service stopped
 };
 
 /// Returns a short human-readable name of the code, e.g. "InvalidArgument".
@@ -54,6 +55,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -32,7 +32,7 @@ std::unique_ptr<MembershipProvider> MakeProvider(
 Result<bool> HippoEngine::DecideCandidate(Grounder* grounder, HProver* prover,
                                           const Row& tuple,
                                           const HippoOptions& options,
-                                          HippoStats* stats) {
+                                          HippoStats* stats) const {
   HIPPO_ASSIGN_OR_RETURN(GroundFormula formula, grounder->Ground(tuple));
 
   if (formula.IsConst()) {
@@ -60,7 +60,7 @@ Result<bool> HippoEngine::DecideCandidate(Grounder* grounder, HProver* prover,
 
 Result<ResultSet> HippoEngine::ConsistentAnswers(const PlanNode& plan,
                                                  const HippoOptions& options,
-                                                 HippoStats* stats) {
+                                                 HippoStats* stats) const {
   HIPPO_RETURN_NOT_OK(CheckSjudSupported(plan));
   auto t0 = Clock::now();
 
@@ -80,7 +80,8 @@ Result<ResultSet> HippoEngine::ConsistentAnswers(const PlanNode& plan,
   size_t prover_membership_checks = 0;
   size_t prover_clauses = 0;
   size_t prover_edge_choices = 0;
-  if (options.num_threads <= 1 || candidates.rows.size() < 2) {
+  size_t num_threads = ResolveThreadCount(options.num_threads);
+  if (num_threads <= 1 || candidates.rows.size() < 2) {
     std::unique_ptr<MembershipProvider> membership =
         MakeProvider(catalog_, options.membership);
     Grounder grounder(plan, membership.get());
@@ -95,7 +96,7 @@ Result<ResultSet> HippoEngine::ConsistentAnswers(const PlanNode& plan,
     prover_clauses = prover.stats().clauses_checked;
     prover_edge_choices = prover.stats().edge_choices_tried;
   } else {
-    size_t workers = std::min(options.num_threads, candidates.rows.size());
+    size_t workers = std::min(num_threads, candidates.rows.size());
     std::vector<char> verdict(candidates.rows.size(), 0);
     std::vector<HippoStats> worker_stats(workers);
     std::vector<Status> worker_status(workers);
@@ -180,7 +181,7 @@ Result<ResultSet> HippoEngine::ConsistentAnswers(const PlanNode& plan,
 Result<bool> HippoEngine::IsConsistentAnswer(const PlanNode& plan,
                                              const Row& tuple,
                                              const HippoOptions& options,
-                                             HippoStats* stats) {
+                                             HippoStats* stats) const {
   HIPPO_RETURN_NOT_OK(CheckSjudSupported(plan));
   std::unique_ptr<MembershipProvider> membership =
       MakeProvider(catalog_, options.membership);

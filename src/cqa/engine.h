@@ -38,8 +38,9 @@ struct HippoOptions {
   bool use_filtering = true;
 
   /// Prover-loop parallelism: candidates are decided independently, so the
-  /// loop shards across this many worker threads (1 = sequential). Results
-  /// are deterministic regardless of the thread count.
+  /// loop shards across this many worker threads (1 = sequential; 0 = one
+  /// per hardware thread, the same ResolveThreadCount convention as
+  /// DetectOptions). Results are deterministic regardless of thread count.
   size_t num_threads = 1;
 
   /// Conflict-detection options (threads, FD sharding, fast path) used when
@@ -70,19 +71,22 @@ class HippoEngine {
 
   /// Computes the consistent answers to a bound plan. The plan must pass
   /// CheckSjudSupported; a top-level SortNode is honored on the output.
+  /// Const: the engine only reads the catalog and hypergraph, so any number
+  /// of engines (or threads within one engine) may evaluate concurrently
+  /// against the same immutable snapshot.
   Result<ResultSet> ConsistentAnswers(const PlanNode& plan,
                                       const HippoOptions& options,
-                                      HippoStats* stats = nullptr);
+                                      HippoStats* stats = nullptr) const;
 
   /// Decides whether a single candidate tuple is a consistent answer.
   Result<bool> IsConsistentAnswer(const PlanNode& plan, const Row& tuple,
                                   const HippoOptions& options,
-                                  HippoStats* stats = nullptr);
+                                  HippoStats* stats = nullptr) const;
 
  private:
   Result<bool> DecideCandidate(Grounder* grounder, HProver* prover,
                                const Row& tuple, const HippoOptions& options,
-                               HippoStats* stats);
+                               HippoStats* stats) const;
 
   const Catalog& catalog_;
   const ConflictHypergraph& graph_;

@@ -420,12 +420,19 @@ Result<const ConflictHypergraph*> Database::Hypergraph() {
 
 Result<const ConflictHypergraph*> Database::HypergraphWith(
     const DetectOptions& options) {
+  // Concurrent readers may all arrive on a cold cache; the first one to
+  // take the lock builds, the rest reuse the published graph. Detection
+  // itself runs under the lock — it already parallelizes internally via
+  // options.num_threads, so stacking racing builds on top would only
+  // duplicate work.
+  std::lock_guard<std::mutex> lock(hypergraph_mu_);
   if (!hypergraph_.has_value()) {
     ConflictDetector detector(catalog_, options);
     HIPPO_ASSIGN_OR_RETURN(ConflictHypergraph graph,
                            detector.DetectAll(constraints_, foreign_keys_));
     detect_stats_ = detector.stats();
     hypergraph_ = std::move(graph);
+    ++hypergraph_epoch_;
   }
   if (incremental_enabled_ && incremental_ == nullptr) {
     HIPPO_ASSIGN_OR_RETURN(
@@ -434,6 +441,17 @@ Result<const ConflictHypergraph*> Database::HypergraphWith(
                                   &hypergraph_.value()));
   }
   return &hypergraph_.value();
+}
+
+uint64_t Database::hypergraph_epoch() const {
+  std::lock_guard<std::mutex> lock(hypergraph_mu_);
+  return hypergraph_epoch_;
+}
+
+void Database::InvalidateHypergraph() {
+  std::lock_guard<std::mutex> lock(hypergraph_mu_);
+  incremental_.reset();
+  hypergraph_.reset();
 }
 
 Result<ResultSet> Database::QueryOverCore(const std::string& select_sql) {

@@ -14,7 +14,9 @@
 //                                    (exponential; ground truth).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -129,6 +131,15 @@ class Database {
 
   /// The conflict hypergraph (runs Conflict Detection on first use; cached
   /// until the next DML/constraint change).
+  ///
+  /// Thread safety: the first-use build is serialized internally, so any
+  /// number of reader threads may call Hypergraph() — and the query paths
+  /// that use it (ConsistentAnswers, QueryOverCore, IsConsistent, ...) —
+  /// concurrently on a cold cache. Writers (DML, constraint DDL,
+  /// SetDetectOptions) still require exclusion from all readers: they
+  /// invalidate or mutate the graph the readers' pointers refer to. The
+  /// service::QueryService layer provides that exclusion via epoch-versioned
+  /// snapshots.
   Result<const ConflictHypergraph*> Hypergraph();
 
   /// As Hypergraph(), but detecting with explicit options when the cache is
@@ -136,6 +147,13 @@ class Database {
   /// HippoOptions::detect reaches the detector.
   Result<const ConflictHypergraph*> HypergraphWith(
       const DetectOptions& options);
+
+  /// Generation counter of the hypergraph cache: incremented every time a
+  /// freshly detected graph is published (first use and every rebuild after
+  /// an invalidation). Incremental in-place maintenance does not advance
+  /// the epoch — the graph object stays current. Starts at 0 (no graph
+  /// built yet).
+  uint64_t hypergraph_epoch() const;
 
   /// Number of repairs of the current instance (exponential; bounded).
   Result<size_t> CountRepairs(size_t limit = 100000);
@@ -145,10 +163,8 @@ class Database {
 
   /// Forces re-detection on next use (called automatically by DML when
   /// incremental maintenance is off, and by constraint changes always).
-  void InvalidateHypergraph() {
-    incremental_.reset();
-    hypergraph_.reset();
-  }
+  /// A writer-path operation: requires exclusion from concurrent readers.
+  void InvalidateHypergraph();
 
   /// Switches to incremental maintenance: the conflict hypergraph is kept
   /// up to date across INSERT/DELETE/UPDATE instead of being recomputed
@@ -207,7 +223,12 @@ class Database {
   Catalog catalog_;
   std::vector<DenialConstraint> constraints_;
   std::vector<ForeignKeyConstraint> foreign_keys_;
+  /// Serializes the lazy hypergraph build (and epoch/invalidation updates)
+  /// so concurrent readers hitting a cold cache race neither on the
+  /// optional's engagement nor on detect_stats_.
+  mutable std::mutex hypergraph_mu_;
   std::optional<ConflictHypergraph> hypergraph_;
+  uint64_t hypergraph_epoch_ = 0;
   DetectOptions detect_options_;
   DetectStats detect_stats_;
   bool incremental_enabled_ = false;

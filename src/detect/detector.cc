@@ -35,6 +35,12 @@ ExprPtr RemapForRowidLayout(const Expr& condition,
 
 }  // namespace
 
+size_t ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 Status ConflictDetector::DetectGenericInto(const DenialConstraint& dc,
                                            uint32_t constraint_index,
                                            EdgeBuffer* out,
@@ -285,7 +291,8 @@ Result<ConflictHypergraph> ConflictDetector::DetectAll(
     const std::vector<DenialConstraint>& constraints,
     const std::vector<ForeignKeyConstraint>& foreign_keys) {
   ConflictHypergraph graph;
-  if (options_.num_threads <= 1) {
+  size_t num_threads = ResolveThreadCount(options_.num_threads);
+  if (num_threads <= 1) {
     // Serial: preserve constraint-order edge insertion (stable historical
     // edge ids; structurally identical to the parallel path below).
     for (size_t i = 0; i < constraints.size(); ++i) {
@@ -315,7 +322,7 @@ Result<ConflictHypergraph> ConflictDetector::DetectAll(
       size_t rows = catalog_.table(dc.fd_info()->table_id).NumLiveRows();
       size_t num_shards = 1;
       if (options_.shard_rows > 0 && rows > options_.shard_rows) {
-        num_shards = std::min(options_.num_threads,
+        num_shards = std::min(num_threads,
                               (rows + options_.shard_rows - 1) /
                                   options_.shard_rows);
       }
@@ -340,7 +347,7 @@ Result<ConflictHypergraph> ConflictDetector::DetectAll(
   // Fan out: workers pull units off a shared counter, each unit staging
   // into its own buffer (indexed by unit, not worker, so nothing about the
   // output depends on the scheduling).
-  size_t workers = std::min(options_.num_threads, units.size());
+  size_t workers = std::min(num_threads, units.size());
   std::vector<EdgeBuffer> buffers(units.size());
   std::vector<DetectStats> worker_stats(workers);
   std::vector<Status> worker_status(workers);

@@ -23,6 +23,12 @@
 
 namespace hippo {
 
+/// Resolves a requested worker count: 0 means "one worker per hardware
+/// thread" (std::thread::hardware_concurrency(), at least 1); any other
+/// value is returned unchanged. Shared by DetectAll, the query service's
+/// worker pool, and the --threads tool flags.
+size_t ResolveThreadCount(size_t requested);
+
 struct DetectOptions {
   /// Use the hash-grouping fast path for constraints with FD provenance.
   bool use_fd_fast_path = true;
@@ -32,9 +38,10 @@ struct DetectOptions {
   /// a private EdgeBuffer; the buffers are merged deterministically with
   /// ConflictHypergraph::BulkLoad, so the resulting graph — edges, ids and
   /// provenance — is identical for every thread count > 1. The serial run
-  /// (0 or 1) produces the same edges and provenance but numbers edge ids
-  /// in historical constraint/discovery order rather than BulkLoad's
-  /// sorted order.
+  /// (1, or 0 resolving to one hardware thread) produces the same edges
+  /// and provenance but numbers edge ids in historical
+  /// constraint/discovery order rather than BulkLoad's sorted order.
+  /// 0 means "use all hardware threads" (ResolveThreadCount).
   size_t num_threads = 1;
 
   /// Minimum live row slots of an FD table per grouping shard: when

@@ -1,0 +1,215 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "service/session.h"
+
+namespace hippo::service {
+
+namespace {
+
+/// Cheap upper-bound statement count of a ';'-separated script (used only
+/// to route a commit to the bulk re-detect path, so over-counting by one
+/// for a trailing separator is harmless).
+size_t CountStatements(const std::string& sql) {
+  size_t n = static_cast<size_t>(
+      std::count(sql.begin(), sql.end(), ';'));
+  if (!sql.empty() && sql.find_last_not_of(" \t\n") != std::string::npos &&
+      sql[sql.find_last_not_of(" \t\n")] != ';') {
+    ++n;  // unterminated final statement
+  }
+  return n;
+}
+
+void MergeHippoStats(const cqa::HippoStats& from, cqa::HippoStats* into) {
+  into->candidates += from.candidates;
+  into->answers += from.answers;
+  into->filtered_shortcuts += from.filtered_shortcuts;
+  into->constant_formulas += from.constant_formulas;
+  into->prover_invocations += from.prover_invocations;
+  into->clauses_checked += from.clauses_checked;
+  into->membership_checks += from.membership_checks;
+  into->edge_choices_tried += from.edge_choices_tried;
+  into->envelope_seconds += from.envelope_seconds;
+  into->prove_seconds += from.prove_seconds;
+  into->total_seconds += from.total_seconds;
+}
+
+}  // namespace
+
+QueryService::QueryService(ServiceOptions options)
+    : options_(options) {
+  options_.num_workers = ResolveThreadCount(options_.num_workers);
+  if (options_.max_queue_depth == 0) options_.max_queue_depth = 1;
+  // Commit-path re-detections (bulk commits, constraint DDL) use the
+  // configured detect options; the incremental maintainer handles the rest.
+  master_.SetDetectOptions(options_.detect);
+  Status st = master_.EnableIncrementalMaintenance();
+  HIPPO_CHECK_MSG(st.ok(), st.ToString().c_str());
+  st = Publish();  // epoch 0: the empty instance
+  HIPPO_CHECK_MSG(st.ok(), st.ToString().c_str());
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+Status QueryService::Commit(const std::string& sql) {
+  std::lock_guard<std::mutex> commit(commit_mu_);
+  uint64_t graph_generation = master_.hypergraph_epoch();
+  bool bulk = CountStatements(sql) >= options_.bulk_redetect_statements;
+  if (bulk) {
+    // Large delta: per-row incremental maintenance would pay a hash-probe
+    // per statement; one full (parallel) detection pass is cheaper. Drop
+    // the maintainer up front so DML only invalidates.
+    master_.DisableIncrementalMaintenance();
+    master_.InvalidateHypergraph();
+  }
+  Status applied = master_.Execute(sql);
+  // Restore the invariant "master's hypergraph is current and maintained":
+  // re-detects eagerly when the graph was invalidated (bulk path above, or
+  // constraint DDL inside the batch), no-op otherwise.
+  Status restored = master_.EnableIncrementalMaintenance();
+  Status published = restored.ok() ? Publish() : restored;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.commits;
+    if (master_.hypergraph_epoch() != graph_generation) {
+      ++stats_.bulk_redetects;
+    } else {
+      ++stats_.incremental_commits;
+    }
+  }
+  // The batch's own error dominates; publication errors surface otherwise
+  // (readers keep the previous epoch if publish failed).
+  if (!applied.ok()) return applied;
+  return published;
+}
+
+Status QueryService::Publish() {
+  HIPPO_ASSIGN_OR_RETURN(SnapshotPtr snap,
+                         Snapshot::Capture(&master_, next_epoch_));
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    current_ = std::move(snap);
+  }
+  ++next_epoch_;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.snapshots_published;
+  }
+  return Status::OK();
+}
+
+SnapshotPtr QueryService::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return current_;
+}
+
+uint64_t QueryService::epoch() const { return snapshot()->epoch(); }
+
+Session QueryService::OpenSession() { return Session(this); }
+
+std::future<Result<ResultSet>> QueryService::Submit(
+    ReadMode mode, std::string select_sql, SnapshotPtr snap,
+    cqa::HippoOptions options) {
+  Job job;
+  job.mode = mode;
+  job.sql = std::move(select_sql);
+  job.snapshot = snap != nullptr ? std::move(snap) : snapshot();
+  job.options = std::move(options);
+  std::future<Result<ResultSet>> fut = job.done.get_future();
+
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  if (!stopping_ && queue_.size() >= options_.max_queue_depth) {
+    if (options_.reject_when_full) {
+      lock.unlock();
+      {
+        std::lock_guard<std::mutex> s(stats_mu_);
+        ++stats_.queries_rejected;
+      }
+      job.done.set_value(Status::ResourceExhausted(StrFormat(
+          "admission queue full (depth %zu)", options_.max_queue_depth)));
+      return fut;
+    }
+    space_cv_.wait(lock, [this] {
+      return stopping_ || queue_.size() < options_.max_queue_depth;
+    });
+  }
+  if (stopping_) {
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> s(stats_mu_);
+      ++stats_.queries_rejected;
+    }
+    job.done.set_value(
+        Status::ResourceExhausted("query service is shut down"));
+    return fut;
+  }
+  queue_.push_back(std::move(job));
+  lock.unlock();
+  queue_cv_.notify_one();
+  return fut;
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_cv_.notify_one();
+    Result<ResultSet> result = RunJob(&job);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.queries_executed;
+    }
+    job.done.set_value(std::move(result));
+  }
+}
+
+Result<ResultSet> QueryService::RunJob(Job* job) {
+  const Snapshot& snap = *job->snapshot;
+  switch (job->mode) {
+    case ReadMode::kPlain:
+      return snap.Query(job->sql);
+    case ReadMode::kOverCore:
+      return snap.QueryOverCore(job->sql);
+    case ReadMode::kConsistent: {
+      cqa::HippoStats hippo_stats;
+      Result<ResultSet> rs =
+          snap.ConsistentAnswers(job->sql, job->options, &hippo_stats);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      MergeHippoStats(hippo_stats, &stats_.hippo);
+      return rs;
+    }
+  }
+  return Status::Internal("unknown read mode");
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+ServiceStats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace hippo::service

@@ -1,0 +1,171 @@
+// service::QueryService — a concurrent query-serving facade over Database.
+//
+// The single-threaded Database answers queries over one mutable instance;
+// this layer turns it into a service that many clients can hit at once:
+//
+//   * Readers acquire the current Snapshot (epoch-versioned, immutable,
+//     RCU-style shared_ptr) and evaluate against it — either synchronously
+//     on their own thread (see Session) or through the service's bounded
+//     worker pool (Submit). Readers never block each other and never block
+//     on writers.
+//   * Writers go through Commit(): an exclusive commit path that applies
+//     the DDL/DML batch to the master database, brings the conflict
+//     hypergraph up to date — via the incremental maintainer for small
+//     deltas, or a parallel full re-detection when the batch is large or a
+//     constraint changed — and publishes a new snapshot under the next
+//     epoch. Queries running against older epochs are unaffected; their
+//     snapshots stay alive until the last reader releases them.
+//
+// Admission control: Submit() enqueues onto a bounded queue serviced by
+// num_workers threads. When the queue is full the service either blocks the
+// submitter (backpressure, default) or rejects the request with
+// ResourceExhausted, per ServiceOptions::reject_when_full.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "cqa/engine.h"
+#include "db/database.h"
+#include "detect/detector.h"
+#include "service/snapshot.h"
+
+namespace hippo::service {
+
+class Session;
+
+struct ServiceOptions {
+  /// Worker threads executing submitted read requests. 0 = one per
+  /// hardware thread (ResolveThreadCount).
+  size_t num_workers = 0;
+
+  /// Bound on admitted-but-unstarted requests. Submissions beyond it block
+  /// (default) or are rejected, per reject_when_full.
+  size_t max_queue_depth = 256;
+
+  /// When the admission queue is full: true rejects the request immediately
+  /// with ResourceExhausted; false blocks the submitter until a slot frees
+  /// (backpressure).
+  bool reject_when_full = false;
+
+  /// Commit batches with at least this many statements skip per-row
+  /// incremental maintenance and re-detect the hypergraph from scratch
+  /// (with `detect`, typically parallel) — for bulk loads, one full
+  /// parallel pass beats a hash-probe per row.
+  size_t bulk_redetect_statements = 1024;
+
+  /// Detection options for commit-path re-detection (bulk commits,
+  /// constraint DDL). num_threads defaults to 0 = all hardware threads.
+  DetectOptions detect{/*use_fd_fast_path=*/true, /*num_threads=*/0,
+                       /*shard_rows=*/16384};
+};
+
+struct ServiceStats {
+  uint64_t commits = 0;              ///< Commit() calls that ran
+  uint64_t incremental_commits = 0;  ///< graph maintained per-row
+  uint64_t bulk_redetects = 0;       ///< graph rebuilt by full detection
+  uint64_t snapshots_published = 0;
+  uint64_t queries_executed = 0;     ///< worker-pool requests completed
+  uint64_t queries_rejected = 0;     ///< admission-control rejections
+  cqa::HippoStats hippo;             ///< aggregated over pool CQA requests
+};
+
+class QueryService {
+ public:
+  /// How a submitted SELECT is answered.
+  enum class ReadMode {
+    kPlain,       ///< Snapshot::Query — ignore conflicts
+    kOverCore,    ///< Snapshot::QueryOverCore — drop all conflicting tuples
+    kConsistent,  ///< Snapshot::ConsistentAnswers — the Hippo pipeline
+  };
+
+  explicit QueryService(ServiceOptions options = ServiceOptions());
+  ~QueryService();
+  HIPPO_DISALLOW_COPY(QueryService);
+
+  // --- write path -----------------------------------------------------------
+
+  /// Applies a ';'-separated DDL/DML script as one commit and publishes a
+  /// new epoch. Serialized against other commits; never blocks readers.
+  /// On a mid-script error the statements already applied remain (Execute
+  /// semantics) and a snapshot of the resulting state is still published,
+  /// so readers always see exactly the master state; the error is returned.
+  Status Commit(const std::string& sql);
+
+  // --- read path ------------------------------------------------------------
+
+  /// The most recently published snapshot. Never null after construction
+  /// (epoch 0 is the empty instance).
+  SnapshotPtr snapshot() const;
+
+  /// The epoch of the current snapshot.
+  uint64_t epoch() const;
+
+  /// Opens a session pinned to the current snapshot (see Session).
+  Session OpenSession();
+
+  /// Enqueues a read for the worker pool, pinned to `snap` (or to the
+  /// current snapshot when null). The future carries the result or the
+  /// error — including ResourceExhausted when admission control rejects.
+  std::future<Result<ResultSet>> Submit(
+      ReadMode mode, std::string select_sql, SnapshotPtr snap = nullptr,
+      cqa::HippoOptions options = cqa::HippoOptions());
+
+  // --- lifecycle / inspection ----------------------------------------------
+
+  /// Stops admission, drains queued requests, joins the workers. Called by
+  /// the destructor; idempotent. Submissions after (or racing) shutdown
+  /// resolve to ResourceExhausted.
+  void Shutdown();
+
+  ServiceStats stats() const;
+
+  size_t num_workers() const { return workers_.size(); }
+
+ private:
+  struct Job {
+    ReadMode mode = ReadMode::kPlain;
+    std::string sql;
+    SnapshotPtr snapshot;
+    cqa::HippoOptions options;
+    std::promise<Result<ResultSet>> done;
+  };
+
+  void WorkerLoop();
+  Result<ResultSet> RunJob(Job* job);
+
+  /// Captures master_ under the commit lock and swaps it in as the current
+  /// snapshot (next epoch).
+  Status Publish();
+
+  ServiceOptions options_;
+
+  /// Serializes the write path: master_ mutations + snapshot publication.
+  std::mutex commit_mu_;
+  Database master_;
+  uint64_t next_epoch_ = 0;
+
+  /// Guards current_ only (pointer swap; readers copy the shared_ptr out).
+  mutable std::mutex snapshot_mu_;
+  SnapshotPtr current_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;  ///< workers wait for jobs / shutdown
+  std::condition_variable space_cv_;  ///< submitters wait for queue slots
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+};
+
+}  // namespace hippo::service

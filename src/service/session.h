@@ -1,0 +1,77 @@
+// service::Session — a client handle pinned to one snapshot epoch.
+//
+// A session captures the current snapshot when opened (or refreshed) and
+// answers every query against that frozen epoch: repeatable reads across
+// the whole session, unaffected by concurrent commits. Sessions are cheap
+// (a shared_ptr and a service pointer), copyable, and safe to use from the
+// owning thread while other sessions run on other threads.
+//
+//   Session s = service.OpenSession();        // pins the current epoch
+//   auto rs = s.ConsistentAnswers("SELECT ...");
+//   ... (a writer commits; s still answers at its pinned epoch) ...
+//   s.Refresh();                              // jump to the latest epoch
+//
+// Queries can run synchronously on the caller's thread (Query/
+// QueryOverCore/ConsistentAnswers) or be handed to the service's worker
+// pool (Submit), still pinned to the session's snapshot.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <string>
+
+#include "common/status.h"
+#include "cqa/engine.h"
+#include "exec/executor.h"
+#include "service/query_service.h"
+#include "service/snapshot.h"
+
+namespace hippo::service {
+
+class Session {
+ public:
+  /// Pins the service's current snapshot. (Usually obtained through
+  /// QueryService::OpenSession.)
+  explicit Session(QueryService* service)
+      : service_(service), snapshot_(service->snapshot()) {}
+
+  /// The epoch this session reads at.
+  uint64_t epoch() const { return snapshot_->epoch(); }
+
+  const SnapshotPtr& snapshot() const { return snapshot_; }
+
+  /// Re-pins to the service's latest published snapshot.
+  void Refresh() { snapshot_ = service_->snapshot(); }
+
+  // --- synchronous reads on the caller's thread ----------------------------
+
+  Result<ResultSet> Query(const std::string& select_sql) const {
+    return snapshot_->Query(select_sql);
+  }
+
+  Result<ResultSet> QueryOverCore(const std::string& select_sql) const {
+    return snapshot_->QueryOverCore(select_sql);
+  }
+
+  Result<ResultSet> ConsistentAnswers(
+      const std::string& select_sql,
+      const cqa::HippoOptions& options = cqa::HippoOptions(),
+      cqa::HippoStats* stats = nullptr) const {
+    return snapshot_->ConsistentAnswers(select_sql, options, stats);
+  }
+
+  // --- asynchronous reads through the service's worker pool ----------------
+
+  std::future<Result<ResultSet>> Submit(
+      QueryService::ReadMode mode, std::string select_sql,
+      cqa::HippoOptions options = cqa::HippoOptions()) const {
+    return service_->Submit(mode, std::move(select_sql), snapshot_,
+                            std::move(options));
+  }
+
+ private:
+  QueryService* service_;
+  SnapshotPtr snapshot_;
+};
+
+}  // namespace hippo::service

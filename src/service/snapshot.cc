@@ -1,0 +1,55 @@
+#include "service/snapshot.h"
+
+#include "db/database.h"
+#include "plan/optimizer.h"
+#include "plan/planner.h"
+#include "repairs/repair_enumerator.h"
+#include "sql/parser.h"
+
+namespace hippo::service {
+
+Result<SnapshotPtr> Snapshot::Capture(Database* db, uint64_t epoch) {
+  HIPPO_ASSIGN_OR_RETURN(const ConflictHypergraph* graph, db->Hypergraph());
+  // shared_ptr<const Snapshot> via make_shared needs a public constructor;
+  // keep it private and pay one extra allocation instead.
+  return SnapshotPtr(
+      new Snapshot(epoch, db->catalog().Clone(), *graph));
+}
+
+Result<PlanNodePtr> Snapshot::Plan(const std::string& select_sql) const {
+  HIPPO_ASSIGN_OR_RETURN(sql::Statement stmt,
+                         sql::ParseStatement(select_sql));
+  auto* sel = std::get_if<sql::SelectStmt>(&stmt.node);
+  if (sel == nullptr) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  Planner planner(catalog_);
+  return planner.PlanSelect(*sel);
+}
+
+Result<ResultSet> Snapshot::Query(const std::string& select_sql) const {
+  HIPPO_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(select_sql));
+  plan = OptimizePlan(*plan);
+  ExecContext ctx{&catalog_, nullptr};
+  return ::hippo::Execute(*plan, ctx);
+}
+
+Result<ResultSet> Snapshot::QueryOverCore(
+    const std::string& select_sql) const {
+  HIPPO_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(select_sql));
+  RepairEnumerator repairs(catalog_, graph_);
+  RowMask mask = repairs.CoreMask();
+  plan = OptimizePlan(*plan);
+  ExecContext ctx{&catalog_, &mask};
+  return ::hippo::Execute(*plan, ctx);
+}
+
+Result<ResultSet> Snapshot::ConsistentAnswers(const std::string& select_sql,
+                                              const cqa::HippoOptions& options,
+                                              cqa::HippoStats* stats) const {
+  HIPPO_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(select_sql));
+  cqa::HippoEngine engine(catalog_, graph_);
+  return engine.ConsistentAnswers(*plan, options, stats);
+}
+
+}  // namespace hippo::service

@@ -1,0 +1,92 @@
+// service::Snapshot — an immutable view of the database at one epoch.
+//
+// A snapshot bundles a deep copy of the instance (catalog: schemas, rows,
+// tombstones, row indexes) with the conflict hypergraph that matches it
+// exactly, stamped with the epoch at which the pair was published. Because
+// table ids and RowIds are preserved by Catalog::Clone, the copied
+// hypergraph's vertices remain valid against the copied catalog, and every
+// read path of the engine — plain evaluation, core evaluation, and the full
+// Hippo consistent-answer pipeline — can run against the snapshot with no
+// locks and no coordination: the snapshot never changes after construction.
+//
+// Snapshots are handed out as shared_ptr<const Snapshot> (RCU-style): the
+// publisher swaps in a new snapshot for the next epoch while readers holding
+// an older epoch keep it alive for as long as their queries run. Readers
+// therefore never block writers and writers never block readers; the only
+// serialized section is the commit path itself (see QueryService).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "cqa/engine.h"
+#include "detect/detector.h"
+#include "exec/executor.h"
+#include "hypergraph/hypergraph.h"
+#include "plan/logical_plan.h"
+
+namespace hippo {
+class Database;
+}  // namespace hippo
+
+namespace hippo::service {
+
+class Snapshot;
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+class Snapshot {
+ public:
+  /// Captures the current state of `db` as an immutable snapshot stamped
+  /// with `epoch`. Builds the conflict hypergraph first when the cache is
+  /// cold (so capture never publishes a graphless view). The caller must
+  /// hold the database's writer-side exclusion while capturing — nothing
+  /// may mutate `db` between the graph read and the catalog clone.
+  static Result<SnapshotPtr> Capture(Database* db, uint64_t epoch);
+
+  /// The epoch this snapshot was published at (monotonically increasing
+  /// across the publishing QueryService's lifetime).
+  uint64_t epoch() const { return epoch_; }
+
+  const Catalog& catalog() const { return catalog_; }
+  const ConflictHypergraph& hypergraph() const { return graph_; }
+
+  /// Live rows across all tables (cardinality of the frozen instance).
+  size_t TotalRows() const { return catalog_.TotalRows(); }
+
+  /// True when the frozen instance satisfies all constraints.
+  bool IsConsistent() const { return graph_.NumEdges() == 0; }
+
+  // --- read paths (all const, all safe to call concurrently) ---------------
+
+  /// Plans (and binds) a SELECT statement against the frozen catalog.
+  Result<PlanNodePtr> Plan(const std::string& select_sql) const;
+
+  /// Plain evaluation over the (possibly inconsistent) frozen instance.
+  Result<ResultSet> Query(const std::string& select_sql) const;
+
+  /// Evaluation over the "core": every conflicting tuple removed.
+  Result<ResultSet> QueryOverCore(const std::string& select_sql) const;
+
+  /// Consistent answers via Hippo against the frozen hypergraph. Results
+  /// are bit-identical to Database::ConsistentAnswers on the instance this
+  /// snapshot was captured from.
+  Result<ResultSet> ConsistentAnswers(
+      const std::string& select_sql,
+      const cqa::HippoOptions& options = cqa::HippoOptions(),
+      cqa::HippoStats* stats = nullptr) const;
+
+ private:
+  Snapshot(uint64_t epoch, Catalog catalog, ConflictHypergraph graph)
+      : epoch_(epoch),
+        catalog_(std::move(catalog)),
+        graph_(std::move(graph)) {}
+
+  uint64_t epoch_;
+  Catalog catalog_;
+  ConflictHypergraph graph_;
+};
+
+}  // namespace hippo::service

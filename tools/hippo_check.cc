@@ -7,7 +7,10 @@
 //
 // Usage:
 //   hippo_check SCRIPT.sql [--csv table=path.csv ...] [--dot out.dot]
-//               [--examples N]
+//               [--examples N] [--threads N]
+//
+// --threads N runs conflict detection with N worker threads (0 = one per
+// hardware thread); the default is serial.
 //
 // Exit status: 0 consistent, 1 inconsistent, 2 error — so the tool slots
 // into CI pipelines ("fail the build when the exported data develops
@@ -16,6 +19,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -33,7 +37,7 @@ int Fail(const std::string& message) {
 int Usage() {
   std::fprintf(stderr,
                "usage: hippo_check SCRIPT.sql [--csv table=path.csv ...] "
-               "[--dot out.dot] [--examples N]\n");
+               "[--dot out.dot] [--examples N] [--threads N]\n");
   return 2;
 }
 
@@ -45,6 +49,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, std::string>> csvs;  // (table, path)
   std::string dot_path;
   hippo::ConflictReportOptions report_options;
+  std::optional<size_t> threads;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -63,6 +68,9 @@ int main(int argc, char** argv) {
       if (++i >= argc) return Usage();
       report_options.max_examples =
           static_cast<size_t>(std::strtoull(argv[i], nullptr, 10));
+    } else if (arg == "--threads") {
+      if (++i >= argc) return Usage();
+      threads = static_cast<size_t>(std::strtoull(argv[i], nullptr, 10));
     } else if (!arg.empty() && arg[0] == '-') {
       return Fail("unknown option: " + arg);
     } else if (script_path.empty()) {
@@ -79,6 +87,11 @@ int main(int argc, char** argv) {
   buffer << in.rdbuf();
 
   hippo::Database db;
+  if (threads.has_value()) {
+    hippo::DetectOptions detect;
+    detect.num_threads = *threads;  // 0 = all hardware threads
+    db.SetDetectOptions(detect);
+  }
   hippo::Status st = db.Execute(buffer.str());
   if (!st.ok()) return Fail("script failed: " + st.ToString());
 

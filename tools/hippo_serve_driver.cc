@@ -1,0 +1,287 @@
+// hippo_serve_driver — mixed read/write traffic against the query service.
+//
+// Boots a QueryService, bulk-loads the canonical two-relation workload
+// (p/q with FDs a -> b and a controlled conflict rate), then drives it with
+// R closed-loop reader threads (each submits SELECTs through the service's
+// worker pool and waits for the answer) while W writer threads stream small
+// FD-churn commits. Prints per-role throughput and p50/p95/p99 latency plus
+// the service's own counters — the live-traffic complement to
+// bench_f9_concurrency's controlled sweeps.
+//
+// Usage:
+//   hippo_serve_driver [--rows N] [--conflict-rate F] [--readers R]
+//                      [--writers W] [--ops N] [--workers N] [--queue N]
+//                      [--mode cqa|plain|core] [--seed S] [--smoke]
+//
+// --ops is the total number of read requests across all readers; each
+// writer commits until the readers finish. --smoke shrinks everything to
+// CI-smoke size. Exit status: 0 on success, 2 on error.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchutil/report.h"
+#include "benchutil/workload.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "service/query_service.h"
+#include "service/session.h"
+
+namespace {
+
+using hippo::Rng;
+using hippo::Status;
+using hippo::StrFormat;
+using hippo::bench::FormatSeconds;
+using hippo::bench::Percentile;
+using hippo::bench::QuerySet;
+using hippo::bench::TextTable;
+using hippo::service::QueryService;
+using hippo::service::ServiceOptions;
+
+struct DriverConfig {
+  size_t rows = 20000;
+  double conflict_rate = 0.05;
+  size_t readers = 4;
+  size_t writers = 1;
+  size_t total_ops = 200;
+  size_t workers = 0;  // 0 = all hardware threads
+  size_t queue_depth = 256;
+  QueryService::ReadMode mode = QueryService::ReadMode::kConsistent;
+  uint64_t seed = 42;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "hippo_serve_driver: %s\n", message.c_str());
+  return 2;
+}
+
+/// The two-relation workload as SQL so the service's bulk-commit path does
+/// the loading (and the initial commit exercises the parallel re-detect).
+std::string WorkloadSql(const DriverConfig& config) {
+  hippo::bench::WorkloadSpec spec;
+  spec.tuples_per_relation = config.rows;
+  spec.conflict_rate = config.conflict_rate;
+  spec.seed = config.seed;
+  return hippo::bench::TwoRelationWorkloadSql(spec);
+}
+
+struct RoleReport {
+  size_t ops = 0;
+  double wall_seconds = 0;
+  std::vector<double> latencies;  // seconds, merged across threads
+};
+
+int Run(const DriverConfig& config) {
+  ServiceOptions options;
+  options.num_workers = config.workers;
+  options.max_queue_depth = config.queue_depth;
+  QueryService service(options);
+
+  std::printf("loading %zu rows/relation (conflict rate %.1f%%)...\n",
+              config.rows, config.conflict_rate * 100);
+  double load_seconds = 0;
+  {
+    auto t0 = std::chrono::steady_clock::now();
+    Status st = service.Commit(WorkloadSql(config));
+    if (!st.ok()) return Fail("load failed: " + st.ToString());
+    load_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  }
+  std::printf("loaded in %s: %zu rows, %zu conflict edges, epoch %llu\n",
+              FormatSeconds(load_seconds).c_str(),
+              service.snapshot()->TotalRows(),
+              service.snapshot()->hypergraph().NumEdges(),
+              (unsigned long long)service.epoch());
+
+  const std::vector<std::string> queries = {
+      QuerySet::Selection(), QuerySet::Join(), QuerySet::Union(),
+      QuerySet::Difference()};
+
+  std::atomic<bool> readers_done{false};
+  std::atomic<size_t> next_op{0};
+  std::atomic<size_t> read_errors{0};
+  std::atomic<size_t> write_errors{0};
+  std::vector<std::vector<double>> read_lat(config.readers);
+  std::vector<std::vector<double>> write_lat(config.writers);
+  std::atomic<size_t> commits{0};
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (size_t r = 0; r < config.readers; ++r) {
+    threads.emplace_back([&, r] {
+      for (;;) {
+        size_t op = next_op.fetch_add(1);
+        if (op >= config.total_ops) return;
+        const std::string& sql = queries[op % queries.size()];
+        auto q0 = std::chrono::steady_clock::now();
+        // Each op pins the freshest snapshot (a new "client request");
+        // the pool executes it even as writers publish newer epochs.
+        auto rs = service.Submit(config.mode, sql).get();
+        auto q1 = std::chrono::steady_clock::now();
+        if (!rs.ok()) {
+          ++read_errors;
+        } else {
+          read_lat[r].push_back(
+              std::chrono::duration<double>(q1 - q0).count());
+        }
+      }
+    });
+  }
+  for (size_t w = 0; w < config.writers; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(config.seed + 1000 + w);
+      while (!readers_done.load()) {
+        // FD churn: a conflicting insert, sometimes drained by a delete.
+        size_t key = rng.Uniform(config.rows);
+        std::string script =
+            rng.Uniform(4) == 0
+                ? StrFormat("DELETE FROM p WHERE a = %zu AND b >= 1000", key)
+                : StrFormat("INSERT INTO p VALUES (%zu, %llu)", key,
+                            (unsigned long long)(1000 + rng.Uniform(1000)));
+        auto c0 = std::chrono::steady_clock::now();
+        Status st = service.Commit(script);
+        auto c1 = std::chrono::steady_clock::now();
+        if (!st.ok()) {
+          // Surface the first failure; the final count fails the run.
+          if (write_errors.fetch_add(1) == 0) {
+            std::fprintf(stderr, "hippo_serve_driver: commit failed: %s\n",
+                         st.ToString().c_str());
+          }
+          continue;
+        }
+        write_lat[w].push_back(
+            std::chrono::duration<double>(c1 - c0).count());
+        ++commits;
+      }
+    });
+  }
+  // Readers exit on their own; writers watch the flag.
+  for (size_t r = 0; r < config.readers; ++r) threads[r].join();
+  readers_done.store(true);
+  for (size_t t = config.readers; t < threads.size(); ++t) threads[t].join();
+  double wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+
+  if (read_errors.load() > 0) {
+    return Fail(StrFormat("%zu read requests failed", read_errors.load()));
+  }
+  if (write_errors.load() > 0) {
+    return Fail(StrFormat("%zu commits failed", write_errors.load()));
+  }
+
+  auto merged = [](const std::vector<std::vector<double>>& per_thread) {
+    std::vector<double> all;
+    for (const auto& v : per_thread) all.insert(all.end(), v.begin(), v.end());
+    return all;
+  };
+  std::vector<double> reads = merged(read_lat);
+  std::vector<double> writes = merged(write_lat);
+
+  TextTable table({"role", "threads", "ops", "throughput", "p50", "p95",
+                   "p99", "max"});
+  auto add_role = [&table, wall](const std::string& role, size_t nthreads,
+                                 std::vector<double> lat) {
+    if (lat.empty()) return;
+    size_t n = lat.size();
+    table.AddRow({role, std::to_string(nthreads), std::to_string(n),
+                  StrFormat("%.1f ops/s", n / wall),
+                  FormatSeconds(Percentile(lat, 50)),
+                  FormatSeconds(Percentile(lat, 95)),
+                  FormatSeconds(Percentile(lat, 99)),
+                  FormatSeconds(Percentile(lat, 100))});
+  };
+  add_role("reader", config.readers, reads);
+  add_role("writer (commit)", config.writers, writes);
+  table.Print(StrFormat("serve driver: %zu rows, %zu pool workers, wall %s",
+                        config.rows, service.num_workers(),
+                        FormatSeconds(wall).c_str()));
+
+  hippo::service::ServiceStats stats = service.stats();
+  std::printf(
+      "service: %llu commits (%llu incremental, %llu re-detect), "
+      "%llu epochs published, %llu pool queries, %llu rejected\n",
+      (unsigned long long)stats.commits,
+      (unsigned long long)stats.incremental_commits,
+      (unsigned long long)stats.bulk_redetects,
+      (unsigned long long)stats.snapshots_published,
+      (unsigned long long)stats.queries_executed,
+      (unsigned long long)stats.queries_rejected);
+  std::printf("final epoch %llu, %zu conflict edges\n",
+              (unsigned long long)service.epoch(),
+              service.snapshot()->hypergraph().NumEdges());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: hippo_serve_driver [--rows N] [--conflict-rate F]\n"
+      "       [--readers R] [--writers W] [--ops N] [--workers N]\n"
+      "       [--queue N] [--mode cqa|plain|core] [--seed S] [--smoke]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DriverConfig config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_value = [&](size_t* out) {
+      if (++i >= argc) return false;
+      *out = static_cast<size_t>(std::strtoull(argv[i], nullptr, 10));
+      return true;
+    };
+    if (arg == "--smoke") {
+      config.rows = 500;
+      config.total_ops = 24;
+      config.readers = 2;
+      config.writers = 1;
+      config.workers = 2;
+    } else if (arg == "--rows") {
+      if (!next_value(&config.rows)) return Usage();
+    } else if (arg == "--readers") {
+      if (!next_value(&config.readers)) return Usage();
+    } else if (arg == "--writers") {
+      if (!next_value(&config.writers)) return Usage();
+    } else if (arg == "--ops") {
+      if (!next_value(&config.total_ops)) return Usage();
+    } else if (arg == "--workers") {
+      if (!next_value(&config.workers)) return Usage();
+    } else if (arg == "--queue") {
+      if (!next_value(&config.queue_depth)) return Usage();
+    } else if (arg == "--seed") {
+      size_t seed;
+      if (!next_value(&seed)) return Usage();
+      config.seed = seed;
+    } else if (arg == "--conflict-rate") {
+      if (++i >= argc) return Usage();
+      config.conflict_rate = std::strtod(argv[i], nullptr);
+    } else if (arg == "--mode") {
+      if (++i >= argc) return Usage();
+      std::string mode = argv[i];
+      if (mode == "cqa") {
+        config.mode = QueryService::ReadMode::kConsistent;
+      } else if (mode == "plain") {
+        config.mode = QueryService::ReadMode::kPlain;
+      } else if (mode == "core") {
+        config.mode = QueryService::ReadMode::kOverCore;
+      } else {
+        return Fail("unknown mode: " + mode);
+      }
+    } else {
+      return Usage();
+    }
+  }
+  if (config.readers == 0 || config.total_ops == 0) {
+    return Fail("need at least one reader and one op");
+  }
+  return Run(config);
+}

@@ -17,15 +17,22 @@
 //   .groupagg <fn> <table> <column|-> <group-col> grouped range aggregate
 //   .report                                     full conflict report
 //   .incremental on|off                         hypergraph maintenance mode
+//   .threads [N]                                detection/prover threads
+//                                               (0 = all hardware threads)
 //   .tables                                     list tables and sizes
 //   .help                                       this text
 //   .quit
+//
+// The `--threads N` command-line flag sets the same knob before the first
+// statement runs.
 //
 // DML (INSERT/DELETE/UPDATE) and COPY t FROM/TO 'file.csv' run like any
 // other statement.
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -39,6 +46,19 @@ namespace hippo::shell {
 namespace {
 
 enum class Mode { kPlain, kCqa, kCore, kRewriting, kAllRepairs };
+
+/// Strict non-negative integer parse (no partial consumption); false on
+/// malformed input so a typo cannot throw out of the REPL or kill the
+/// process during --threads handling.
+bool ParseCount(const std::string& s, size_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
 
 const char* ModeName(Mode m) {
   switch (m) {
@@ -58,6 +78,15 @@ const char* ModeName(Mode m) {
 
 class Shell {
  public:
+  /// Sets the worker-thread count for conflict detection and the prover
+  /// loop (0 = one per hardware thread, as resolved by ResolveThreadCount).
+  void SetThreads(size_t threads) {
+    threads_ = threads;
+    DetectOptions detect;
+    detect.num_threads = threads;
+    db_.SetDetectOptions(detect);
+  }
+
   int Run(std::istream& in, bool interactive) {
     std::string buffer;
     std::string line;
@@ -122,6 +151,7 @@ class Shell {
           ".groupagg <fn> <table> <column|-> <group-col>   grouped range\n"
           ".report              full conflict report\n"
           ".incremental on|off  incremental hypergraph maintenance\n"
+          ".threads [N]         detection/prover threads (0 = all cores)\n"
           ".explain SELECT ...  show plan / envelope / rewriting\n"
           ".tables              tables and row counts\n"
           ".quit\n");
@@ -271,6 +301,21 @@ class Shell {
       }
       return true;
     }
+    if (cmd == ".threads") {
+      if (args.size() > 1) {
+        size_t n = 0;
+        if (!ParseCount(args[1], &n)) {
+          std::printf("usage: .threads [N] (0 = all hardware threads)\n");
+          return true;
+        }
+        SetThreads(n);
+        std::printf("hypergraph invalidated; next detection uses the new "
+                    "thread count\n");
+      }
+      std::printf("threads: %zu (resolved: %zu)\n", threads_,
+                  ResolveThreadCount(threads_));
+      return true;
+    }
     if (cmd == ".tables") {
       for (const std::string& name : db_.catalog().TableNames()) {
         auto t = db_.catalog().GetTable(name);
@@ -321,8 +366,14 @@ class Shell {
     switch (mode_) {
       case Mode::kPlain:
         return db_.Query(text);
-      case Mode::kCqa:
-        return db_.ConsistentAnswers(text, cqa::HippoOptions(), stats);
+      case Mode::kCqa: {
+        cqa::HippoOptions options;
+        // Shell thread count drives the prover loop too (detection picks it
+        // up through the Database's DetectOptions); 0 resolves to all
+        // hardware threads in both.
+        options.num_threads = threads_;
+        return db_.ConsistentAnswers(text, options, stats);
+      }
       case Mode::kCore:
         return db_.QueryOverCore(text);
       case Mode::kRewriting:
@@ -336,6 +387,7 @@ class Shell {
   Database db_;
   Mode mode_ = Mode::kCqa;
   bool stats_enabled_ = false;
+  size_t threads_ = 1;
 };
 
 }  // namespace
@@ -343,13 +395,24 @@ class Shell {
 
 int main(int argc, char** argv) {
   bool interactive = isatty(0);
-  (void)argc;
-  (void)argv;
+  hippo::shell::Shell shell;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    size_t threads = 0;
+    if (arg == "--threads" && i + 1 < argc &&
+        hippo::shell::ParseCount(argv[i + 1], &threads)) {
+      shell.SetThreads(threads);
+      ++i;
+    } else {
+      std::fprintf(stderr,
+                   "usage: hippo_shell [--threads N]  (N = 0: all cores)\n");
+      return 2;
+    }
+  }
   if (interactive) {
     std::printf(
         "hippo shell — consistent query answering over inconsistent "
         "databases\nmode: cqa (try .help)\n");
   }
-  hippo::shell::Shell shell;
   return shell.Run(std::cin, interactive);
 }

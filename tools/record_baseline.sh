@@ -27,10 +27,29 @@ if (( ${#benches[@]} == 0 )); then
   exit 1
 fi
 
+# The parallel benches (F8 sharded detection, F9 concurrent serving) need
+# physical cores to show anything but ~1x; a baseline recorded on a 1-core
+# host bakes meaningless speedup rows into the committed file. Warn loudly
+# and stamp the caveat into the JSON so later readers see it too.
+cores=$(nproc)
+single_core_warning=false
+if (( cores <= 1 )); then
+  single_core_warning=true
+  cat >&2 <<'EOF'
+*** WARNING ****************************************************************
+* This host has only 1 CPU core. The parallel benchmarks (bench_f8_*,     *
+* bench_f9_*) will record ~1x speedups and serialized-latency numbers     *
+* that say nothing about real multi-core behavior. Re-record the baseline *
+* on a multi-core machine before trusting any parallel rows.             *
+****************************************************************************
+EOF
+fi
+
 {
   echo '{'
   echo "  \"recorded_utc\": \"$(date -u +%FT%TZ)\","
-  echo "  \"host_cores\": $(nproc),"
+  echo "  \"host_cores\": $cores,"
+  echo "  \"single_core_warning\": $single_core_warning,"
   echo "  \"build_dir\": \"$build\","
   echo '  "benches": {'
   first=1
