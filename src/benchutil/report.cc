@@ -105,6 +105,14 @@ std::string FormatSeconds(double s) {
   return StrFormat("%.3f s", s);
 }
 
+std::string FormatBytes(size_t bytes) {
+  double b = static_cast<double>(bytes);
+  if (b < 1024) return StrFormat("%zu B", bytes);
+  if (b < 1024 * 1024) return StrFormat("%.1f KiB", b / 1024);
+  if (b < 1024.0 * 1024 * 1024) return StrFormat("%.2f MiB", b / (1024 * 1024));
+  return StrFormat("%.2f GiB", b / (1024.0 * 1024 * 1024));
+}
+
 double Percentile(std::vector<double> samples, double p) {
   if (samples.empty()) return 0;
   std::sort(samples.begin(), samples.end());

@@ -8,12 +8,32 @@ namespace hippo {
 
 Catalog Catalog::Clone() const {
   Catalog copy;
-  copy.tables_.reserve(tables_.size());
-  for (const auto& table : tables_) {
-    copy.tables_.push_back(std::make_unique<Table>(*table));
+  copy.slots_.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    copy.slots_.push_back(Slot{std::make_shared<Table>(*slot.table), false});
   }
   copy.by_name_ = by_name_;
   return copy;
+}
+
+Catalog Catalog::Share() {
+  Catalog copy;
+  copy.slots_.reserve(slots_.size());
+  for (Slot& slot : slots_) {
+    slot.shared = true;
+    copy.slots_.push_back(Slot{slot.table, true});
+  }
+  copy.by_name_ = by_name_;
+  return copy;
+}
+
+Table& Catalog::MutableTable(uint32_t id) {
+  Slot& slot = slots_[id];
+  if (slot.shared) {
+    slot.table = std::make_shared<Table>(*slot.table);
+    slot.shared = false;
+  }
+  return *slot.table;
 }
 
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
@@ -21,10 +41,11 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   if (by_name_.count(key)) {
     return Status::AlreadyExists("table already exists: " + name);
   }
-  uint32_t id = static_cast<uint32_t>(tables_.size());
-  tables_.push_back(std::make_unique<Table>(id, key, std::move(schema)));
+  uint32_t id = static_cast<uint32_t>(slots_.size());
+  slots_.push_back(
+      Slot{std::make_shared<Table>(id, key, std::move(schema)), false});
   by_name_.emplace(key, id);
-  return tables_.back().get();
+  return slots_.back().table.get();
 }
 
 Status Catalog::DropTable(const std::string& name) {
@@ -32,8 +53,13 @@ Status Catalog::DropTable(const std::string& name) {
   if (it == by_name_.end()) {
     return Status::NotFound("table not found: " + name);
   }
-  // Release the rows (the slot survives only to keep table ids stable).
-  tables_[it->second]->Clear();
+  // Swap in a fresh empty table (same id, name, schema): the slot survives
+  // only to keep table ids stable, and replacing it wholesale avoids
+  // cloning a snapshot-shared table's rows just to discard them.
+  Slot& slot = slots_[it->second];
+  slot.table = std::make_shared<Table>(it->second, slot.table->name(),
+                                       slot.table->schema());
+  slot.shared = false;
   by_name_.erase(it);
   return Status::OK();
 }
@@ -43,7 +69,7 @@ Result<Table*> Catalog::GetTable(const std::string& name) {
   if (it == by_name_.end()) {
     return Status::NotFound("table not found: " + name);
   }
-  return tables_[it->second].get();
+  return &MutableTable(it->second);
 }
 
 Result<const Table*> Catalog::GetTable(const std::string& name) const {
@@ -51,12 +77,12 @@ Result<const Table*> Catalog::GetTable(const std::string& name) const {
   if (it == by_name_.end()) {
     return Status::NotFound("table not found: " + name);
   }
-  return static_cast<const Table*>(tables_[it->second].get());
+  return static_cast<const Table*>(slots_[it->second].table.get());
 }
 
 size_t Catalog::TotalRows() const {
   size_t n = 0;
-  for (const auto& [name, id] : by_name_) n += tables_[id]->NumLiveRows();
+  for (const auto& [name, id] : by_name_) n += slots_[id].table->NumLiveRows();
   return n;
 }
 
@@ -66,6 +92,21 @@ std::vector<std::string> Catalog::TableNames() const {
   for (const auto& [name, id] : by_name_) names.push_back(name);
   std::sort(names.begin(), names.end());
   return names;
+}
+
+size_t Catalog::ApproxBytes() const {
+  size_t bytes = sizeof(Catalog);
+  for (const Slot& slot : slots_) bytes += slot.table->ApproxBytes();
+  return bytes;
+}
+
+void Catalog::AccumulateApproxBytes(std::unordered_set<const void*>* seen,
+                                    size_t* bytes) const {
+  for (const Slot& slot : slots_) {
+    if (seen->insert(slot.table.get()).second) {
+      *bytes += slot.table->ApproxBytes();
+    }
+  }
 }
 
 }  // namespace hippo

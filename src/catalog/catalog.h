@@ -1,9 +1,18 @@
 // The catalog: named tables of the database instance.
+//
+// Table slots are held behind shared_ptr with copy-on-write semantics so an
+// epoch snapshot (service::Snapshot) can share every untouched table with
+// the live catalog instead of deep-copying the whole instance: Share()
+// publishes a structurally shared copy in O(#tables), and the first mutation
+// of a table after a Share() clones just that table (MutableTable). Table
+// ids and RowIds are preserved by both Share() and Clone(), so a conflict
+// hypergraph built against one copy remains valid against the other.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -20,10 +29,18 @@ class Catalog {
   Catalog& operator=(Catalog&&) = default;
 
   /// Deep copy of the whole instance: every table (schema, rows, tombstones,
-  /// row index) is duplicated, preserving table ids and RowIds exactly, so a
-  /// conflict hypergraph built against `this` remains valid against the
-  /// clone. Used by service::Snapshot to freeze an epoch.
+  /// row index) is duplicated, preserving table ids and RowIds exactly.
+  /// O(database); kept as the baseline the COW differential tests and
+  /// bench_f10_snapshot compare Share() against.
   Catalog Clone() const;
+
+  /// Structurally shared copy: the returned catalog points at the same
+  /// immutable Table objects, and every slot of *both* catalogs is marked
+  /// shared so the next mutation through MutableTable()/GetTable() clones
+  /// only the touched table (copy-on-write). O(#tables). Requires exclusion
+  /// from concurrent mutators, exactly like Clone(); the returned copy is
+  /// meant to be frozen (service::Snapshot never mutates it).
+  Catalog Share();
 
   /// Creates a table; AlreadyExists if the name is taken. Re-creating a
   /// dropped name allocates a fresh table id — slots are never reused,
@@ -36,26 +53,61 @@ class Catalog {
   /// (Database::Execute refuses to drop constrained tables).
   Status DropTable(const std::string& name);
 
-  /// NotFound if absent.
+  /// NotFound if absent. The non-const overload is the copy-on-write
+  /// mutation path: it unshares the slot first (see MutableTable).
   Result<Table*> GetTable(const std::string& name);
   Result<const Table*> GetTable(const std::string& name) const;
 
-  /// Table by ordinal id (as stored in RowId::table).
-  const Table& table(uint32_t id) const { return *tables_[id]; }
-  Table& table(uint32_t id) { return *tables_[id]; }
+  /// Table by ordinal id (as stored in RowId::table). The non-const
+  /// overload unshares the slot (copy-on-write) before handing it out.
+  const Table& table(uint32_t id) const { return *slots_[id].table; }
+  Table& table(uint32_t id) { return MutableTable(id); }
 
-  size_t NumTables() const { return tables_.size(); }
+  /// Copy-on-write accessor: when the slot is shared with a snapshot, the
+  /// table is cloned (O(table)) and the private clone returned; otherwise
+  /// the existing object is returned unchanged. The pointer stays valid
+  /// until the next Share() of this catalog.
+  Table& MutableTable(uint32_t id);
+
+  /// The shared slot itself — exposes structural identity so tests and the
+  /// memory accounting can check that untouched tables are pointer-equal
+  /// across epochs.
+  std::shared_ptr<const Table> TableRef(uint32_t id) const {
+    return slots_[id].table;
+  }
+
+  size_t NumTables() const { return slots_.size(); }
 
   /// Total number of rows across all tables.
   size_t TotalRows() const;
 
   /// Fetches the row behind a RowId.
-  const Row& RowOf(RowId rid) const { return tables_[rid.table]->row(rid.row); }
+  const Row& RowOf(RowId rid) const {
+    return slots_[rid.table].table->row(rid.row);
+  }
 
   std::vector<std::string> TableNames() const;
 
+  /// Rough resident bytes of the whole instance (sum of Table::ApproxBytes).
+  size_t ApproxBytes() const;
+
+  /// Adds the bytes of every table whose storage is not already in `seen`
+  /// (keyed by Table object identity) to `*bytes`, inserting as it goes.
+  /// Accumulating several snapshots against one `seen` set yields their
+  /// true combined footprint under structural sharing.
+  void AccumulateApproxBytes(std::unordered_set<const void*>* seen,
+                             size_t* bytes) const;
+
  private:
-  std::vector<std::unique_ptr<Table>> tables_;
+  struct Slot {
+    std::shared_ptr<Table> table;
+    /// True when `table` may also be referenced by a Share()d copy; the
+    /// next mutation must clone (copy-on-write). Never consulted on the
+    /// frozen side of a Share().
+    bool shared = false;
+  };
+
+  std::vector<Slot> slots_;
   std::unordered_map<std::string, uint32_t> by_name_;  // lower-cased name
 };
 

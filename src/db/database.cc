@@ -1,6 +1,7 @@
 #include "db/database.h"
 
 #include <unordered_set>
+#include <utility>
 
 #include "common/str_util.h"
 #include "expr/binder.h"
@@ -68,7 +69,13 @@ Status Database::Execute(const std::string& sql) {
       continue;
     }
     if (auto* ins = std::get_if<sql::InsertStmt>(&stmt.node)) {
-      HIPPO_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(ins->table));
+      // Probe each row on the const view first: validation failures and
+      // live duplicates (set-semantics no-ops) must not copy-on-write a
+      // snapshot-shared table. Unshare on the first row that changes it.
+      HIPPO_ASSIGN_OR_RETURN(const Table* probe,
+                             std::as_const(catalog_).GetTable(ins->table));
+      uint32_t table_id = probe->id();
+      Table* table = nullptr;  // unshared lazily
       for (const std::vector<ExprPtr>& row_exprs : ins->rows) {
         Row row;
         row.reserve(row_exprs.size());
@@ -80,7 +87,11 @@ Status Database::Execute(const std::string& sql) {
           }
           row.push_back(EvalConst(*e));
         }
-        HIPPO_ASSIGN_OR_RETURN(auto inserted, table->Insert(row));
+        const Table& view = std::as_const(catalog_).table(table_id);
+        HIPPO_ASSIGN_OR_RETURN(Row coerced, view.CoerceRow(row));
+        if (view.Find(coerced).has_value()) continue;  // live duplicate
+        if (table == nullptr) table = &catalog_.MutableTable(table_id);
+        HIPPO_ASSIGN_OR_RETURN(auto inserted, table->Insert(coerced));
         if (inserted.second) {
           HIPPO_RETURN_NOT_OK(NoteInsert(inserted.first));
         }
@@ -134,8 +145,14 @@ Status Database::Execute(const std::string& sql) {
 }
 
 Status Database::InsertRow(const std::string& table_name, Row values) {
-  HIPPO_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(table_name));
-  HIPPO_ASSIGN_OR_RETURN(auto inserted, table->Insert(values));
+  // Validate and probe on the const view: a live duplicate (set-semantics
+  // no-op) or a bad row must not copy-on-write a snapshot-shared table.
+  HIPPO_ASSIGN_OR_RETURN(const Table* table,
+                         std::as_const(catalog_).GetTable(table_name));
+  HIPPO_ASSIGN_OR_RETURN(Row coerced, table->CoerceRow(values));
+  if (table->Find(coerced).has_value()) return Status::OK();
+  HIPPO_ASSIGN_OR_RETURN(
+      auto inserted, catalog_.MutableTable(table->id()).Insert(coerced));
   if (inserted.second) {
     HIPPO_RETURN_NOT_OK(NoteInsert(inserted.first));
   }
@@ -143,7 +160,10 @@ Status Database::InsertRow(const std::string& table_name, Row values) {
 }
 
 Status Database::DeleteRow(const std::string& table_name, const Row& values) {
-  HIPPO_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(table_name));
+  // Validate and probe on the const view: a miss must not copy-on-write a
+  // snapshot-shared table (unshare only when a row actually changes).
+  HIPPO_ASSIGN_OR_RETURN(const Table* table,
+                         std::as_const(catalog_).GetTable(table_name));
   // Coerce to the column types so lookup matches Insert's canonical form.
   if (values.size() != table->schema().NumColumns()) {
     return Status::InvalidArgument(
@@ -160,12 +180,16 @@ Status Database::DeleteRow(const std::string& table_name, const Row& values) {
   }
   std::optional<RowId> rid = table->Find(coerced);
   if (!rid.has_value()) return Status::OK();
-  table->Delete(rid->row);
+  catalog_.MutableTable(rid->table).Delete(rid->row);
   return NoteDelete(*rid);
 }
 
 Status Database::ExecuteDelete(const sql::DeleteStmt& stmt) {
-  HIPPO_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  // Bind and scan on the const view; unshare (copy-on-write) only when
+  // some row actually matched, so a no-op DELETE never clones a
+  // snapshot-shared table.
+  HIPPO_ASSIGN_OR_RETURN(const Table* table,
+                         std::as_const(catalog_).GetTable(stmt.table));
   ExprPtr where;
   if (stmt.where != nullptr) {
     where = stmt.where->Clone();
@@ -182,15 +206,22 @@ Status Database::ExecuteDelete(const sql::DeleteStmt& stmt) {
       matched.push_back(i);
     }
   }
+  if (matched.empty()) return Status::OK();
+  uint32_t id = table->id();
+  Table& mutable_table = catalog_.MutableTable(id);  // invalidates `table`
   for (uint32_t i : matched) {
-    table->Delete(i);
-    HIPPO_RETURN_NOT_OK(NoteDelete(RowId{table->id(), i}));
+    mutable_table.Delete(i);
+    HIPPO_RETURN_NOT_OK(NoteDelete(RowId{id, i}));
   }
   return Status::OK();
 }
 
 Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt) {
-  HIPPO_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  // Pass 1 runs on the const view; unshare (copy-on-write) only when some
+  // row actually matched, so a no-op UPDATE never clones a snapshot-shared
+  // table.
+  HIPPO_ASSIGN_OR_RETURN(const Table* table,
+                         std::as_const(catalog_).GetTable(stmt.table));
   Schema scope = table->schema().WithQualifier(table->name());
   ExprBinder binder(scope);
   ExprPtr where;
@@ -224,14 +255,17 @@ Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt) {
     matched.push_back(i);
     replacements.push_back(std::move(updated));
   }
+  if (matched.empty()) return Status::OK();
   // Pass 2: delete originals, then insert replacements (set semantics:
   // updating a row onto an existing one merges them).
+  uint32_t id = table->id();
+  Table& mutable_table = catalog_.MutableTable(id);  // invalidates `table`
   for (uint32_t i : matched) {
-    table->Delete(i);
-    HIPPO_RETURN_NOT_OK(NoteDelete(RowId{table->id(), i}));
+    mutable_table.Delete(i);
+    HIPPO_RETURN_NOT_OK(NoteDelete(RowId{id, i}));
   }
   for (Row& r : replacements) {
-    HIPPO_ASSIGN_OR_RETURN(auto inserted, table->Insert(r));
+    HIPPO_ASSIGN_OR_RETURN(auto inserted, mutable_table.Insert(r));
     if (inserted.second) {
       HIPPO_RETURN_NOT_OK(NoteInsert(inserted.first));
     }
@@ -270,7 +304,11 @@ Status Database::DropConstraint(const std::string& name) {
 }
 
 Status Database::DropTable(const std::string& name) {
-  HIPPO_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(name));
+  // Const lookup: resolving the id must not copy-on-write a shared table
+  // (the refusal paths below never mutate, and the drop itself replaces
+  // the slot without touching the rows).
+  HIPPO_ASSIGN_OR_RETURN(const Table* table,
+                         std::as_const(catalog_).GetTable(name));
   uint32_t id = table->id();
   for (const DenialConstraint& dc : constraints_) {
     for (const ConstraintAtom& atom : dc.atoms()) {
@@ -441,6 +479,13 @@ Result<const ConflictHypergraph*> Database::HypergraphWith(
                                   &hypergraph_.value()));
   }
   return &hypergraph_.value();
+}
+
+Result<ConflictHypergraph> Database::ShareHypergraph() {
+  HIPPO_ASSIGN_OR_RETURN(const ConflictHypergraph* graph, Hypergraph());
+  (void)graph;
+  std::lock_guard<std::mutex> lock(hypergraph_mu_);
+  return hypergraph_->Share();
 }
 
 uint64_t Database::hypergraph_epoch() const {

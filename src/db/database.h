@@ -148,6 +148,12 @@ class Database {
   Result<const ConflictHypergraph*> HypergraphWith(
       const DetectOptions& options);
 
+  /// A structurally shared copy-on-write copy of the hypergraph
+  /// (ConflictHypergraph::Share), building it first when the cache is cold.
+  /// Used by service::Snapshot to freeze an epoch. A writer-path operation:
+  /// requires exclusion from concurrent readers and writers, like DML.
+  Result<ConflictHypergraph> ShareHypergraph();
+
   /// Generation counter of the hypergraph cache: incremented every time a
   /// freshly detected graph is published (first use and every rebuild after
   /// an invalidation). Incremental in-place maintenance does not advance

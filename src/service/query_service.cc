@@ -1,6 +1,7 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/str_util.h"
 #include "service/session.h"
@@ -90,8 +91,12 @@ Status QueryService::Commit(const std::string& sql) {
 }
 
 Status QueryService::Publish() {
+  auto t0 = std::chrono::steady_clock::now();
   HIPPO_ASSIGN_OR_RETURN(SnapshotPtr snap,
                          Snapshot::Capture(&master_, next_epoch_));
+  double secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     current_ = std::move(snap);
@@ -100,6 +105,10 @@ Status QueryService::Publish() {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.snapshots_published;
+    stats_.publish_seconds_total += secs;
+    if (stats_.publish_seconds.size() < 16384) {
+      stats_.publish_seconds.push_back(secs);
+    }
   }
   return Status::OK();
 }

@@ -75,6 +75,16 @@ struct ServiceStats {
   uint64_t snapshots_published = 0;
   uint64_t queries_executed = 0;     ///< worker-pool requests completed
   uint64_t queries_rejected = 0;     ///< admission-control rejections
+  double publish_seconds_total = 0;  ///< wall time inside Snapshot::Capture
+  /// Per-publication capture latencies (seconds) for the serve driver's
+  /// publish p50/p95/p99 row. Recording stops after the first 16384
+  /// publications so long-lived services stay bounded — past that point the
+  /// percentiles describe the recorded prefix only (publish_seconds_total /
+  /// snapshots_published still covers the full run). (Marginal-bytes
+  /// accounting is intentionally not computed here: callers holding two
+  /// SnapshotPtrs can derive it via Snapshot::CollectStorageIdentity +
+  /// AccumulateApproxBytes without taxing the commit path.)
+  std::vector<double> publish_seconds;
   cqa::HippoStats hippo;             ///< aggregated over pool CQA requests
 };
 

@@ -9,11 +9,34 @@
 namespace hippo::service {
 
 Result<SnapshotPtr> Snapshot::Capture(Database* db, uint64_t epoch) {
-  HIPPO_ASSIGN_OR_RETURN(const ConflictHypergraph* graph, db->Hypergraph());
-  // shared_ptr<const Snapshot> via make_shared needs a public constructor;
-  // keep it private and pay one extra allocation instead.
-  return SnapshotPtr(
-      new Snapshot(epoch, db->catalog().Clone(), *graph));
+  // Both halves are structural shares: every table and every hypergraph
+  // partition is pointer-shared with the master and cloned only when the
+  // master next mutates it (copy-on-write). One make_shared allocation via
+  // the pass-key constructor.
+  HIPPO_ASSIGN_OR_RETURN(ConflictHypergraph graph, db->ShareHypergraph());
+  return std::make_shared<const Snapshot>(
+      PrivateTag{}, epoch, db->catalog().Share(), std::move(graph));
+}
+
+size_t Snapshot::ApproxBytes() const {
+  std::unordered_set<const void*> seen;
+  return sizeof(Snapshot) + AccumulateApproxBytes(&seen);
+}
+
+void Snapshot::CollectStorageIdentity(
+    std::unordered_set<const void*>* seen) const {
+  for (uint32_t t = 0; t < catalog_.NumTables(); ++t) {
+    seen->insert(catalog_.TableRef(t).get());
+  }
+  for (const void* p : graph_.PartitionPointers()) seen->insert(p);
+}
+
+size_t Snapshot::AccumulateApproxBytes(
+    std::unordered_set<const void*>* seen) const {
+  size_t bytes = 0;
+  catalog_.AccumulateApproxBytes(seen, &bytes);
+  graph_.AccumulateApproxBytes(seen, &bytes);
+  return bytes;
 }
 
 Result<PlanNodePtr> Snapshot::Plan(const std::string& select_sql) const {

@@ -1,13 +1,17 @@
 // service::Snapshot — an immutable view of the database at one epoch.
 //
-// A snapshot bundles a deep copy of the instance (catalog: schemas, rows,
-// tombstones, row indexes) with the conflict hypergraph that matches it
-// exactly, stamped with the epoch at which the pair was published. Because
-// table ids and RowIds are preserved by Catalog::Clone, the copied
-// hypergraph's vertices remain valid against the copied catalog, and every
-// read path of the engine — plain evaluation, core evaluation, and the full
-// Hippo consistent-answer pipeline — can run against the snapshot with no
-// locks and no coordination: the snapshot never changes after construction.
+// A snapshot bundles the instance (catalog) with the conflict hypergraph
+// that matches it exactly, stamped with the epoch at which the pair was
+// published. Publication is copy-on-write (DESIGN.md §5): the catalog copy
+// shares every table the epoch did not touch (Catalog::Share) and the
+// hypergraph copy shares every untouched partition, so capturing costs
+// O(#tables + #partitions) pointer copies instead of a deep copy of the
+// database, and the commit that follows clones only what it mutates.
+// Because table ids and RowIds are preserved, the shared hypergraph's
+// vertices remain valid against the shared catalog, and every read path of
+// the engine — plain evaluation, core evaluation, and the full Hippo
+// consistent-answer pipeline — can run against the snapshot with no locks
+// and no coordination: the snapshot never changes after construction.
 //
 // Snapshots are handed out as shared_ptr<const Snapshot> (RCU-style): the
 // publisher swaps in a new snapshot for the next epoch while readers holding
@@ -19,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
@@ -38,12 +43,25 @@ class Snapshot;
 using SnapshotPtr = std::shared_ptr<const Snapshot>;
 
 class Snapshot {
+ private:
+  /// Pass-key: makes the constructor unusable outside Capture while keeping
+  /// it public for std::make_shared (single-allocation construction).
+  struct PrivateTag {
+    explicit PrivateTag() = default;
+  };
+
  public:
+  Snapshot(PrivateTag, uint64_t epoch, Catalog catalog,
+           ConflictHypergraph graph)
+      : epoch_(epoch),
+        catalog_(std::move(catalog)),
+        graph_(std::move(graph)) {}
+
   /// Captures the current state of `db` as an immutable snapshot stamped
   /// with `epoch`. Builds the conflict hypergraph first when the cache is
   /// cold (so capture never publishes a graphless view). The caller must
   /// hold the database's writer-side exclusion while capturing — nothing
-  /// may mutate `db` between the graph read and the catalog clone.
+  /// may mutate `db` between the graph read and the catalog share.
   static Result<SnapshotPtr> Capture(Database* db, uint64_t epoch);
 
   /// The epoch this snapshot was published at (monotonically increasing
@@ -58,6 +76,25 @@ class Snapshot {
 
   /// True when the frozen instance satisfies all constraints.
   bool IsConsistent() const { return graph_.NumEdges() == 0; }
+
+  // --- memory accounting ----------------------------------------------------
+
+  /// Rough resident bytes of this snapshot counted in full (as if it shared
+  /// nothing). O(database) — intended for end-of-run reporting, not the
+  /// commit path.
+  size_t ApproxBytes() const;
+
+  /// Inserts the identity of every storage partition (tables, hypergraph
+  /// chunks/shards) into `seen` without computing sizes. Seeding `seen`
+  /// with a predecessor epoch makes AccumulateApproxBytes report only the
+  /// *marginal* bytes this snapshot allocated — the published cost of one
+  /// copy-on-write commit.
+  void CollectStorageIdentity(std::unordered_set<const void*>* seen) const;
+
+  /// Adds the bytes of every storage partition not already in `seen`
+  /// (inserting as it goes) and returns the added total. Cost is
+  /// proportional to the *unshared* partitions only.
+  size_t AccumulateApproxBytes(std::unordered_set<const void*>* seen) const;
 
   // --- read paths (all const, all safe to call concurrently) ---------------
 
@@ -79,11 +116,6 @@ class Snapshot {
       cqa::HippoStats* stats = nullptr) const;
 
  private:
-  Snapshot(uint64_t epoch, Catalog catalog, ConflictHypergraph graph)
-      : epoch_(epoch),
-        catalog_(std::move(catalog)),
-        graph_(std::move(graph)) {}
-
   uint64_t epoch_;
   Catalog catalog_;
   ConflictHypergraph graph_;

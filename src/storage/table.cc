@@ -4,7 +4,7 @@
 
 namespace hippo {
 
-Result<std::pair<RowId, bool>> Table::Insert(const Row& values) {
+Result<Row> Table::CoerceRow(const Row& values) const {
   if (values.size() != schema_.NumColumns()) {
     return Status::InvalidArgument(StrFormat(
         "INSERT into %s: expected %zu values, got %zu", name_.c_str(),
@@ -16,6 +16,11 @@ Result<std::pair<RowId, bool>> Table::Insert(const Row& values) {
     HIPPO_ASSIGN_OR_RETURN(Value v, values[i].CastTo(schema_.column(i).type));
     coerced.push_back(std::move(v));
   }
+  return coerced;
+}
+
+Result<std::pair<RowId, bool>> Table::Insert(const Row& values) {
+  HIPPO_ASSIGN_OR_RETURN(Row coerced, CoerceRow(values));
   auto it = index_.find(coerced);
   if (it != index_.end()) {
     uint32_t idx = it->second;
@@ -53,6 +58,31 @@ void Table::Clear() {
   live_.clear();
   num_live_ = 0;
   index_.clear();
+}
+
+namespace {
+
+size_t ApproxRowBytes(const Row& row) {
+  size_t bytes = sizeof(Row) + row.capacity() * sizeof(Value);
+  for (const Value& v : row) {
+    if (v.type() == TypeId::kString) bytes += v.AsString().capacity();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+size_t Table::ApproxBytes() const {
+  size_t bytes = sizeof(Table) + name_.capacity();
+  bytes += schema_.NumColumns() * sizeof(Column);
+  for (const Row& row : rows_) bytes += ApproxRowBytes(row);
+  bytes += live_.capacity() / 8;
+  // The index stores a second copy of every row plus bucket overhead.
+  for (const auto& [row, idx] : index_) {
+    (void)idx;
+    bytes += ApproxRowBytes(row) + sizeof(uint32_t) + 2 * sizeof(void*);
+  }
+  return bytes;
 }
 
 }  // namespace hippo

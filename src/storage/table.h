@@ -69,6 +69,12 @@ class Table {
   /// True when slot `i` holds a live row (false once deleted).
   bool IsLive(size_t i) const { return i < live_.size() && live_[i]; }
 
+  /// Coerces `values` to the column types — the canonical stored form that
+  /// Insert() writes and Find() probes with. Errors on arity mismatch or
+  /// uncoercible values. Lets writers probe for set-semantics no-ops on a
+  /// const (snapshot-shared) view before paying a copy-on-write clone.
+  Result<Row> CoerceRow(const Row& values) const;
+
   /// Inserts a row after coercing each value to the column type.
   /// Returns the RowId of the (new, pre-existing, or resurrected) row and
   /// whether the live instance changed (true for new rows and for
@@ -86,6 +92,11 @@ class Table {
 
   /// Clears all rows (used by workload generators between configurations).
   void Clear();
+
+  /// Rough resident size of this table in bytes: rows (including string
+  /// payloads), tombstone bits, and the full-row hash index. Used by the
+  /// per-snapshot memory accounting (Catalog::ApproxBytes, `.mem`).
+  size_t ApproxBytes() const;
 
  private:
   uint32_t id_;

@@ -11,6 +11,7 @@
 //   .mode plain|cqa|core|rewriting|allrepairs   answering mode for SELECTs
 //   .stats on|off                               print pipeline statistics
 //   .conflicts                                  hypergraph summary
+//   .mem                                        catalog/hypergraph memory
 //   .constraints                                list declared constraints
 //   .repairs [limit]                            count repairs
 //   .agg <fn> <table> [column]                  range-consistent aggregate
@@ -38,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "benchutil/report.h"
 #include "common/str_util.h"
 #include "db/conflict_report.h"
 #include "db/database.h"
@@ -145,6 +147,7 @@ class Shell {
           ".mode plain|cqa|core|rewriting|allrepairs   answering mode\n"
           ".stats on|off        pipeline statistics\n"
           ".conflicts           hypergraph summary\n"
+          ".mem                 catalog/hypergraph resident memory\n"
           ".constraints         declared constraints\n"
           ".repairs [limit]     number of repairs\n"
           ".agg <fn> <table> [column]   range-consistent aggregate\n"
@@ -203,6 +206,20 @@ class Shell {
         std::printf("error: %s\n", g.status().ToString().c_str());
       } else {
         std::printf("%s\n", g.value()->StatsString().c_str());
+      }
+      return true;
+    }
+    if (cmd == ".mem") {
+      std::printf("catalog: %zu tables, %zu rows, %s\n",
+                  db_.catalog().TableNames().size(),
+                  db_.catalog().TotalRows(),
+                  bench::FormatBytes(db_.catalog().ApproxBytes()).c_str());
+      auto g = db_.Hypergraph();
+      if (!g.ok()) {
+        std::printf("error: %s\n", g.status().ToString().c_str());
+      } else {
+        std::printf("hypergraph: %zu edges, %s\n", g.value()->NumEdges(),
+                    bench::FormatBytes(g.value()->ApproxBytes()).c_str());
       }
       return true;
     }

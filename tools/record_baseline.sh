@@ -7,9 +7,12 @@
 # --table-only — the paper-style tables on their fixed default seeds and
 # sizes — and captures each printed table as JSON via the HIPPO_BENCH_JSON
 # hook in src/benchutil/report.cc, plus the wall-clock seconds of each
-# binary. The output (default: BENCH_baseline.json) is committed so
-# optimisation PRs have a reference to diff against: re-run this script on
-# the same class of machine and compare the timing cells.
+# binary. This includes the F10 snapshot-publication table
+# (bench_f10_snapshot), whose deep-vs-COW ratio is meaningful even on a
+# 1-core host (both sides are single-threaded copies). The output
+# (default: BENCH_baseline.json) is committed so optimisation PRs have a
+# reference to diff against: re-run this script on the same class of
+# machine and compare the timing cells.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -5,6 +5,7 @@ CREATE CONSTRAINT fd FD ON emp (name -> salary);
 .tables
 .constraints
 .conflicts
+.mem
 SELECT * FROM emp;
 .mode cqa
 SELECT * FROM emp;
