@@ -1,0 +1,31 @@
+#include "common/parallel.h"
+
+#include <thread>
+#include <vector>
+
+namespace hippo {
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ParallelSlices(size_t n, size_t parts,
+                    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (parts <= 1 || n <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+  if (parts > n) parts = n;
+  std::vector<std::thread> threads;
+  threads.reserve(parts);
+  for (size_t p = 0; p < parts; ++p) {
+    size_t begin = n * p / parts;
+    size_t end = n * (p + 1) / parts;
+    threads.emplace_back(fn, p, begin, end);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace hippo

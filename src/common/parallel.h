@@ -1,0 +1,26 @@
+// Small shared threading helpers used by the detector, the executor, the
+// CQA prover loop, and the query service's worker pool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace hippo {
+
+/// Resolves a requested worker count: 0 means "one worker per hardware
+/// thread" (std::thread::hardware_concurrency(), at least 1); any other
+/// value is returned unchanged. Shared by DetectAll, the executor's
+/// partitioned operators, the query service's worker pool, and the
+/// --threads tool flags.
+size_t ResolveThreadCount(size_t requested);
+
+/// Runs `fn(part, begin, end)` for `parts` contiguous slices of [0, n)
+/// (slice sizes differ by at most one row). With parts <= 1 (or n == 0)
+/// the single call runs inline on the caller's thread; otherwise one
+/// transient thread per slice is spawned and joined before returning, so
+/// `fn` may capture by reference. Callers own determinism: give each slice
+/// a private output and concatenate in slice order afterwards.
+void ParallelSlices(size_t n, size_t parts,
+                    const std::function<void(size_t, size_t, size_t)>& fn);
+
+}  // namespace hippo

@@ -64,9 +64,15 @@ Result<ResultSet> HippoEngine::ConsistentAnswers(const PlanNode& plan,
   HIPPO_RETURN_NOT_OK(CheckSjudSupported(plan));
   auto t0 = Clock::now();
 
-  // 1. Enveloping + evaluation by the relational engine.
+  // 1. Enveloping + evaluation by the relational engine. The evaluation
+  //    shares the prover loop's thread budget: with num_threads > 1 the
+  //    executor partitions its row-at-a-time operators (filter, project,
+  //    join/anti-join probe, product) into row ranges merged in partition
+  //    order, so the candidate set — rows and order — is bit-identical to
+  //    the serial evaluation (see ExecParallel in exec/executor.h).
   PlanNodePtr envelope = BuildEnvelope(plan);
   ExecContext ctx{&catalog_, nullptr};
+  ctx.parallel.num_threads = options.num_threads;
   HIPPO_ASSIGN_OR_RETURN(ResultSet candidates, Execute(*envelope, ctx));
   auto t1 = Clock::now();
 

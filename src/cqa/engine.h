@@ -37,10 +37,12 @@ struct HippoOptions {
   /// conflict-free facts skip CNF + Prover entirely.
   bool use_filtering = true;
 
-  /// Prover-loop parallelism: candidates are decided independently, so the
-  /// loop shards across this many worker threads (1 = sequential; 0 = one
-  /// per hardware thread, the same ResolveThreadCount convention as
-  /// DetectOptions). Results are deterministic regardless of thread count.
+  /// Pipeline parallelism: envelope evaluation partitions its
+  /// row-at-a-time operators into row ranges (ExecParallel), and the
+  /// prover loop — candidates are decided independently — shards across
+  /// this many worker threads (1 = sequential; 0 = one per hardware
+  /// thread, the same ResolveThreadCount convention as DetectOptions).
+  /// Results are bit-identical regardless of thread count.
   size_t num_threads = 1;
 
   /// Conflict-detection options (threads, FD sharding, fast path) used when

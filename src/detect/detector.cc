@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 
 #include "common/str_util.h"
 #include "exec/executor.h"
+#include "exec/operators.h"
 
 namespace hippo {
 
@@ -35,101 +38,175 @@ ExprPtr RemapForRowidLayout(const Expr& condition,
 
 }  // namespace
 
-size_t ResolveThreadCount(size_t requested) {
-  if (requested != 0) return requested;
-  size_t hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+Status DetectOptions::Validate() const {
+  if (shard_rows == 0) {
+    return Status::InvalidArgument(
+        "DetectOptions::shard_rows must be >= 1 (0 is no longer a silent "
+        "\"disable sharding\" fallback; use SIZE_MAX to disable the FD "
+        "determinant-hash split)");
+  }
+  if (partition_rows == 0) {
+    return Status::InvalidArgument(
+        "DetectOptions::partition_rows must be >= 1 (use SIZE_MAX to "
+        "disable probe-side partitioning of generic joins and foreign "
+        "keys)");
+  }
+  if (num_threads > kMaxThreads) {
+    return Status::InvalidArgument(
+        StrFormat("DetectOptions::num_threads = %zu exceeds the sanity "
+                  "bound of %zu (0 means \"all hardware threads\")",
+                  num_threads, kMaxThreads));
+  }
+  return Status::OK();
+}
+
+/// Shared read-only probe state of one generic-join constraint: the
+/// materialized rowid-emitting scans of every atom, the per-level join
+/// conditions carved out of the constraint condition, and the hash-join
+/// chain built over them. Built exactly once per DetectAll (under `once`,
+/// by whichever partition's worker arrives first); afterwards every
+/// row-range partition probes it concurrently without duplicating any
+/// build work.
+struct ConflictDetector::GenericShared {
+  std::once_flag once;
+  Status status = Status::OK();
+  std::vector<std::vector<Row>> inputs;  ///< per atom; [0] is the probe side
+  std::vector<ExprPtr> level_conds;      ///< [i] joins atom i (null=product)
+  ExprPtr final_filter;                  ///< atom-0-confined conjuncts
+  std::optional<exec::JoinChain> chain;
+  std::vector<size_t> rowid_cols;        ///< rowid column of each atom
+};
+
+/// Shared read-only state of one foreign key's orphan anti-join: the
+/// materialized child (with rowid) and parent scans plus the anti-join
+/// build table over the parent keys.
+struct ConflictDetector::FkShared {
+  std::once_flag once;
+  Status status = Status::OK();
+  std::vector<Row> child_rows;   ///< child scan with trailing rowid
+  std::vector<Row> parent_rows;
+  ExprPtr condition;
+  std::optional<exec::AntiJoinProbe> probe;
+  size_t rowid_col = 0;
+};
+
+Status ConflictDetector::DetectGenericPartitionInto(
+    const DenialConstraint& dc, uint32_t constraint_index,
+    GenericShared* shared, size_t partition, size_t num_partitions,
+    EdgeBuffer* out, DetectStats* stats) const {
+  if (partition == 0) ++stats->generic_constraints;
+  if (num_partitions > 1) ++stats->generic_partitions;
+
+  std::call_once(shared->once, [&] {
+    shared->status = [&]() -> Status {
+      // Materialize every atom's rowid-emitting scan once.
+      shared->inputs.resize(dc.arity());
+      for (size_t i = 0; i < dc.arity(); ++i) {
+        const ConstraintAtom& atom = dc.atoms()[i];
+        const Table& table = catalog_.table(atom.table_id);
+        PlanNodePtr scan =
+            ScanNode::Make(atom.table_id, atom.table_name, atom.alias,
+                           table.schema(), /*emit_rowid=*/true);
+        ExecContext ctx{&catalog_, nullptr};
+        HIPPO_ASSIGN_OR_RETURN(ResultSet rows, Execute(*scan, ctx));
+        shared->inputs[i] = std::move(rows.rows);
+      }
+
+      // Attach each conjunct at the level where its last atom enters (as
+      // in the planner), so equality conditions become hash joins; the
+      // leftovers (atom-0-confined, or a unary constraint's whole
+      // condition) become the final filter.
+      struct Pending {
+        ExprPtr expr;
+        int last_atom;
+      };
+      std::vector<Pending> conjuncts;
+      if (dc.condition() != nullptr) {
+        ExprPtr remapped = RemapForRowidLayout(*dc.condition(), dc);
+        // Offsets in the rowid layout: atom i starts at atom_offset(i) + i.
+        for (const Expr* part : SplitConjuncts(*remapped)) {
+          Pending p;
+          p.expr = part->Clone();
+          p.last_atom = 0;
+          for (int idx : CollectColumnIndexes(*p.expr)) {
+            for (int i = static_cast<int>(dc.arity()) - 1; i >= 0; --i) {
+              size_t start = dc.atom_offset(static_cast<size_t>(i)) +
+                             static_cast<size_t>(i);
+              if (static_cast<size_t>(idx) >= start) {
+                p.last_atom = std::max(p.last_atom, i);
+                break;
+              }
+            }
+          }
+          conjuncts.push_back(std::move(p));
+        }
+      }
+      shared->level_conds.resize(dc.arity());
+      for (size_t i = 1; i < dc.arity(); ++i) {
+        std::vector<ExprPtr> conds;
+        for (Pending& p : conjuncts) {
+          if (p.expr != nullptr && p.last_atom == static_cast<int>(i)) {
+            conds.push_back(std::move(p.expr));
+          }
+        }
+        if (!conds.empty()) {
+          shared->level_conds[i] = AndAll(std::move(conds));
+        }
+      }
+      {
+        std::vector<ExprPtr> rest;
+        for (Pending& p : conjuncts) {
+          if (p.expr != nullptr) rest.push_back(std::move(p.expr));
+        }
+        if (!rest.empty()) shared->final_filter = AndAll(std::move(rest));
+      }
+
+      std::vector<exec::JoinChain::LevelSpec> levels;
+      for (size_t i = 1; i < dc.arity(); ++i) {
+        levels.push_back({&shared->inputs[i], shared->level_conds[i].get(),
+                          dc.atom_width(i) + 1});
+      }
+      shared->chain.emplace(dc.atom_width(0) + 1, std::move(levels),
+                            shared->final_filter.get());
+
+      // The rowid column of atom i sits at atom_offset(i) + i + width(i).
+      for (size_t i = 0; i < dc.arity(); ++i) {
+        shared->rowid_cols.push_back(dc.atom_offset(i) + i +
+                                     dc.atom_width(i));
+      }
+      return Status::OK();
+    }();
+  });
+  HIPPO_RETURN_NOT_OK(shared->status);
+
+  const std::vector<Row>& probe = shared->inputs[0];
+  size_t begin = probe.size() * partition / num_partitions;
+  size_t end = probe.size() * (partition + 1) / num_partitions;
+  std::vector<Row> witnesses;
+  shared->chain->Probe(probe, begin, end, &witnesses);
+
+  for (const Row& row : witnesses) {
+    std::vector<RowId> edge;
+    edge.reserve(dc.arity());
+    for (size_t i = 0; i < dc.arity(); ++i) {
+      edge.push_back(RowId{
+          dc.atoms()[i].table_id,
+          static_cast<uint32_t>(row[shared->rowid_cols[i]].AsInt())});
+    }
+    out->Add(std::move(edge), constraint_index);
+    ++stats->edges_added;
+  }
+  return Status::OK();
 }
 
 Status ConflictDetector::DetectGenericInto(const DenialConstraint& dc,
                                            uint32_t constraint_index,
                                            EdgeBuffer* out,
                                            DetectStats* stats) const {
-  ++stats->generic_constraints;
-  // Build a left-deep join plan over rowid-emitting scans. Conjuncts are
-  // attached at the step where their last atom enters (as in the planner),
-  // so equality conditions become hash joins.
-  struct Pending {
-    ExprPtr expr;
-    int last_atom;
-  };
-  std::vector<Pending> conjuncts;
-  if (dc.condition() != nullptr) {
-    ExprPtr remapped = RemapForRowidLayout(*dc.condition(), dc);
-    // Offsets in the rowid layout: atom i starts at atom_offset(i) + i.
-    for (const Expr* part : SplitConjuncts(*remapped)) {
-      Pending p;
-      p.expr = part->Clone();
-      p.last_atom = 0;
-      for (int idx : CollectColumnIndexes(*p.expr)) {
-        for (int i = static_cast<int>(dc.arity()) - 1; i >= 0; --i) {
-          size_t start = dc.atom_offset(static_cast<size_t>(i)) +
-                         static_cast<size_t>(i);
-          if (static_cast<size_t>(idx) >= start) {
-            p.last_atom = std::max(p.last_atom, i);
-            break;
-          }
-        }
-      }
-      conjuncts.push_back(std::move(p));
-    }
-  }
-
-  auto make_scan = [&](size_t i) -> PlanNodePtr {
-    const ConstraintAtom& atom = dc.atoms()[i];
-    const Table& table = catalog_.table(atom.table_id);
-    return ScanNode::Make(atom.table_id, atom.table_name, atom.alias,
-                          table.schema(), /*emit_rowid=*/true);
-  };
-
-  PlanNodePtr plan = make_scan(0);
-  for (size_t i = 1; i < dc.arity(); ++i) {
-    PlanNodePtr right = make_scan(i);
-    std::vector<ExprPtr> conds;
-    for (Pending& p : conjuncts) {
-      if (p.expr != nullptr && p.last_atom == static_cast<int>(i)) {
-        conds.push_back(std::move(p.expr));
-      }
-    }
-    if (conds.empty()) {
-      plan = std::make_unique<ProductNode>(std::move(plan), std::move(right));
-    } else {
-      plan = std::make_unique<JoinNode>(std::move(plan), std::move(right),
-                                        AndAll(std::move(conds)));
-    }
-  }
-  // Conjuncts confined to atom 0 (or a unary constraint's whole condition).
-  {
-    std::vector<ExprPtr> rest;
-    for (Pending& p : conjuncts) {
-      if (p.expr != nullptr) rest.push_back(std::move(p.expr));
-    }
-    if (!rest.empty()) {
-      plan = std::make_unique<FilterNode>(std::move(plan),
-                                          AndAll(std::move(rest)));
-    }
-  }
-
-  ExecContext ctx{&catalog_, nullptr};
-  HIPPO_ASSIGN_OR_RETURN(ResultSet witnesses, Execute(*plan, ctx));
-
-  // The rowid column of atom i sits at atom_offset(i) + i + width(i).
-  std::vector<size_t> rowid_cols;
-  for (size_t i = 0; i < dc.arity(); ++i) {
-    rowid_cols.push_back(dc.atom_offset(i) + i + dc.atom_width(i));
-  }
-  for (const Row& row : witnesses.rows) {
-    std::vector<RowId> edge;
-    edge.reserve(dc.arity());
-    for (size_t i = 0; i < dc.arity(); ++i) {
-      edge.push_back(RowId{
-          dc.atoms()[i].table_id,
-          static_cast<uint32_t>(row[rowid_cols[i]].AsInt())});
-    }
-    out->Add(std::move(edge), constraint_index);
-    ++stats->edges_added;
-  }
-  return Status::OK();
+  GenericShared shared;
+  return DetectGenericPartitionInto(dc, constraint_index, &shared,
+                                    /*partition=*/0, /*num_partitions=*/1,
+                                    out, stats);
 }
 
 Status ConflictDetector::DetectFdFastInto(const DenialConstraint& dc,
@@ -224,42 +301,74 @@ Status ConflictDetector::Detect(const DenialConstraint& constraint,
   return Status::OK();
 }
 
-Status ConflictDetector::DetectForeignKeyInto(const ForeignKeyConstraint& fk,
-                                              uint32_t constraint_index,
-                                              EdgeBuffer* out,
-                                              DetectStats* stats) const {
-  const Table& child = catalog_.table(fk.child_table());
-  const Table& parent = catalog_.table(fk.parent_table());
-  PlanNodePtr child_scan =
-      ScanNode::Make(child.id(), child.name(), child.name(), child.schema(),
-                     /*emit_rowid=*/true);
-  PlanNodePtr parent_scan = ScanNode::Make(parent.id(), parent.name(),
-                                           parent.name(), parent.schema());
-  // AntiJoin keeps child rows with NO parent match: the orphans.
-  size_t left_width = child_scan->schema().NumColumns();
-  std::vector<ExprPtr> eqs;
-  for (size_t i = 0; i < fk.child_columns().size(); ++i) {
-    size_t ci = fk.child_columns()[i];
-    size_t pi = fk.parent_columns()[i];
-    eqs.push_back(std::make_unique<ComparisonExpr>(
-        CompareOp::kEq,
-        ColumnRefExpr::Bound(ci, child.schema().column(ci).type),
-        ColumnRefExpr::Bound(left_width + pi,
-                             parent.schema().column(pi).type)));
-    eqs.back()->set_result_type(TypeId::kBool);
-  }
-  PlanNodePtr plan = std::make_unique<AntiJoinNode>(
-      std::move(child_scan), std::move(parent_scan), AndAll(std::move(eqs)));
-  ExecContext ctx{&catalog_, nullptr};
-  HIPPO_ASSIGN_OR_RETURN(ResultSet orphans, Execute(*plan, ctx));
-  size_t rowid_col = child.schema().NumColumns();
-  for (const Row& row : orphans.rows) {
+Status ConflictDetector::DetectForeignKeyPartitionInto(
+    const ForeignKeyConstraint& fk, uint32_t constraint_index,
+    FkShared* shared, size_t partition, size_t num_partitions,
+    EdgeBuffer* out, DetectStats* stats) const {
+  if (num_partitions > 1) ++stats->fk_partitions;
+
+  std::call_once(shared->once, [&] {
+    shared->status = [&]() -> Status {
+      const Table& child = catalog_.table(fk.child_table());
+      const Table& parent = catalog_.table(fk.parent_table());
+      PlanNodePtr child_scan =
+          ScanNode::Make(child.id(), child.name(), child.name(),
+                         child.schema(), /*emit_rowid=*/true);
+      PlanNodePtr parent_scan = ScanNode::Make(
+          parent.id(), parent.name(), parent.name(), parent.schema());
+      ExecContext ctx{&catalog_, nullptr};
+      HIPPO_ASSIGN_OR_RETURN(ResultSet child_rows, Execute(*child_scan, ctx));
+      HIPPO_ASSIGN_OR_RETURN(ResultSet parent_rows,
+                             Execute(*parent_scan, ctx));
+      shared->child_rows = std::move(child_rows.rows);
+      shared->parent_rows = std::move(parent_rows.rows);
+
+      // The anti-join keeps child rows with NO parent match: the orphans.
+      // Note the child side carries the trailing rowid column, so parent
+      // column refs shift by left_width = child columns + 1.
+      size_t left_width = child.schema().NumColumns() + 1;
+      std::vector<ExprPtr> eqs;
+      for (size_t i = 0; i < fk.child_columns().size(); ++i) {
+        size_t ci = fk.child_columns()[i];
+        size_t pi = fk.parent_columns()[i];
+        eqs.push_back(std::make_unique<ComparisonExpr>(
+            CompareOp::kEq,
+            ColumnRefExpr::Bound(ci, child.schema().column(ci).type),
+            ColumnRefExpr::Bound(left_width + pi,
+                                 parent.schema().column(pi).type)));
+        eqs.back()->set_result_type(TypeId::kBool);
+      }
+      shared->condition = AndAll(std::move(eqs));
+      shared->probe.emplace(&shared->parent_rows, shared->condition.get(),
+                            left_width);
+      shared->rowid_col = child.schema().NumColumns();
+      return Status::OK();
+    }();
+  });
+  HIPPO_RETURN_NOT_OK(shared->status);
+
+  const std::vector<Row>& child_rows = shared->child_rows;
+  size_t begin = child_rows.size() * partition / num_partitions;
+  size_t end = child_rows.size() * (partition + 1) / num_partitions;
+  std::vector<Row> orphans;
+  shared->probe->Probe(child_rows, begin, end, &orphans);
+  for (const Row& row : orphans) {
     out->Add({RowId{fk.child_table(),
-                    static_cast<uint32_t>(row[rowid_col].AsInt())}},
+                    static_cast<uint32_t>(row[shared->rowid_col].AsInt())}},
              constraint_index);
     ++stats->edges_added;
   }
   return Status::OK();
+}
+
+Status ConflictDetector::DetectForeignKeyInto(const ForeignKeyConstraint& fk,
+                                              uint32_t constraint_index,
+                                              EdgeBuffer* out,
+                                              DetectStats* stats) const {
+  FkShared shared;
+  return DetectForeignKeyPartitionInto(fk, constraint_index, &shared,
+                                       /*partition=*/0,
+                                       /*num_partitions=*/1, out, stats);
 }
 
 Status ConflictDetector::DetectForeignKey(const ForeignKeyConstraint& fk,
@@ -272,24 +381,10 @@ Status ConflictDetector::DetectForeignKey(const ForeignKeyConstraint& fk,
   return Status::OK();
 }
 
-namespace {
-
-/// One schedulable piece of a DetectAll run: a whole constraint, one
-/// determinant-hash shard of a large FD, or a foreign key.
-struct DetectUnit {
-  enum class Kind { kFdShard, kGeneric, kForeignKey };
-  Kind kind = Kind::kGeneric;
-  size_t list_index = 0;          ///< index into constraints / foreign_keys
-  uint32_t constraint_index = 0;  ///< global provenance index
-  size_t shard = 0;
-  size_t num_shards = 1;
-};
-
-}  // namespace
-
 Result<ConflictHypergraph> ConflictDetector::DetectAll(
     const std::vector<DenialConstraint>& constraints,
     const std::vector<ForeignKeyConstraint>& foreign_keys) {
+  HIPPO_RETURN_NOT_OK(options_.Validate());
   ConflictHypergraph graph;
   size_t num_threads = ResolveThreadCount(options_.num_threads);
   if (num_threads <= 1) {
@@ -307,41 +402,86 @@ Result<ConflictHypergraph> ConflictDetector::DetectAll(
     return graph;
   }
 
-  // Plan the work units. An FD over a table larger than shard_rows is split
-  // into determinant-hash-range shards (at most one per worker — each shard
-  // pays one pass over the table for hashing, so more shards than workers
-  // only adds overhead).
-  std::vector<DetectUnit> units;
+  /// One schedulable piece of a DetectAll run: a whole constraint, one
+  /// determinant-hash shard of a large FD, one probe-side row-range
+  /// partition of a large generic join, a foreign key, or one child-row
+  /// partition of a large FK. Partitioned units of the same constraint
+  /// carry the same shared build state (hashed once by the first worker).
+  struct Unit {
+    enum class Kind {
+      kFdShard,
+      kGeneric,
+      kGenericPartition,
+      kForeignKey,
+      kFkPartition,
+    };
+    Kind kind = Kind::kGeneric;
+    size_t list_index = 0;          ///< index into constraints/foreign_keys
+    uint32_t constraint_index = 0;  ///< global provenance index
+    size_t part = 0;                ///< shard / partition ordinal
+    size_t num_parts = 1;
+    std::shared_ptr<GenericShared> generic;
+    std::shared_ptr<FkShared> fk;
+  };
+
+  // How many pieces a unit over `rows` probe/input rows splits into: at
+  // most one per worker (more would only add scheduling overhead), and
+  // none at all below the size threshold so tiny constraints stay
+  // single-unit.
+  auto split_count = [&](size_t rows, size_t threshold) {
+    if (rows <= threshold) return size_t{1};
+    return std::min(num_threads, (rows + threshold - 1) / threshold);
+  };
+
+  std::vector<Unit> units;
   for (size_t i = 0; i < constraints.size(); ++i) {
     const DenialConstraint& dc = constraints[i];
-    DetectUnit unit;
+    Unit unit;
     unit.list_index = i;
     unit.constraint_index = static_cast<uint32_t>(i);
     if (options_.use_fd_fast_path && dc.fd_info().has_value()) {
-      unit.kind = DetectUnit::Kind::kFdShard;
+      unit.kind = Unit::Kind::kFdShard;
       size_t rows = catalog_.table(dc.fd_info()->table_id).NumLiveRows();
-      size_t num_shards = 1;
-      if (options_.shard_rows > 0 && rows > options_.shard_rows) {
-        num_shards = std::min(num_threads,
-                              (rows + options_.shard_rows - 1) /
-                                  options_.shard_rows);
-      }
-      unit.num_shards = num_shards;
-      for (size_t s = 0; s < num_shards; ++s) {
-        unit.shard = s;
+      unit.num_parts = split_count(rows, options_.shard_rows);
+      for (size_t s = 0; s < unit.num_parts; ++s) {
+        unit.part = s;
         units.push_back(unit);
       }
     } else {
-      unit.kind = DetectUnit::Kind::kGeneric;
-      units.push_back(unit);
+      size_t rows =
+          catalog_.table(dc.atoms()[0].table_id).NumLiveRows();
+      unit.num_parts = split_count(rows, options_.partition_rows);
+      if (unit.num_parts > 1) {
+        unit.kind = Unit::Kind::kGenericPartition;
+        unit.generic = std::make_shared<GenericShared>();
+        for (size_t p = 0; p < unit.num_parts; ++p) {
+          unit.part = p;
+          units.push_back(unit);
+        }
+      } else {
+        unit.kind = Unit::Kind::kGeneric;
+        units.push_back(unit);
+      }
     }
   }
   for (size_t i = 0; i < foreign_keys.size(); ++i) {
-    DetectUnit unit;
-    unit.kind = DetectUnit::Kind::kForeignKey;
+    Unit unit;
     unit.list_index = i;
     unit.constraint_index = static_cast<uint32_t>(constraints.size() + i);
-    units.push_back(unit);
+    size_t rows =
+        catalog_.table(foreign_keys[i].child_table()).NumLiveRows();
+    unit.num_parts = split_count(rows, options_.partition_rows);
+    if (unit.num_parts > 1) {
+      unit.kind = Unit::Kind::kFkPartition;
+      unit.fk = std::make_shared<FkShared>();
+      for (size_t p = 0; p < unit.num_parts; ++p) {
+        unit.part = p;
+        units.push_back(unit);
+      }
+    } else {
+      unit.kind = Unit::Kind::kForeignKey;
+      units.push_back(unit);
+    }
   }
 
   // Fan out: workers pull units off a shared counter, each unit staging
@@ -356,24 +496,36 @@ Result<ConflictHypergraph> ConflictDetector::DetectAll(
     for (;;) {
       size_t u = next.fetch_add(1);
       if (u >= units.size()) return;
-      const DetectUnit& unit = units[u];
+      const Unit& unit = units[u];
       Status st;
       switch (unit.kind) {
-        case DetectUnit::Kind::kFdShard:
+        case Unit::Kind::kFdShard:
           st = DetectFdFastInto(constraints[unit.list_index],
-                                unit.constraint_index, unit.shard,
-                                unit.num_shards, &buffers[u],
+                                unit.constraint_index, unit.part,
+                                unit.num_parts, &buffers[u],
                                 &worker_stats[w]);
           break;
-        case DetectUnit::Kind::kGeneric:
+        case Unit::Kind::kGeneric:
           st = DetectGenericInto(constraints[unit.list_index],
                                  unit.constraint_index, &buffers[u],
                                  &worker_stats[w]);
           break;
-        case DetectUnit::Kind::kForeignKey:
+        case Unit::Kind::kGenericPartition:
+          st = DetectGenericPartitionInto(
+              constraints[unit.list_index], unit.constraint_index,
+              unit.generic.get(), unit.part, unit.num_parts, &buffers[u],
+              &worker_stats[w]);
+          break;
+        case Unit::Kind::kForeignKey:
           st = DetectForeignKeyInto(foreign_keys[unit.list_index],
                                     unit.constraint_index, &buffers[u],
                                     &worker_stats[w]);
+          break;
+        case Unit::Kind::kFkPartition:
+          st = DetectForeignKeyPartitionInto(
+              foreign_keys[unit.list_index], unit.constraint_index,
+              unit.fk.get(), unit.part, unit.num_parts, &buffers[u],
+              &worker_stats[w]);
           break;
       }
       if (!st.ok()) {
@@ -396,6 +548,8 @@ Result<ConflictHypergraph> ConflictDetector::DetectAll(
     stats_.fd_fast_path_constraints += worker_stats[w].fd_fast_path_constraints;
     stats_.generic_constraints += worker_stats[w].generic_constraints;
     stats_.fd_shards += worker_stats[w].fd_shards;
+    stats_.generic_partitions += worker_stats[w].generic_partitions;
+    stats_.fk_partitions += worker_stats[w].fk_partitions;
   }
   graph.BulkLoad(std::move(buffers));
   return graph;

@@ -7,15 +7,19 @@
 // hash-grouping fast path: group by the determinant, emit an edge for every
 // pair in a group that differs on the dependent columns.
 //
-// DetectAll parallelizes across constraints and, for large FD tables,
-// across determinant-hash shards within one constraint; every work unit
-// stages edges into a private EdgeBuffer and the buffers are merged
-// deterministically by ConflictHypergraph::BulkLoad (see detector.cc).
+// DetectAll parallelizes across constraints and, within one constraint,
+// across determinant-hash shards (large FDs), probe-side row-range
+// partitions of the generic join path, and child-row partitions of the FK
+// anti-join; every work unit stages edges into a private EdgeBuffer and
+// the buffers are merged deterministically by
+// ConflictHypergraph::BulkLoad (see detector.cc).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/parallel.h"
 #include "common/status.h"
 #include "constraints/constraint.h"
 #include "constraints/foreign_key.h"
@@ -23,19 +27,15 @@
 
 namespace hippo {
 
-/// Resolves a requested worker count: 0 means "one worker per hardware
-/// thread" (std::thread::hardware_concurrency(), at least 1); any other
-/// value is returned unchanged. Shared by DetectAll, the query service's
-/// worker pool, and the --threads tool flags.
-size_t ResolveThreadCount(size_t requested);
-
 struct DetectOptions {
   /// Use the hash-grouping fast path for constraints with FD provenance.
   bool use_fd_fast_path = true;
 
-  /// Detection worker threads for DetectAll: constraints (and shards of
-  /// large FDs) fan out across this many workers, each staging edges into
-  /// a private EdgeBuffer; the buffers are merged deterministically with
+  /// Detection worker threads for DetectAll: constraints — and intra-
+  /// constraint units: determinant-hash shards of large FDs, probe-side
+  /// partitions of large generic joins, child partitions of large FKs —
+  /// fan out across this many workers, each staging edges into a private
+  /// EdgeBuffer; the buffers are merged deterministically with
   /// ConflictHypergraph::BulkLoad, so the resulting graph — edges, ids and
   /// provenance — is identical for every thread count > 1. The serial run
   /// (1, or 0 resolving to one hardware thread) produces the same edges
@@ -48,7 +48,29 @@ struct DetectOptions {
   /// num_threads > 1 and the table exceeds this, the FD fast path is split
   /// into determinant-hash-range shards (each shard groups only the keys
   /// hashing into its range), so a single hot table also parallelizes.
+  /// Must be >= 1 (Validate); use SIZE_MAX to disable FD sharding.
   size_t shard_rows = 16384;
+
+  /// Minimum probe-side live rows of a generic-join constraint (or child
+  /// rows of a foreign key) per row-range partition: when num_threads > 1
+  /// and the probe side exceeds this, the unit is split into contiguous
+  /// partitions of the materialized probe input. The build sides are
+  /// materialized and hash-built ONCE per constraint (by the first worker
+  /// to arrive, under a once-flag) and probed read-only by every
+  /// partition, so a single hot generic constraint parallelizes without
+  /// duplicating build work. Must be >= 1 (Validate); use SIZE_MAX to
+  /// disable probe partitioning.
+  size_t partition_rows = 8192;
+
+  /// Rejects nonsensical combinations with InvalidArgument instead of a
+  /// silent fallback: zero shard_rows / partition_rows (formerly a hidden
+  /// "disable" value) and absurd thread counts (> kMaxThreads; 0 still
+  /// means "all hardware threads"). Checked by every DetectAll run.
+  Status Validate() const;
+
+  /// Upper bound Validate() accepts for num_threads — far above any real
+  /// machine; catches garbage (e.g. size_t underflow) early.
+  static constexpr size_t kMaxThreads = 4096;
 };
 
 struct DetectStats {
@@ -58,6 +80,11 @@ struct DetectStats {
   /// Grouping shards executed for FD constraints that were split (0 when
   /// nothing was sharded; each sharded FD contributes all of its shards).
   size_t fd_shards = 0;
+  /// Probe-side partitions executed for generic constraints that were
+  /// split (0 when nothing was partitioned).
+  size_t generic_partitions = 0;
+  /// Child-row partitions executed for foreign keys that were split.
+  size_t fk_partitions = 0;
 };
 
 class ConflictDetector {
@@ -92,12 +119,27 @@ class ConflictDetector {
   const DetectStats& stats() const { return stats_; }
 
  private:
+  // Lazily-built shared read-only state for one partitioned work unit (the
+  // materialized inputs plus the hash-join build tables); defined in
+  // detector.cc, built under a once-flag by the first partition's worker.
+  struct GenericShared;
+  struct FkShared;
+
   /// Stage-into-buffer internals, shared by the serial and parallel paths.
   /// They are const (catalog and options are read-only), so workers can run
   /// them concurrently, each with its own buffer and stats accumulator.
   Status DetectGenericInto(const DenialConstraint& constraint,
                            uint32_t constraint_index, EdgeBuffer* out,
                            DetectStats* stats) const;
+  /// One probe-side row-range partition of a generic constraint: ensures
+  /// `shared` is built (first caller wins, under its once-flag), then
+  /// probes rows [partition * n / num_partitions, ...) of the probe input
+  /// against the shared build state.
+  Status DetectGenericPartitionInto(const DenialConstraint& constraint,
+                                    uint32_t constraint_index,
+                                    GenericShared* shared, size_t partition,
+                                    size_t num_partitions, EdgeBuffer* out,
+                                    DetectStats* stats) const;
   Status DetectFdFastInto(const DenialConstraint& constraint,
                           uint32_t constraint_index, size_t shard,
                           size_t num_shards, EdgeBuffer* out,
@@ -105,6 +147,14 @@ class ConflictDetector {
   Status DetectForeignKeyInto(const ForeignKeyConstraint& fk,
                               uint32_t constraint_index, EdgeBuffer* out,
                               DetectStats* stats) const;
+  /// One child-row partition of a foreign key's orphan anti-join, probing
+  /// the shared parent build state.
+  Status DetectForeignKeyPartitionInto(const ForeignKeyConstraint& fk,
+                                       uint32_t constraint_index,
+                                       FkShared* shared, size_t partition,
+                                       size_t num_partitions,
+                                       EdgeBuffer* out,
+                                       DetectStats* stats) const;
 
   /// Flushes a staged buffer into `graph` in staging order (the serial
   /// insertion-order behavior of Detect/DetectForeignKey).

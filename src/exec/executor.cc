@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/parallel.h"
 #include "exec/operators.h"
 #include "expr/evaluator.h"
 
@@ -38,6 +39,44 @@ namespace {
 Result<std::vector<Row>> ExecuteRows(const PlanNode& plan,
                                      const ExecContext& ctx);
 
+/// Number of row-range partitions an operator over `rows` input rows
+/// should split into: 1 unless parallelism is enabled AND the input is
+/// large enough that every partition gets at least min_partition_rows.
+size_t PartitionsFor(size_t rows, const ExecParallel& parallel) {
+  size_t threads = ResolveThreadCount(parallel.num_threads);
+  if (threads <= 1) return 1;
+  size_t min_rows = std::max<size_t>(1, parallel.min_partition_rows);
+  if (rows <= min_rows) return 1;
+  return std::min(threads, (rows + min_rows - 1) / min_rows);
+}
+
+/// Partition-parallel map: runs `fn(begin, end, &slice)` over contiguous
+/// row ranges of [0, n) and concatenates the slice outputs in partition
+/// order — bit-identical to fn(0, n, &out) because every operator using it
+/// emits rows in input order within a range.
+template <typename Fn>
+std::vector<Row> PartitionedRows(size_t n, const ExecParallel& parallel,
+                                 const Fn& fn) {
+  size_t parts = PartitionsFor(n, parallel);
+  if (parts <= 1) {
+    std::vector<Row> out;
+    fn(size_t{0}, n, &out);
+    return out;
+  }
+  std::vector<std::vector<Row>> slices(parts);
+  ParallelSlices(n, parts, [&](size_t p, size_t begin, size_t end) {
+    fn(begin, end, &slices[p]);
+  });
+  std::vector<Row> out = std::move(slices[0]);
+  size_t total = out.size();
+  for (size_t p = 1; p < parts; ++p) total += slices[p].size();
+  out.reserve(total);
+  for (size_t p = 1; p < parts; ++p) {
+    for (Row& r : slices[p]) out.push_back(std::move(r));
+  }
+  return out;
+}
+
 Result<std::vector<Row>> ExecuteScan(const ScanNode& scan,
                                      const ExecContext& ctx) {
   const Table& table = ctx.catalog->table(scan.table_id());
@@ -67,44 +106,52 @@ Result<std::vector<Row>> ExecuteRows(const PlanNode& plan,
       const auto& filter = static_cast<const FilterNode&>(plan);
       HIPPO_ASSIGN_OR_RETURN(std::vector<Row> in,
                              ExecuteRows(plan.child(0), ctx));
-      std::vector<Row> out;
-      out.reserve(in.size());
-      for (Row& r : in) {
-        if (EvalPredicate(filter.predicate(), r)) out.push_back(std::move(r));
-      }
-      return out;
+      return PartitionedRows(
+          in.size(), ctx.parallel,
+          [&](size_t begin, size_t end, std::vector<Row>* out) {
+            for (size_t i = begin; i < end; ++i) {
+              if (EvalPredicate(filter.predicate(), in[i])) {
+                out->push_back(std::move(in[i]));
+              }
+            }
+          });
     }
     case PlanKind::kProject: {
       const auto& proj = static_cast<const ProjectNode&>(plan);
       HIPPO_ASSIGN_OR_RETURN(std::vector<Row> in,
                              ExecuteRows(plan.child(0), ctx));
-      std::vector<Row> out;
-      out.reserve(in.size());
-      for (const Row& r : in) {
-        Row mapped;
-        mapped.reserve(proj.NumExprs());
-        for (size_t i = 0; i < proj.NumExprs(); ++i) {
-          mapped.push_back(EvalExpr(proj.expr(i), r));
-        }
-        out.push_back(std::move(mapped));
-      }
-      return exec::DedupRows(std::move(out));
+      // Expression evaluation partitions; the dedup stays serial (first
+      // occurrence over the concatenation = the serial dedup order).
+      return exec::DedupRows(PartitionedRows(
+          in.size(), ctx.parallel,
+          [&](size_t begin, size_t end, std::vector<Row>* out) {
+            for (size_t i = begin; i < end; ++i) {
+              Row mapped;
+              mapped.reserve(proj.NumExprs());
+              for (size_t e = 0; e < proj.NumExprs(); ++e) {
+                mapped.push_back(EvalExpr(proj.expr(e), in[i]));
+              }
+              out->push_back(std::move(mapped));
+            }
+          }));
     }
     case PlanKind::kProduct: {
       HIPPO_ASSIGN_OR_RETURN(std::vector<Row> left,
                              ExecuteRows(plan.child(0), ctx));
       HIPPO_ASSIGN_OR_RETURN(std::vector<Row> right,
                              ExecuteRows(plan.child(1), ctx));
-      std::vector<Row> out;
-      out.reserve(left.size() * right.size());
-      for (const Row& l : left) {
-        for (const Row& r : right) {
-          Row joined = l;
-          joined.insert(joined.end(), r.begin(), r.end());
-          out.push_back(std::move(joined));
-        }
-      }
-      return out;
+      return PartitionedRows(
+          left.size(), ctx.parallel,
+          [&](size_t begin, size_t end, std::vector<Row>* out) {
+            out->reserve((end - begin) * right.size());
+            for (size_t i = begin; i < end; ++i) {
+              for (const Row& r : right) {
+                Row joined = left[i];
+                joined.insert(joined.end(), r.begin(), r.end());
+                out->push_back(std::move(joined));
+              }
+            }
+          });
     }
     case PlanKind::kJoin: {
       const auto& join = static_cast<const JoinNode&>(plan);
@@ -112,10 +159,18 @@ Result<std::vector<Row>> ExecuteRows(const PlanNode& plan,
                              ExecuteRows(plan.child(0), ctx));
       HIPPO_ASSIGN_OR_RETURN(std::vector<Row> right,
                              ExecuteRows(plan.child(1), ctx));
-      std::vector<Row> out;
-      exec::JoinRows(left, right, join.condition(),
-                     plan.child(0).schema().NumColumns(), &out);
-      return out;
+      // Build once (serial), probe partitioned: each range probes the
+      // shared read-only hash table.
+      exec::JoinChain chain(
+          plan.child(0).schema().NumColumns(),
+          {{&right, &join.condition(),
+            plan.child(1).schema().NumColumns()}},
+          nullptr);
+      return PartitionedRows(
+          left.size(), ctx.parallel,
+          [&](size_t begin, size_t end, std::vector<Row>* out) {
+            chain.Probe(left, begin, end, out);
+          });
     }
     case PlanKind::kAntiJoin: {
       const auto& aj = static_cast<const AntiJoinNode&>(plan);
@@ -123,10 +178,13 @@ Result<std::vector<Row>> ExecuteRows(const PlanNode& plan,
                              ExecuteRows(plan.child(0), ctx));
       HIPPO_ASSIGN_OR_RETURN(std::vector<Row> right,
                              ExecuteRows(plan.child(1), ctx));
-      std::vector<Row> out;
-      exec::AntiJoinRows(left, right, aj.condition(),
-                         plan.child(0).schema().NumColumns(), &out);
-      return out;
+      exec::AntiJoinProbe probe(&right, &aj.condition(),
+                                plan.child(0).schema().NumColumns());
+      return PartitionedRows(
+          left.size(), ctx.parallel,
+          [&](size_t begin, size_t end, std::vector<Row>* out) {
+            probe.Probe(left, begin, end, out);
+          });
     }
     case PlanKind::kUnion: {
       HIPPO_ASSIGN_OR_RETURN(std::vector<Row> left,

@@ -58,13 +58,40 @@ class RowMask {
   std::unordered_map<uint32_t, std::vector<bool>> allowed_;
 };
 
-/// Execution environment: the catalog, plus an optional row mask.
-struct ExecContext {
-  const Catalog* catalog = nullptr;
-  const RowMask* mask = nullptr;
+/// Intra-operator parallelism knobs for Execute (see executor.cc): with
+/// more than one thread, the row-at-a-time operators (filter, project
+/// pre-dedup, join/anti-join probe, product) split their input into
+/// contiguous row-range partitions evaluated concurrently and concatenated
+/// in partition order, so the output — rows AND row order — is
+/// bit-identical to the serial run. Hash builds, dedup, set operations,
+/// aggregation, and sort stay serial.
+struct ExecParallel {
+  /// 1 = serial (default); 0 = one per hardware thread
+  /// (ResolveThreadCount).
+  size_t num_threads = 1;
+
+  /// Minimum input rows of an operator per partition: smaller inputs run
+  /// serially so tiny operators don't pay thread spawn overhead.
+  size_t min_partition_rows = 4096;
 };
 
-/// Executes a bound plan to completion.
+/// Execution environment: the catalog, an optional row mask, and the
+/// intra-operator parallelism knobs.
+struct ExecContext {
+  ExecContext() = default;
+  /// The ubiquitous two-field shape (`ExecContext ctx{&catalog, nullptr}`)
+  /// predates the parallel knobs; this constructor keeps it valid (and
+  /// -Wmissing-field-initializers quiet) with serial defaults.
+  ExecContext(const Catalog* catalog_in, const RowMask* mask_in)
+      : catalog(catalog_in), mask(mask_in) {}
+
+  const Catalog* catalog = nullptr;
+  const RowMask* mask = nullptr;
+  ExecParallel parallel;
+};
+
+/// Executes a bound plan to completion. With ctx.parallel.num_threads > 1
+/// the result is still bit-identical (rows and order) to the serial run.
 Result<ResultSet> Execute(const PlanNode& plan, const ExecContext& ctx);
 
 }  // namespace hippo

@@ -63,9 +63,14 @@ struct ServiceOptions {
   size_t bulk_redetect_statements = 1024;
 
   /// Detection options for commit-path re-detection (bulk commits,
-  /// constraint DDL). num_threads defaults to 0 = all hardware threads.
+  /// constraint DDL). num_threads defaults to 0 = all hardware threads;
+  /// shard_rows / partition_rows split a single hot FD, generic-join
+  /// constraint, or FK across the pool, so even a one-constraint database
+  /// re-detects in parallel and the exclusive commit window shrinks with
+  /// the core count. Invalid combinations (DetectOptions::Validate) fail
+  /// the first commit that needs a re-detect, with a clear status.
   DetectOptions detect{/*use_fd_fast_path=*/true, /*num_threads=*/0,
-                       /*shard_rows=*/16384};
+                       /*shard_rows=*/16384, /*partition_rows=*/8192};
 };
 
 struct ServiceStats {

@@ -171,6 +171,60 @@ TEST(DetectTest, DetectStatsTrackPaths) {
   EXPECT_EQ(db.detect_stats().generic_constraints, 1u);
 }
 
+// DetectOptions::Validate rejects nonsensical combinations with a clear
+// InvalidArgument instead of the former silent fallbacks (shard_rows == 0
+// used to silently disable FD sharding), and DetectAll enforces it on
+// every run — serial and parallel alike.
+TEST(DetectOptionsValidationTest, RejectsNonsense) {
+  DetectOptions ok;
+  EXPECT_OK(ok.Validate());
+
+  DetectOptions zero_shard;
+  zero_shard.shard_rows = 0;
+  Status st = zero_shard.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("shard_rows"), std::string::npos);
+
+  DetectOptions zero_partition;
+  zero_partition.partition_rows = 0;
+  st = zero_partition.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("partition_rows"), std::string::npos);
+
+  DetectOptions absurd_threads;
+  absurd_threads.num_threads = DetectOptions::kMaxThreads + 1;
+  EXPECT_EQ(absurd_threads.Validate().code(),
+            StatusCode::kInvalidArgument);
+  // 0 is a valid sentinel ("all hardware threads"), SIZE_MAX row
+  // thresholds are the sanctioned way to disable the splits.
+  DetectOptions disabled;
+  disabled.num_threads = 0;
+  disabled.shard_rows = SIZE_MAX;
+  disabled.partition_rows = SIZE_MAX;
+  EXPECT_OK(disabled.Validate());
+}
+
+TEST(DetectOptionsValidationTest, DetectAllSurfacesTheStatus) {
+  Database db;
+  ASSERT_OK(db.Execute(
+      "CREATE TABLE t (a INTEGER, b INTEGER);"
+      "INSERT INTO t VALUES (1, 10), (1, 11);"
+      "CREATE CONSTRAINT fd FD ON t (a -> b)"));
+  DetectOptions bad;
+  bad.shard_rows = 0;
+  ConflictDetector serial(db.catalog(), bad);
+  EXPECT_EQ(serial.DetectAll(db.constraints()).status().code(),
+            StatusCode::kInvalidArgument);
+  bad.num_threads = 4;  // the parallel path validates too
+  ConflictDetector parallel(db.catalog(), bad);
+  EXPECT_EQ(parallel.DetectAll(db.constraints()).status().code(),
+            StatusCode::kInvalidArgument);
+  // And the Database plumbing surfaces it rather than crashing.
+  db.SetDetectOptions(bad);
+  EXPECT_EQ(db.Hypergraph().status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 // Property: the FD fast path and the generic join path produce identical
 // hypergraphs on random instances.
 class FdPathEquivalence : public ::testing::TestWithParam<uint64_t> {};

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/rng.h"
@@ -330,6 +331,160 @@ TEST(FdNullCornersTest, PinnedSemantics) {
   sharded.num_threads = 4;
   sharded.shard_rows = 1;
   EXPECT_EQ(DetectWith(&db, sharded), fast_edges);
+}
+
+// ---------------------------------------------------------------------------
+// Intra-constraint partition sweep: probe-side partitioning of the generic
+// join path and child partitioning of the FK anti-join.
+// ---------------------------------------------------------------------------
+
+/// One giant generic (non-FD) equi-join constraint over a skewed-large
+/// table — the workload where all parallelism must come from probe-side
+/// row-range partitioning — plus, under `with_satellites`, a couple of
+/// tiny satellite constraints and an FK with a partitionable child side,
+/// so the skewed mix (one giant + several small units) is covered too.
+void BuildIntraPartitionScenario(Database* db, Rng* rng,
+                                 bool with_satellites) {
+  ASSERT_OK(db->Execute(
+      "CREATE TABLE g (a INTEGER, b INTEGER);"
+      // Equi-conjunct on a (hash probe) + inequality residual; NOT
+      // FD-shaped, so the generic join path runs.
+      "CREATE CONSTRAINT giant DENIAL (g AS x, g AS y WHERE "
+      "x.a = y.a AND x.b < y.b - 1)"));
+  size_t n = 150 + rng->Uniform(250);
+  for (size_t i = 0; i < n; ++i) {
+    // ~3 rows per key so most probes hit; b collisions keep the edge
+    // count moderate.
+    ASSERT_OK(db->InsertRow(
+        "g", Row{MaybeNullInt(rng, 0.05, n / 3 + 1),
+                 MaybeNullInt(rng, 0.05, 6)}));
+  }
+  if (!with_satellites) return;
+  ASSERT_OK(db->Execute(
+      "CREATE TABLE parent (k INTEGER);"
+      "CREATE TABLE child (a INTEGER, b INTEGER);"
+      "CREATE CONSTRAINT fd_child FD ON child (a -> b);"
+      "CREATE CONSTRAINT tiny DENIAL (g AS x WHERE x.b < -5);"
+      "CREATE CONSTRAINT fk FOREIGN KEY child (b) REFERENCES parent (k)"));
+  for (size_t i = 0; i < 1 + rng->Uniform(3); ++i) {
+    ASSERT_OK(db->InsertRow(
+        "parent", Row{Value::Int(static_cast<int64_t>(rng->Uniform(4)))}));
+  }
+  // Child side is large relative to the parent so the FK anti-join's
+  // probe side is worth partitioning in the sweep below.
+  for (size_t i = 0; i < 60 + rng->Uniform(60); ++i) {
+    ASSERT_OK(db->InsertRow(
+        "child", Row{MaybeNullInt(rng, 0.1, 5),
+                     MaybeNullInt(rng, 0.1, 6)}));
+  }
+}
+
+class IntraPartitionSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(IntraPartitionSweep, PartitionedEqualsSerialAndNaive) {
+  Rng rng(std::get<0>(GetParam()));
+  Database db;
+  BuildIntraPartitionScenario(&db, &rng, std::get<1>(GetParam()));
+  if (::testing::Test::HasFatalFailure()) return;
+
+  CanonicalEdgeList naive =
+      NaiveDetect(db.catalog(), db.constraints(), db.foreign_keys())
+          .CanonicalEdges();
+  DetectOptions serial;
+  CanonicalEdgeList reference = DetectWith(&db, serial);
+  EXPECT_EQ(reference, naive)
+      << "serial generic-join detection diverged from the naive reference";
+  EXPECT_FALSE(reference.empty()) << "scenario generated no conflicts";
+
+  // partition_rows = 1 forces one probe partition per worker even on the
+  // test-sized tables; larger thresholds exercise the partial and
+  // no-split plans. shard_rows stays large so FD satellites run unsharded
+  // and scheduling interleaves unit kinds.
+  for (size_t threads : {2u, 4u, 8u}) {
+    for (size_t partition_rows : {1u, 7u, 64u, 4096u}) {
+      DetectOptions opts;
+      opts.num_threads = threads;
+      opts.partition_rows = partition_rows;
+      EXPECT_EQ(DetectWith(&db, opts), reference)
+          << "partitioned detection diverged at " << threads
+          << " threads, partition_rows=" << partition_rows;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, IntraPartitionSweep,
+    ::testing::Combine(::testing::Values(5u, 23u, 77u, 443u, 60601u),
+                       ::testing::Bool()));
+
+// Edge-id determinism across intra-partition configs: every parallel
+// decomposition — different thread counts, partition thresholds, FD shard
+// thresholds — must agree edge by edge (id, vertex set, provenance),
+// because BulkLoad orders insertion by canonical vertex set independently
+// of the decomposition.
+TEST(IntraPartitionDeterminismTest, EdgeIdsIndependentOfPartitioning) {
+  Rng rng(8675309);
+  Database db;
+  BuildIntraPartitionScenario(&db, &rng, /*with_satellites=*/true);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  auto detect_full = [&](size_t threads, size_t partition_rows,
+                         size_t shard_rows) {
+    DetectOptions opts;
+    opts.num_threads = threads;
+    opts.partition_rows = partition_rows;
+    opts.shard_rows = shard_rows;
+    ConflictDetector detector(db.catalog(), opts);
+    auto g = detector.DetectAll(db.constraints(), db.foreign_keys());
+    EXPECT_OK(g.status());
+    return std::move(g).value();
+  };
+  ConflictHypergraph base = detect_full(2, 1, 1);
+  EXPECT_GT(base.NumEdges(), 0u);
+  for (auto [threads, partition_rows, shard_rows] :
+       {std::tuple<size_t, size_t, size_t>{3, 7, 16},
+        {4, 64, 1},
+        {8, 1, 4096},
+        {2, 4096, 4096}}) {
+    ConflictHypergraph other =
+        detect_full(threads, partition_rows, shard_rows);
+    ASSERT_EQ(base.NumEdgeSlots(), other.NumEdgeSlots())
+        << "threads=" << threads << " partition_rows=" << partition_rows;
+    for (size_t e = 0; e < base.NumEdgeSlots(); ++e) {
+      auto id = static_cast<ConflictHypergraph::EdgeId>(e);
+      EXPECT_EQ(base.edge(id), other.edge(id));
+      EXPECT_EQ(base.edge_constraint(id), other.edge_constraint(id));
+    }
+  }
+}
+
+// The partition planner actually splits (this pins the sweep above to the
+// partitioned code path rather than vacuously passing on unsplit units),
+// and tiny constraints below the threshold don't pay for partitioning.
+TEST(IntraPartitionDeterminismTest, PlannerSplitsOnlyAboveThreshold) {
+  Rng rng(1234);
+  Database db;
+  BuildIntraPartitionScenario(&db, &rng, /*with_satellites=*/true);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  DetectOptions split;
+  split.num_threads = 4;
+  split.partition_rows = 1;
+  ConflictDetector split_detector(db.catalog(), split);
+  ASSERT_OK(split_detector.DetectAll(db.constraints(), db.foreign_keys())
+                .status());
+  EXPECT_GT(split_detector.stats().generic_partitions, 0u);
+  EXPECT_GT(split_detector.stats().fk_partitions, 0u);
+
+  DetectOptions unsplit;
+  unsplit.num_threads = 4;
+  unsplit.partition_rows = SIZE_MAX;
+  ConflictDetector unsplit_detector(db.catalog(), unsplit);
+  ASSERT_OK(unsplit_detector.DetectAll(db.constraints(), db.foreign_keys())
+                .status());
+  EXPECT_EQ(unsplit_detector.stats().generic_partitions, 0u);
+  EXPECT_EQ(unsplit_detector.stats().fk_partitions, 0u);
 }
 
 }  // namespace

@@ -1,8 +1,11 @@
-// Parallel prover tests: thread-count independence of results and stats.
+// Parallel pipeline tests: thread-count independence of the partitioned
+// executor (envelope evaluation) and of the prover loop, results and stats.
 #include <gtest/gtest.h>
 
 #include "benchutil/workload.h"
+#include "cqa/envelope.h"
 #include "db/database.h"
+#include "exec/executor.h"
 #include "tests/test_util.h"
 
 namespace hippo {
@@ -77,6 +80,62 @@ TEST_F(ParallelTest, MoreThreadsThanCandidates) {
   auto rs = small.ConsistentAnswers("SELECT * FROM t", par);
   ASSERT_OK(rs.status());
   EXPECT_EQ(rs.value().NumRows(), 1u);
+}
+
+// The partitioned executor must be BIT-identical to the serial one — rows
+// AND row order — for every plan shape it partitions (filter, project
+// dedup, hash/NL join probe, anti-join probe via the rewriting layer,
+// product, set ops on top). min_partition_rows = 1 forces a split even on
+// the test-sized inputs.
+TEST_F(ParallelTest, PartitionedExecutorMatchesSerialBitForBit) {
+  const char* queries[] = {
+      "SELECT * FROM p WHERE p.b < 500",
+      "SELECT p.b, p.a FROM p",                       // project + dedup
+      "SELECT * FROM p, q WHERE p.a = q.a",           // hash join probe
+      "SELECT * FROM p, q WHERE p.a < q.a AND q.a < p.a + 2",  // NL-ish
+      "SELECT * FROM p INTERSECT SELECT * FROM q",
+      "(SELECT * FROM p EXCEPT SELECT * FROM q) UNION "
+      "(SELECT * FROM q EXCEPT SELECT * FROM p)",
+  };
+  for (const char* q : queries) {
+    auto plan = db_.Plan(q);
+    ASSERT_OK(plan.status()) << q;
+    ExecContext serial{&db_.catalog(), nullptr};
+    auto want = Execute(*plan.value(), serial);
+    ASSERT_OK(want.status()) << q;
+    for (size_t threads : {2u, 3u, 8u}) {
+      ExecContext par{&db_.catalog(), nullptr};
+      par.parallel.num_threads = threads;
+      par.parallel.min_partition_rows = 1;
+      auto got = Execute(*plan.value(), par);
+      ASSERT_OK(got.status()) << q;
+      EXPECT_EQ(got.value().rows, want.value().rows)
+          << q << " threads=" << threads;
+    }
+  }
+}
+
+// Same contract for the envelope plans the CQA pipeline actually runs —
+// including a difference query, whose envelope drops the subtrahend.
+TEST_F(ParallelTest, PartitionedEnvelopeEvaluationMatchesSerial) {
+  const char* queries[] = {
+      "SELECT * FROM p EXCEPT SELECT * FROM q",
+      "SELECT * FROM p, q WHERE p.a = q.a",
+  };
+  for (const char* q : queries) {
+    auto plan = db_.Plan(q);
+    ASSERT_OK(plan.status()) << q;
+    PlanNodePtr envelope = cqa::BuildEnvelope(*plan.value());
+    ExecContext serial{&db_.catalog(), nullptr};
+    auto want = Execute(*envelope, serial);
+    ASSERT_OK(want.status()) << q;
+    ExecContext par{&db_.catalog(), nullptr};
+    par.parallel.num_threads = 4;
+    par.parallel.min_partition_rows = 1;
+    auto got = Execute(*envelope, par);
+    ASSERT_OK(got.status()) << q;
+    EXPECT_EQ(got.value().rows, want.value().rows) << q;
+  }
 }
 
 TEST_F(ParallelTest, ParallelWithQueryMembershipMode) {

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: compare bench tables against BENCH_baseline.json.
+
+Usage:
+  tools/check_bench.py --baseline BENCH_baseline.json --current DIR_OR_FILE...
+                       [--max-ratio 3.0] [--require F5,F8a,F11a]
+
+`--current` accepts JSONL files produced by the HIPPO_BENCH_JSON hook in
+src/benchutil/report.cc (one table object per line), or directories of
+such files (named <bench_binary>.jsonl by convention). Every current table
+is matched to a baseline table by its caption key — the part before the
+first ':' (e.g. "F8a") — so caption suffixes (sizes, rates) may evolve
+without breaking the gate. Rows are matched by their first column.
+
+A cell pair is compared only when BOTH parse as durations ("12.3 ms",
+"4.56 s", ...). The gate fails when current > max-ratio x baseline — a
+generous threshold (default 3x) that catches order-of-magnitude rot
+without flaking on shared runners of different speeds. Improvements and
+non-duration cells (counts, "-", speedup ratios) are ignored, as are
+cells whose BASELINE duration is below --min-baseline (default 10 ms):
+single-digit-millisecond cells are dominated by scheduler noise on a
+loaded runner, and a real order-of-magnitude regression in them still
+shows up in the larger rows of the same sweep.
+
+`--require` lists caption keys that MUST be present in the current run —
+this keeps the gate from passing vacuously when a bench binary silently
+stops emitting its table.
+
+Exit status: 0 = pass, 1 = regression or missing required table,
+2 = usage/input error.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+DURATION_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*(ns|us|ms|s)\s*$")
+UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def parse_duration(cell):
+    """Returns seconds, or None when the cell is not a duration."""
+    m = DURATION_RE.match(cell)
+    if m is None:
+        return None
+    return float(m.group(1)) * UNIT_SECONDS[m.group(2)]
+
+
+def caption_key(caption):
+    """'F8a: hot FD table ... (262144 rows)' -> 'F8a'."""
+    return caption.split(":", 1)[0].strip()
+
+
+def index_tables(tables):
+    """caption key -> table object (first occurrence wins)."""
+    out = {}
+    for t in tables:
+        out.setdefault(caption_key(t["table"]), t)
+    return out
+
+
+def load_current(paths):
+    tables = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        files = sorted(p.glob("*.jsonl")) if p.is_dir() else [p]
+        if not files:
+            print(f"warning: no .jsonl files under {p}", file=sys.stderr)
+        for f in files:
+            for line_no, line in enumerate(f.read_text().splitlines(), 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    tables.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    sys.exit(f"error: {f}:{line_no}: bad JSON line: {e}")
+    return tables
+
+
+def load_baseline(path):
+    with open(path) as f:
+        baseline = json.load(f)
+    tables = []
+    for bench in baseline.get("benches", {}).values():
+        tables.extend(bench.get("tables", []))
+    return baseline, tables
+
+
+def compare(baseline_tables, current_tables, max_ratio, min_baseline):
+    """Returns (violations, comparisons) where violations is a list of
+    human-readable regression strings."""
+    violations = []
+    comparisons = 0
+    base_by_key = index_tables(baseline_tables)
+    for cur in current_tables:
+        key = caption_key(cur["table"])
+        base = base_by_key.get(key)
+        if base is None:
+            print(f"note: no baseline table for '{key}' — skipped")
+            continue
+        # Rows are matched by (first column, occurrence ordinal): several
+        # benches repeat the first column across rows (e.g. F4's N column
+        # per mode), and keying on the value alone would compare cells
+        # against the wrong row.
+        base_rows = {}
+        for row in base["rows"]:
+            if row:
+                base_rows.setdefault(row[0], []).append(row)
+        base_cols = {name: i for i, name in enumerate(base["columns"])}
+        seen = {}
+        for row in cur["rows"]:
+            if not row:
+                continue
+            ordinal = seen.get(row[0], 0)
+            seen[row[0]] = ordinal + 1
+            candidates = base_rows.get(row[0], [])
+            if ordinal >= len(candidates):
+                print(f"note: {key}: no baseline row '{row[0]}' "
+                      f"(occurrence {ordinal + 1}) — skipped")
+                continue
+            base_row = candidates[ordinal]
+            for col_idx, cell in enumerate(row):
+                if col_idx >= len(cur["columns"]):
+                    break
+                col_name = cur["columns"][col_idx]
+                base_idx = base_cols.get(col_name)
+                if base_idx is None or base_idx >= len(base_row):
+                    continue
+                cur_secs = parse_duration(cell)
+                base_secs = parse_duration(base_row[base_idx])
+                if cur_secs is None or base_secs is None or base_secs == 0:
+                    continue
+                if base_secs < min_baseline:
+                    continue  # noise-dominated on loaded runners
+                comparisons += 1
+                ratio = cur_secs / base_secs
+                if ratio > max_ratio:
+                    violations.append(
+                        f"{key} [{row[0]}] {col_name}: {cell} vs baseline "
+                        f"{base_row[base_idx]} ({ratio:.1f}x > "
+                        f"{max_ratio:.1f}x)")
+    return violations, comparisons
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", nargs="+", required=True,
+                    help="JSONL files or directories of them")
+    ap.add_argument("--max-ratio", type=float, default=3.0)
+    ap.add_argument("--min-baseline", type=float, default=0.010,
+                    help="skip cells whose baseline duration (seconds) is "
+                         "below this — too noise-prone to gate")
+    ap.add_argument("--require", default="",
+                    help="comma-separated caption keys that must be present "
+                         "in the current run")
+    args = ap.parse_args()
+
+    baseline, baseline_tables = load_baseline(args.baseline)
+    current_tables = load_current(args.current)
+    if not current_tables:
+        sys.exit("error: no current tables to check")
+
+    if baseline.get("single_core_warning"):
+        print("warning: baseline was recorded on a 1-core host — parallel "
+              "speedup rows are ~1x there; duration thresholds still apply",
+              file=sys.stderr)
+
+    current_keys = {caption_key(t["table"]) for t in current_tables}
+    missing = [k for k in
+               (k.strip() for k in args.require.split(",") if k.strip())
+               if k not in current_keys]
+
+    violations, comparisons = compare(baseline_tables, current_tables,
+                                      args.max_ratio, args.min_baseline)
+
+    print(f"checked {comparisons} duration cells across "
+          f"{len(current_tables)} tables "
+          f"(baseline host_cores={baseline.get('host_cores', '?')}, "
+          f"max ratio {args.max_ratio:.1f}x)")
+    ok = True
+    if missing:
+        ok = False
+        print(f"FAIL: required tables missing from the current run: "
+              f"{', '.join(missing)}")
+    if violations:
+        ok = False
+        print(f"FAIL: {len(violations)} cells regressed past "
+              f"{args.max_ratio:.1f}x:")
+        for v in violations:
+            print(f"  {v}")
+    if ok:
+        print("PASS: no duration cell regressed past the threshold")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

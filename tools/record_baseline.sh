@@ -30,10 +30,14 @@ if (( ${#benches[@]} == 0 )); then
   exit 1
 fi
 
-# The parallel benches (F8 sharded detection, F9 concurrent serving) need
-# physical cores to show anything but ~1x; a baseline recorded on a 1-core
-# host bakes meaningless speedup rows into the committed file. Warn loudly
-# and stamp the caveat into the JSON so later readers see it too.
+# The parallel benches (F8 sharded detection, F9 concurrent serving, F11
+# intra-constraint partitioning) need physical cores to show anything but
+# ~1x; a baseline recorded on a 1-core host bakes meaningless speedup rows
+# into the committed file. Warn loudly and stamp the caveat into the JSON
+# so later readers see it too. The CI workflow's manually-triggered
+# `record-baseline` job (workflow_dispatch) runs this script on a standard
+# 4-core runner and uploads the result as an artifact — the easy way to a
+# multi-core baseline when developing on a small container.
 cores=$(nproc)
 single_core_warning=false
 if (( cores <= 1 )); then
