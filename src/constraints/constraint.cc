@@ -154,6 +154,18 @@ Result<DenialConstraint> DenialConstraint::FromStatement(
   return Make(catalog, stmt.name, std::move(atoms), std::move(where));
 }
 
+DenialConstraint DenialConstraint::Clone() const {
+  DenialConstraint copy;
+  copy.name_ = name_;
+  copy.atoms_ = atoms_;
+  copy.condition_ = condition_ != nullptr ? condition_->Clone() : nullptr;
+  copy.combined_schema_ = combined_schema_;
+  copy.offsets_ = offsets_;
+  copy.widths_ = widths_;
+  copy.fd_info_ = fd_info_;
+  return copy;
+}
+
 std::string DenialConstraint::ToString() const {
   std::string out = name_ + ": NOT (";
   for (size_t i = 0; i < atoms_.size(); ++i) {

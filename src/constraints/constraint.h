@@ -87,6 +87,11 @@ class DenialConstraint {
 
   std::string ToString() const;
 
+  /// Deep copy (clones the bound condition). The class is otherwise
+  /// move-only; service::Snapshot uses this to freeze the constraint set
+  /// alongside the instance it was declared over.
+  DenialConstraint Clone() const;
+
   DenialConstraint(DenialConstraint&&) = default;
   DenialConstraint& operator=(DenialConstraint&&) = default;
 

@@ -58,9 +58,83 @@ Result<bool> HippoEngine::DecideCandidate(Grounder* grounder, HProver* prover,
   return true;
 }
 
+namespace {
+
+/// Orders rows under the root SortNode's keys, ties broken by the row
+/// total order — a total order, so every route (prover, rewriting, plain
+/// evaluation) emits bit-identical ordered output. No-op without a root
+/// sort (routes may then differ in order; answer *sets* are identical).
+void SortAnswers(const PlanNode& plan, std::vector<Row>* rows) {
+  if (plan.kind() != PlanKind::kSort) return;
+  const auto& sort = static_cast<const SortNode&>(plan);
+  std::sort(rows->begin(), rows->end(),
+            [&sort](const Row& a, const Row& b) {
+              for (const SortNode::Key& k : sort.keys()) {
+                Value va = EvalExpr(*k.expr, a);
+                Value vb = EvalExpr(*k.expr, b);
+                int c = va.Compare(vb);
+                if (c != 0) return k.ascending ? c < 0 : c > 0;
+              }
+              return RowLess(a, b);
+            });
+}
+
+}  // namespace
+
+Result<ResultSet> HippoEngine::ServeFirstOrder(const PlanNode& original,
+                                               const PlanNode& exec_plan,
+                                               RouteKind kind,
+                                               const HippoOptions& options,
+                                               HippoStats* stats) const {
+  auto t0 = Clock::now();
+  // Evaluate below any root sort; ordering is re-applied canonically so
+  // ties match the other routes.
+  const PlanNode* body = &exec_plan;
+  if (body->kind() == PlanKind::kSort) body = &body->child(0);
+  ExecContext ctx{&catalog_, nullptr};
+  ctx.parallel.num_threads = options.num_threads;
+  HIPPO_ASSIGN_OR_RETURN(ResultSet result, Execute(*body, ctx));
+  result.schema = original.schema();
+  SortAnswers(original, &result.rows);
+  if (stats != nullptr) {
+    double secs = Seconds(t0, Clock::now());
+    stats->answers += result.rows.size();
+    stats->total_seconds += secs;
+    if (kind == RouteKind::kConflictFree) {
+      ++stats->routed_conflict_free;
+      stats->conflict_free_route_seconds += secs;
+    } else {
+      ++stats->routed_rewrite;
+      stats->rewrite_route_seconds += secs;
+    }
+  }
+  return result;
+}
+
 Result<ResultSet> HippoEngine::ConsistentAnswers(const PlanNode& plan,
                                                  const HippoOptions& options,
                                                  HippoStats* stats) const {
+  HIPPO_ASSIGN_OR_RETURN(
+      RouteDecision route,
+      ClassifyRoute(plan, catalog_, constraints_, foreign_keys_, &graph_,
+                    options.route));
+  if (stats != nullptr) stats->route = route.kind;
+  switch (route.kind) {
+    case RouteKind::kConflictFree:
+      return ServeFirstOrder(plan, plan, route.kind, options, stats);
+    case RouteKind::kRewriteAbc:
+    case RouteKind::kRewriteKw:
+      return ServeFirstOrder(plan, *route.rewritten, route.kind, options,
+                             stats);
+    default:
+      break;
+  }
+  return ServeProver(plan, options, stats);
+}
+
+Result<ResultSet> HippoEngine::ServeProver(const PlanNode& plan,
+                                           const HippoOptions& options,
+                                           HippoStats* stats) const {
   HIPPO_RETURN_NOT_OK(CheckSjudSupported(plan));
   auto t0 = Clock::now();
 
@@ -156,20 +230,9 @@ Result<ResultSet> HippoEngine::ConsistentAnswers(const PlanNode& plan,
   }
   auto t2 = Clock::now();
 
-  // 3. Honor a top-level ORDER BY.
-  if (plan.kind() == PlanKind::kSort) {
-    const auto& sort = static_cast<const SortNode&>(plan);
-    std::stable_sort(answers.rows.begin(), answers.rows.end(),
-                     [&sort](const Row& a, const Row& b) {
-                       for (const SortNode::Key& k : sort.keys()) {
-                         Value va = EvalExpr(*k.expr, a);
-                         Value vb = EvalExpr(*k.expr, b);
-                         int c = va.Compare(vb);
-                         if (c != 0) return k.ascending ? c < 0 : c > 0;
-                       }
-                       return false;
-                     });
-  }
+  // 3. Honor a top-level ORDER BY (canonical tie order shared by every
+  //    route).
+  SortAnswers(plan, &answers.rows);
 
   if (stats != nullptr) {
     stats->candidates += candidates.rows.size();
@@ -180,6 +243,8 @@ Result<ResultSet> HippoEngine::ConsistentAnswers(const PlanNode& plan,
     stats->envelope_seconds += Seconds(t0, t1);
     stats->prove_seconds += Seconds(t1, t2);
     stats->total_seconds += Seconds(t0, t2);
+    ++stats->routed_prover;
+    stats->prover_route_seconds += Seconds(t0, t2);
   }
   return answers;
 }

@@ -20,9 +20,12 @@
 #include "cqa/ground_formula.h"
 #include "cqa/knowledge.h"
 #include "cqa/prover.h"
+#include "constraints/constraint.h"
+#include "constraints/foreign_key.h"
 #include "exec/executor.h"
 #include "hypergraph/hypergraph.h"
 #include "plan/logical_plan.h"
+#include "plan/router.h"
 
 namespace hippo::cqa {
 
@@ -47,9 +50,19 @@ struct HippoOptions {
 
   /// Conflict-detection options (threads, FD sharding, fast path) used when
   /// the conflict hypergraph must be (re)built on behalf of this call.
-  /// Unset = the Database's configured DetectOptions. Ignored when a cached
-  /// hypergraph already exists — the cache is reused unchanged.
+  /// Unset = the Database's configured DetectOptions. When a cached
+  /// hypergraph already exists the cache is reused unchanged and an
+  /// explicitly set `detect` has no effect — the Database reports this via
+  /// HippoStats::detect_options_ignored so a mismatched DetectOptions
+  /// cannot silently masquerade as a perf change.
   std::optional<DetectOptions> detect;
+
+  /// Route selection (plan/router.h): kAuto dispatches each query to the
+  /// cheapest sound engine (conflict-free plain evaluation → first-order
+  /// rewriting → prover); the force modes pin one route and fail with
+  /// NotSupported when it cannot soundly serve the query. Differential
+  /// tests and benches use the force modes to compare routes.
+  RouteMode route = RouteMode::kAuto;
 };
 
 struct HippoStats {
@@ -64,18 +77,45 @@ struct HippoStats {
   double envelope_seconds = 0;
   double prove_seconds = 0;        ///< grounding + CNF + prover
   double total_seconds = 0;
+
+  /// Route taken by the most recent ConsistentAnswers call.
+  RouteKind route = RouteKind::kNone;
+  /// Per-route call counts and cumulative latency (seconds). The rewrite
+  /// buckets cover both the ABC and KW first-order methods.
+  size_t routed_conflict_free = 0;
+  size_t routed_rewrite = 0;
+  size_t routed_prover = 0;
+  double conflict_free_route_seconds = 0;
+  double rewrite_route_seconds = 0;
+  double prover_route_seconds = 0;
+  /// Calls whose explicitly set HippoOptions::detect was ignored because a
+  /// cached hypergraph was reused (maintained by Database, which owns the
+  /// cache).
+  size_t detect_options_ignored = 0;
 };
 
 class HippoEngine {
  public:
-  HippoEngine(const Catalog& catalog, const ConflictHypergraph& graph)
-      : catalog_(catalog), graph_(graph) {}
+  /// `constraints` / `foreign_keys` enable the first-order routes of the
+  /// query router; with the defaults (null) every query takes the prover
+  /// path, the pre-router behavior.
+  HippoEngine(const Catalog& catalog, const ConflictHypergraph& graph,
+              const std::vector<DenialConstraint>* constraints = nullptr,
+              const std::vector<ForeignKeyConstraint>* foreign_keys = nullptr)
+      : catalog_(catalog),
+        graph_(graph),
+        constraints_(constraints),
+        foreign_keys_(foreign_keys) {}
 
-  /// Computes the consistent answers to a bound plan. The plan must pass
-  /// CheckSjudSupported; a top-level SortNode is honored on the output.
-  /// Const: the engine only reads the catalog and hypergraph, so any number
-  /// of engines (or threads within one engine) may evaluate concurrently
-  /// against the same immutable snapshot.
+  /// Computes the consistent answers to a bound plan, dispatching to the
+  /// cheapest sound route (or the one forced by options.route); the plan
+  /// must pass CheckSjudSupported for the prover route, and may use
+  /// narrowing projection when a first-order route can serve it. A
+  /// top-level SortNode is honored on the output; ties under the sort keys
+  /// are broken by the row total order so every route returns bit-identical
+  /// ordered results. Const: the engine only reads the catalog and
+  /// hypergraph, so any number of engines (or threads within one engine)
+  /// may evaluate concurrently against the same immutable snapshot.
   Result<ResultSet> ConsistentAnswers(const PlanNode& plan,
                                       const HippoOptions& options,
                                       HippoStats* stats = nullptr) const;
@@ -90,8 +130,23 @@ class HippoEngine {
                                const Row& tuple, const HippoOptions& options,
                                HippoStats* stats) const;
 
+  /// Serves a first-order route: plain evaluation of `exec_plan` (the
+  /// original plan for kConflictFree, the rewritten one otherwise), with
+  /// the output schema and root sort of `original`.
+  Result<ResultSet> ServeFirstOrder(const PlanNode& original,
+                                    const PlanNode& exec_plan,
+                                    RouteKind kind,
+                                    const HippoOptions& options,
+                                    HippoStats* stats) const;
+
+  Result<ResultSet> ServeProver(const PlanNode& plan,
+                                const HippoOptions& options,
+                                HippoStats* stats) const;
+
   const Catalog& catalog_;
   const ConflictHypergraph& graph_;
+  const std::vector<DenialConstraint>* constraints_ = nullptr;
+  const std::vector<ForeignKeyConstraint>* foreign_keys_ = nullptr;
 };
 
 }  // namespace hippo::cqa

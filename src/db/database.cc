@@ -10,6 +10,7 @@
 #include "io/csv.h"
 #include "plan/optimizer.h"
 #include "plan/planner.h"
+#include "plan/router.h"
 #include "plan/sjud.h"
 #include "rewriting/rewriter.h"
 #include "sql/parser.h"
@@ -442,6 +443,27 @@ Result<std::string> Database::Explain(const std::string& select_sql) const {
     out += "-- rewriting inapplicable: " + rewritten.status().message() +
            "\n";
   }
+  {
+    // Route classification against the cached hypergraph (if any). A cold
+    // cache is classified conservatively: the conflict-free route needs
+    // edge information and the KW completeness gate needs the graph, so
+    // such queries report the prover route until detection has run.
+    const ConflictHypergraph* graph = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(hypergraph_mu_);
+      if (hypergraph_.has_value()) graph = &hypergraph_.value();
+    }
+    auto route = ClassifyRoute(*plan, catalog_, &constraints_, &foreign_keys_,
+                               graph, RouteMode::kAuto);
+    if (route.ok()) {
+      out += std::string("-- route --\n") + RouteKindName(route.value().kind) +
+             ": " + route.value().reason;
+      if (graph == nullptr) out += " [hypergraph not yet built]";
+      out += "\n";
+    } else {
+      out += "-- route unavailable: " + route.status().message() + "\n";
+    }
+  }
   return out;
 }
 
@@ -457,13 +479,14 @@ Result<const ConflictHypergraph*> Database::Hypergraph() {
 }
 
 Result<const ConflictHypergraph*> Database::HypergraphWith(
-    const DetectOptions& options) {
+    const DetectOptions& options, bool* reused_cache) {
   // Concurrent readers may all arrive on a cold cache; the first one to
   // take the lock builds, the rest reuse the published graph. Detection
   // itself runs under the lock — it already parallelizes internally via
   // options.num_threads, so stacking racing builds on top would only
   // duplicate work.
   std::lock_guard<std::mutex> lock(hypergraph_mu_);
+  if (reused_cache != nullptr) *reused_cache = hypergraph_.has_value();
   if (!hypergraph_.has_value()) {
     ConflictDetector detector(catalog_, options);
     HIPPO_ASSIGN_OR_RETURN(ConflictHypergraph graph,
@@ -513,10 +536,18 @@ Result<ResultSet> Database::ConsistentAnswers(const std::string& select_sql,
                                               const cqa::HippoOptions& options,
                                               cqa::HippoStats* stats) {
   HIPPO_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(select_sql));
+  bool reused_cache = false;
   HIPPO_ASSIGN_OR_RETURN(
       const ConflictHypergraph* graph,
-      HypergraphWith(options.detect.value_or(detect_options_)));
-  cqa::HippoEngine engine(catalog_, *graph);
+      HypergraphWith(options.detect.value_or(detect_options_),
+                     &reused_cache));
+  if (stats != nullptr && options.detect.has_value() && reused_cache) {
+    // The caller asked for specific detection options but a cached graph
+    // was reused, so they had no effect; surface that instead of letting a
+    // mismatched DetectOptions masquerade as a detection change.
+    ++stats->detect_options_ignored;
+  }
+  cqa::HippoEngine engine(catalog_, *graph, &constraints_, &foreign_keys_);
   return engine.ConsistentAnswers(*plan, options, stats);
 }
 

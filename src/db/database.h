@@ -144,9 +144,11 @@ class Database {
 
   /// As Hypergraph(), but detecting with explicit options when the cache is
   /// cold (a cached graph is returned unchanged). This is how
-  /// HippoOptions::detect reaches the detector.
+  /// HippoOptions::detect reaches the detector. When `reused_cache` is
+  /// non-null it is set to true iff a previously built graph was returned —
+  /// i.e. `options` had no effect on detection.
   Result<const ConflictHypergraph*> HypergraphWith(
-      const DetectOptions& options);
+      const DetectOptions& options, bool* reused_cache = nullptr);
 
   /// A structurally shared copy-on-write copy of the hypergraph
   /// (ConflictHypergraph::Share), building it first when the cache is cold.

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "expr/expr.h"
+
 namespace hippo {
 
 bool IsSafeProjection(const ProjectNode& project) {
@@ -26,8 +28,15 @@ Status CheckInner(const PlanNode& plan) {
       }
       return Status::OK();
     }
-    case PlanKind::kFilter:
+    case PlanKind::kFilter: {
+      const auto& filter = static_cast<const FilterNode&>(plan);
+      if (ContainsAggCall(filter.predicate())) {
+        return Status::NotSupported(
+            "aggregate calls have no per-tuple meaning inside a filter "
+            "predicate");
+      }
       return CheckInner(plan.child(0));
+    }
     case PlanKind::kProject: {
       const auto& proj = static_cast<const ProjectNode&>(plan);
       if (!IsSafeProjection(proj)) {
@@ -38,8 +47,19 @@ Status CheckInner(const PlanNode& plan) {
       }
       return CheckInner(plan.child(0));
     }
+    case PlanKind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(plan);
+      if (ContainsAggCall(join.condition())) {
+        return Status::NotSupported(
+            "aggregate calls have no per-tuple meaning inside a join "
+            "condition");
+      }
+      for (size_t i = 0; i < plan.NumChildren(); ++i) {
+        HIPPO_RETURN_NOT_OK(CheckInner(plan.child(i)));
+      }
+      return Status::OK();
+    }
     case PlanKind::kProduct:
-    case PlanKind::kJoin:
     case PlanKind::kUnion:
     case PlanKind::kDifference:
     case PlanKind::kIntersect: {

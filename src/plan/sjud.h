@@ -17,10 +17,18 @@ namespace hippo {
 
 /// True iff the projection keeps every input column (all expressions are
 /// plain column references and together they cover the child schema).
+/// Duplicate references are fine — `SELECT a, a, b FROM t(a, b)` still
+/// covers every column, and a duplicating permutation keeps the result
+/// tuple ↔ base tuple correspondence that makes the projection safe; what
+/// disqualifies a projection is *dropping* a column (existential
+/// quantification) or computing a non-column expression.
 bool IsSafeProjection(const ProjectNode& project);
 
 /// OK iff the plan is in the supported SJUD class. A SortNode is permitted
-/// at the root only (ordering does not affect answer membership).
+/// at the root only (ordering does not affect answer membership). Filter
+/// and join predicates may use any scalar expression kind (comparison,
+/// logical, arithmetic, IS NULL, literals, column refs) but not aggregate
+/// calls, which have no per-tuple meaning inside a predicate.
 Status CheckSjudSupported(const PlanNode& plan);
 
 }  // namespace hippo

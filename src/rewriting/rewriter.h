@@ -12,6 +12,16 @@
 // This is the competing approach the Hippo demo benchmarks against; its
 // limits (no union — hence no disjunctive information — and, in this
 // implementation, no difference) are part of the expressiveness comparison.
+//
+// A second first-order method rides on the same entry point: for
+// self-join-free conjunctive queries with *narrowing* projection over
+// primary-key tables, the Koutris–Wijsen certain rewriting ("Consistent
+// Query Answering for Primary Keys in Logspace") applies whenever the
+// query's attack graph is acyclic. Rewrite() tries the ABC residues first
+// (they cover safe projections under any universal binary constraints) and
+// falls back to the KW construction; RewriteInfo reports which method
+// produced the plan so the query router can label the route and validate
+// the KW completeness gate against the conflict hypergraph.
 #pragma once
 
 #include "catalog/catalog.h"
@@ -19,8 +29,23 @@
 #include "constraints/constraint.h"
 #include "constraints/foreign_key.h"
 #include "plan/logical_plan.h"
+#include "plan/router.h"
 
 namespace hippo::rewriting {
+
+/// Which first-order construction produced a rewritten plan.
+enum class RewriteMethod : uint8_t {
+  kAbc,  ///< Arenas–Bertossi–Chomicki residues (safe projection)
+  kKw,   ///< Koutris–Wijsen certain rewriting (narrowing projection)
+};
+
+struct RewriteInfo {
+  RewriteMethod method = RewriteMethod::kAbc;
+  /// Tables whose key FD the KW construction quantified over. The caller
+  /// must verify TableConflictsAreCliques for each before trusting the
+  /// plan (completeness gate under SQL NULLs; see plan/router.h).
+  std::vector<uint32_t> kw_fd_tables;
+};
 
 class QueryRewriter {
  public:
@@ -32,9 +57,11 @@ class QueryRewriter {
         foreign_keys_(foreign_keys) {}
 
   /// Rewrites a bound plan so that its plain evaluation returns the
-  /// consistent answers. NotSupported for queries outside the class
-  /// (union, difference, intersection, unsafe projection).
-  Result<PlanNodePtr> Rewrite(const PlanNode& plan);
+  /// consistent answers. NotSupported for queries outside both first-order
+  /// classes (union, difference, intersection, aggregates; narrowing
+  /// projections that fail the Koutris–Wijsen test).
+  Result<PlanNodePtr> Rewrite(const PlanNode& plan,
+                              RewriteInfo* info = nullptr);
 
  private:
   /// Wraps a scan with the residues of every constraint it participates in.
@@ -51,6 +78,10 @@ class QueryRewriter {
                                      const std::string& alias);
 
   Result<PlanNodePtr> RewriteNode(const PlanNode& node);
+
+  /// Koutris–Wijsen certain rewriting for a self-join-free conjunctive
+  /// plan over primary-key tables with an acyclic attack graph.
+  Result<PlanNodePtr> KwRewrite(const PlanNode& plan, RewriteInfo* info);
 
   const Catalog& catalog_;
   const std::vector<DenialConstraint>& constraints_;

@@ -35,6 +35,14 @@ void MergeHippoStats(const cqa::HippoStats& from, cqa::HippoStats* into) {
   into->envelope_seconds += from.envelope_seconds;
   into->prove_seconds += from.prove_seconds;
   into->total_seconds += from.total_seconds;
+  into->route = from.route;  // most recent request's route
+  into->routed_conflict_free += from.routed_conflict_free;
+  into->routed_rewrite += from.routed_rewrite;
+  into->routed_prover += from.routed_prover;
+  into->conflict_free_route_seconds += from.conflict_free_route_seconds;
+  into->rewrite_route_seconds += from.rewrite_route_seconds;
+  into->prover_route_seconds += from.prover_route_seconds;
+  into->detect_options_ignored += from.detect_options_ignored;
 }
 
 }  // namespace

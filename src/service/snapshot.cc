@@ -14,8 +14,16 @@ Result<SnapshotPtr> Snapshot::Capture(Database* db, uint64_t epoch) {
   // master next mutates it (copy-on-write). One make_shared allocation via
   // the pass-key constructor.
   HIPPO_ASSIGN_OR_RETURN(ConflictHypergraph graph, db->ShareHypergraph());
+  // The constraint set is tiny relative to the instance; a deep copy keeps
+  // the snapshot self-contained under later constraint DDL on the master.
+  std::vector<DenialConstraint> constraints;
+  constraints.reserve(db->constraints().size());
+  for (const DenialConstraint& dc : db->constraints()) {
+    constraints.push_back(dc.Clone());
+  }
   return std::make_shared<const Snapshot>(
-      PrivateTag{}, epoch, db->catalog().Share(), std::move(graph));
+      PrivateTag{}, epoch, db->catalog().Share(), std::move(graph),
+      std::move(constraints), db->foreign_keys());
 }
 
 size_t Snapshot::ApproxBytes() const {
@@ -71,7 +79,7 @@ Result<ResultSet> Snapshot::ConsistentAnswers(const std::string& select_sql,
                                               const cqa::HippoOptions& options,
                                               cqa::HippoStats* stats) const {
   HIPPO_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(select_sql));
-  cqa::HippoEngine engine(catalog_, graph_);
+  cqa::HippoEngine engine(catalog_, graph_, &constraints_, &foreign_keys_);
   return engine.ConsistentAnswers(*plan, options, stats);
 }
 

@@ -24,9 +24,12 @@
 #include <memory>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "constraints/constraint.h"
+#include "constraints/foreign_key.h"
 #include "cqa/engine.h"
 #include "detect/detector.h"
 #include "exec/executor.h"
@@ -52,10 +55,14 @@ class Snapshot {
 
  public:
   Snapshot(PrivateTag, uint64_t epoch, Catalog catalog,
-           ConflictHypergraph graph)
+           ConflictHypergraph graph,
+           std::vector<DenialConstraint> constraints,
+           std::vector<ForeignKeyConstraint> foreign_keys)
       : epoch_(epoch),
         catalog_(std::move(catalog)),
-        graph_(std::move(graph)) {}
+        graph_(std::move(graph)),
+        constraints_(std::move(constraints)),
+        foreign_keys_(std::move(foreign_keys)) {}
 
   /// Captures the current state of `db` as an immutable snapshot stamped
   /// with `epoch`. Builds the conflict hypergraph first when the cache is
@@ -70,6 +77,16 @@ class Snapshot {
 
   const Catalog& catalog() const { return catalog_; }
   const ConflictHypergraph& hypergraph() const { return graph_; }
+
+  /// The constraint set the frozen instance was declared over (deep-copied
+  /// at capture; constraint DDL after capture does not reach this
+  /// snapshot). Feeds the query router's first-order routes.
+  const std::vector<DenialConstraint>& constraints() const {
+    return constraints_;
+  }
+  const std::vector<ForeignKeyConstraint>& foreign_keys() const {
+    return foreign_keys_;
+  }
 
   /// Live rows across all tables (cardinality of the frozen instance).
   size_t TotalRows() const { return catalog_.TotalRows(); }
@@ -119,6 +136,8 @@ class Snapshot {
   uint64_t epoch_;
   Catalog catalog_;
   ConflictHypergraph graph_;
+  std::vector<DenialConstraint> constraints_;
+  std::vector<ForeignKeyConstraint> foreign_keys_;
 };
 
 }  // namespace hippo::service

@@ -85,6 +85,7 @@ TEST_F(EngineTest, KnowledgeGatheringIssuesNoQueries) {
 TEST_F(EngineTest, FilteringShortcutsConflictFreeCandidates) {
   HippoStats with;
   HippoOptions opt;
+  opt.route = RouteMode::kForceProver;  // shortcut stats are prover-only
   opt.use_filtering = true;
   Answers("SELECT * FROM r", opt, &with);
   EXPECT_GT(with.filtered_shortcuts, 0u);
@@ -102,7 +103,9 @@ TEST_F(EngineTest, FilteringShortcutsConflictFreeCandidates) {
 
 TEST_F(EngineTest, CandidateAndAnswerCounts) {
   HippoStats stats;
-  Answers("SELECT * FROM r", HippoOptions(), &stats);
+  HippoOptions opt;
+  opt.route = RouteMode::kForceProver;  // candidate stats are prover-only
+  Answers("SELECT * FROM r", opt, &stats);
   EXPECT_EQ(stats.candidates, 4u);
   EXPECT_EQ(stats.answers, 2u);
 }

@@ -69,6 +69,39 @@ TEST_F(InconsistentEmpDb, ParallelDetectionOptionReachesTheDetector) {
   EXPECT_EQ(db_.detect_stats().fd_shards, 4u);  // proves the knob arrived
 }
 
+TEST_F(InconsistentEmpDb, IgnoredDetectOptionsAreReported) {
+  // Once a hypergraph is cached, an explicitly set HippoOptions::detect
+  // has no effect — the cache is reused. The engine must say so instead of
+  // silently dropping the knob (a mismatched DetectOptions would otherwise
+  // masquerade as a detection-perf change in benchmarks).
+  ASSERT_OK(db_.Hypergraph().status());  // warm the cache
+
+  cqa::HippoOptions options;
+  options.detect = DetectOptions();
+  options.detect->num_threads = 4;
+  options.detect->shard_rows = 1;
+  cqa::HippoStats stats;
+  auto rs = db_.ConsistentAnswers("SELECT * FROM emp", options, &stats);
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(stats.detect_options_ignored, 1u);
+  EXPECT_NE(db_.detect_stats().fd_shards, 4u);  // knob did NOT arrive
+
+  // Without an explicit detect request nothing is reported, cache or not.
+  cqa::HippoStats plain_stats;
+  ASSERT_OK(db_.ConsistentAnswers("SELECT * FROM emp", cqa::HippoOptions(),
+                                  &plain_stats)
+                .status());
+  EXPECT_EQ(plain_stats.detect_options_ignored, 0u);
+
+  // A cold cache honors the options, so nothing is reported either.
+  db_.InvalidateHypergraph();
+  cqa::HippoStats cold_stats;
+  ASSERT_OK(db_.ConsistentAnswers("SELECT * FROM emp", options, &cold_stats)
+                .status());
+  EXPECT_EQ(cold_stats.detect_options_ignored, 0u);
+  EXPECT_EQ(db_.detect_stats().fd_shards, 4u);  // knob arrived this time
+}
+
 TEST_F(InconsistentEmpDb, SelectionOnUncertainValue) {
   // smith earns > 45000 in *every* repair (50000 or 60000), but neither
   // individual salary fact is certain. The selection query keeps tuples,
@@ -116,10 +149,23 @@ TEST_F(InconsistentEmpDb, CoreEqualsConsistentForSelections) {
   EXPECT_EQ(SortedRows(core.value()), SortedRows(cqa.value()));
 }
 
-TEST_F(InconsistentEmpDb, ProjectionIsRejected) {
-  auto rs = db_.ConsistentAnswers("SELECT name FROM emp");
-  EXPECT_FALSE(rs.status().ok());
-  EXPECT_EQ(rs.status().code(), StatusCode::kNotSupported);
+TEST_F(InconsistentEmpDb, NarrowingProjectionRoutedToRewriting) {
+  // Narrowing projection is outside the prover's SJUD class, but the router
+  // serves it through the Koutris–Wijsen rewriting: 'smith' has *some*
+  // salary in every repair, so all three names are certain.
+  cqa::HippoStats stats;
+  auto rs = db_.ConsistentAnswers("SELECT name FROM emp", cqa::HippoOptions(),
+                                  &stats);
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs.value().NumRows(), 3u);
+  EXPECT_TRUE(rs.value().Contains(Row{Value::String("smith")}));
+  EXPECT_EQ(stats.route, RouteKind::kRewriteKw);
+
+  // Pinning the prover route keeps the historical rejection.
+  cqa::HippoOptions prover;
+  prover.route = RouteMode::kForceProver;
+  auto pinned = db_.ConsistentAnswers("SELECT name FROM emp", prover);
+  EXPECT_EQ(pinned.status().code(), StatusCode::kNotSupported);
 }
 
 TEST_F(InconsistentEmpDb, ReorderingProjectionIsAccepted) {
@@ -300,12 +346,24 @@ TEST(DatabaseMisc, StatsAreFilled) {
       "INSERT INTO t VALUES (1, 1), (1, 2), (2, 2);"
       "CREATE CONSTRAINT fd FD ON t (a -> b)"));
   cqa::HippoStats stats;
-  auto rs = db.ConsistentAnswers("SELECT * FROM t", cqa::HippoOptions(),
-                                 &stats);
+  cqa::HippoOptions options;
+  options.route = RouteMode::kForceProver;  // candidate stats are prover-only
+  auto rs = db.ConsistentAnswers("SELECT * FROM t", options, &stats);
   ASSERT_OK(rs.status());
   EXPECT_EQ(stats.candidates, 3u);
   EXPECT_EQ(stats.answers, 1u);
   EXPECT_GT(stats.membership_checks, 0u);
+  EXPECT_EQ(stats.route, RouteKind::kProver);
+  EXPECT_EQ(stats.routed_prover, 1u);
+
+  // The same query routes to ABC rewriting on auto, with identical answers.
+  cqa::HippoStats auto_stats;
+  auto auto_rs =
+      db.ConsistentAnswers("SELECT * FROM t", cqa::HippoOptions(), &auto_stats);
+  ASSERT_OK(auto_rs.status());
+  EXPECT_EQ(SortedRows(auto_rs.value()), SortedRows(rs.value()));
+  EXPECT_EQ(auto_stats.route, RouteKind::kRewriteAbc);
+  EXPECT_EQ(auto_stats.routed_rewrite, 1u);
 }
 
 TEST(DatabaseErrors, UsefulDiagnostics) {

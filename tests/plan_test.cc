@@ -222,5 +222,41 @@ TEST_F(PlannerTest, SafeProjectionPredicate) {
   EXPECT_FALSE(IsSafeProjection(static_cast<const ProjectNode&>(*q)));
 }
 
+TEST_F(PlannerTest, SafeProjectionAllowsDuplicateColumnRefs) {
+  // Pins the documented duplicate-reference behavior: `a, a, b` covers
+  // every input column (the coverage check is a set), so the projection is
+  // a duplicating permutation — still safe, a result tuple determines its
+  // base tuple. Dropping a column while duplicating another is still
+  // narrowing and must stay rejected.
+  PlanNodePtr dup = Plan("SELECT a, a, b FROM r");
+  ASSERT_EQ(dup->kind(), PlanKind::kProject);
+  EXPECT_TRUE(IsSafeProjection(static_cast<const ProjectNode&>(*dup)));
+  PlanNodePtr narrow = Plan("SELECT a, a FROM r");
+  ASSERT_EQ(narrow->kind(), PlanKind::kProject);
+  EXPECT_FALSE(IsSafeProjection(static_cast<const ProjectNode&>(*narrow)));
+  EXPECT_EQ(CheckSjudSupported(*narrow).code(), StatusCode::kNotSupported);
+}
+
+TEST_F(PlannerTest, SjudRejectsAggCallInPredicate) {
+  // Predicate *kinds* are otherwise ignored by the classifier (any scalar
+  // expression is evaluable per tuple); an aggregate call is the one kind
+  // with no per-tuple meaning, and a hand-built plan smuggling one in must
+  // be rejected rather than silently accepted.
+  PlanNodePtr base = Plan("SELECT * FROM r");
+  PlanNodePtr scan = base->kind() == PlanKind::kProject
+                         ? base->child(0).Clone()
+                         : base->Clone();
+  ExprPtr agg = std::make_unique<AggCallExpr>(AggFunc::kCount, nullptr);
+  auto filtered = std::make_unique<FilterNode>(scan->Clone(), std::move(agg));
+  Status st = CheckSjudSupported(*filtered);
+  EXPECT_EQ(st.code(), StatusCode::kNotSupported);
+  EXPECT_NE(st.message().find("aggregate"), std::string::npos);
+
+  ExprPtr agg2 = std::make_unique<AggCallExpr>(AggFunc::kCount, nullptr);
+  auto joined = std::make_unique<JoinNode>(scan->Clone(), scan->Clone(),
+                                           std::move(agg2));
+  EXPECT_EQ(CheckSjudSupported(*joined).code(), StatusCode::kNotSupported);
+}
+
 }  // namespace
 }  // namespace hippo

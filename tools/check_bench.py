@@ -89,10 +89,24 @@ def load_baseline(path):
     return baseline, tables
 
 
-def compare(baseline_tables, current_tables, max_ratio, min_baseline):
-    """Returns (violations, comparisons) where violations is a list of
-    human-readable regression strings."""
+def parallel_sweep_table(table):
+    """True when the table's rows sweep a thread/worker count — its
+    durations depend on host parallelism, not just code speed."""
+    columns = table.get("columns") or []
+    return bool(columns) and bool(
+        re.search(r"thread|worker|reader|writer|core", columns[0],
+                  re.IGNORECASE))
+
+
+def compare(baseline_tables, current_tables, max_ratio, min_baseline,
+            downgrade_parallel=False):
+    """Returns (violations, warnings, comparisons). With
+    downgrade_parallel (single-core baseline), regressions in
+    thread/worker-sweep tables are reported as warnings instead of
+    failures: a 1-core host records ~1x speedups, so those rows say more
+    about the recording host than about the code."""
     violations = []
+    warnings = []
     comparisons = 0
     base_by_key = index_tables(baseline_tables)
     for cur in current_tables:
@@ -138,11 +152,15 @@ def compare(baseline_tables, current_tables, max_ratio, min_baseline):
                 comparisons += 1
                 ratio = cur_secs / base_secs
                 if ratio > max_ratio:
-                    violations.append(
+                    message = (
                         f"{key} [{row[0]}] {col_name}: {cell} vs baseline "
                         f"{base_row[base_idx]} ({ratio:.1f}x > "
                         f"{max_ratio:.1f}x)")
-    return violations, comparisons
+                    if downgrade_parallel and parallel_sweep_table(cur):
+                        warnings.append(message)
+                    else:
+                        violations.append(message)
+    return violations, warnings, comparisons
 
 
 def main():
@@ -166,9 +184,11 @@ def main():
     if not current_tables:
         sys.exit("error: no current tables to check")
 
-    if baseline.get("single_core_warning"):
-        print("warning: baseline was recorded on a 1-core host — parallel "
-              "speedup rows are ~1x there; duration thresholds still apply",
+    single_core = bool(baseline.get("single_core_warning"))
+    if single_core:
+        print("warning: baseline was recorded on a 1-core host — "
+              "thread/worker sweep tables are compared warn-only; "
+              "duration thresholds still gate the serial tables",
               file=sys.stderr)
 
     current_keys = {caption_key(t["table"]) for t in current_tables}
@@ -176,14 +196,20 @@ def main():
                (k.strip() for k in args.require.split(",") if k.strip())
                if k not in current_keys]
 
-    violations, comparisons = compare(baseline_tables, current_tables,
-                                      args.max_ratio, args.min_baseline)
+    violations, warnings, comparisons = compare(
+        baseline_tables, current_tables, args.max_ratio, args.min_baseline,
+        downgrade_parallel=single_core)
 
     print(f"checked {comparisons} duration cells across "
           f"{len(current_tables)} tables "
           f"(baseline host_cores={baseline.get('host_cores', '?')}, "
           f"max ratio {args.max_ratio:.1f}x)")
     ok = True
+    if warnings:
+        print(f"warning: {len(warnings)} parallel-sweep cells past the "
+              f"threshold (not gating; single-core baseline):")
+        for w in warnings:
+            print(f"  {w}")
     if missing:
         ok = False
         print(f"FAIL: required tables missing from the current run: "

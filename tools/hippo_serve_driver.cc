@@ -230,6 +230,27 @@ int Run(const DriverConfig& config) {
       (unsigned long long)stats.snapshots_published,
       (unsigned long long)stats.queries_executed,
       (unsigned long long)stats.queries_rejected);
+  {
+    // Per-route serving breakdown (consistent-read requests only; the
+    // router classifies each request against its pinned snapshot).
+    const hippo::cqa::HippoStats& h = stats.hippo;
+    size_t routed =
+        h.routed_conflict_free + h.routed_rewrite + h.routed_prover;
+    if (routed > 0) {
+      auto mean = [](double secs, size_t n) {
+        return FormatSeconds(n == 0 ? 0.0 : secs / n);
+      };
+      std::printf(
+          "routes: %zu conflict-free (mean %s), %zu rewrite (mean %s), "
+          "%zu prover (mean %s)\n",
+          h.routed_conflict_free,
+          mean(h.conflict_free_route_seconds, h.routed_conflict_free).c_str(),
+          h.routed_rewrite,
+          mean(h.rewrite_route_seconds, h.routed_rewrite).c_str(),
+          h.routed_prover,
+          mean(h.prover_route_seconds, h.routed_prover).c_str());
+    }
+  }
   std::printf("final epoch %llu, %zu conflict edges\n",
               (unsigned long long)service.epoch(),
               service.snapshot()->hypergraph().NumEdges());

@@ -20,6 +20,7 @@
 //   .incremental on|off                         hypergraph maintenance mode
 //   .threads [N]                                detection/prover threads
 //                                               (0 = all hardware threads)
+//   .route auto|cf|rewrite|prover               cqa-mode route selection
 //   .tables                                     list tables and sizes
 //   .help                                       this text
 //   .quit
@@ -155,7 +156,8 @@ class Shell {
           ".report              full conflict report\n"
           ".incremental on|off  incremental hypergraph maintenance\n"
           ".threads [N]         detection/prover threads (0 = all cores)\n"
-          ".explain SELECT ...  show plan / envelope / rewriting\n"
+          ".route auto|cf|rewrite|prover   cqa-mode route selection\n"
+          ".explain SELECT ...  show plan / envelope / rewriting / route\n"
           ".tables              tables and row counts\n"
           ".quit\n");
       return true;
@@ -184,6 +186,28 @@ class Shell {
     if (cmd == ".stats") {
       stats_enabled_ = args.size() > 1 && ToLower(args[1]) == "on";
       std::printf("stats: %s\n", stats_enabled_ ? "on" : "off");
+      return true;
+    }
+    if (cmd == ".route") {
+      if (args.size() != 2) {
+        std::printf("route: %s\n", RouteModeName(route_));
+        return true;
+      }
+      std::string r = ToLower(args[1]);
+      if (r == "auto") {
+        route_ = RouteMode::kAuto;
+      } else if (r == "cf" || r == "conflict-free") {
+        route_ = RouteMode::kForceConflictFree;
+      } else if (r == "rewrite" || r == "rewriting") {
+        route_ = RouteMode::kForceRewrite;
+      } else if (r == "prover") {
+        route_ = RouteMode::kForceProver;
+      } else {
+        std::printf("unknown route: %s (auto|cf|rewrite|prover)\n",
+                    args[1].c_str());
+        return true;
+      }
+      std::printf("route: %s\n", RouteModeName(route_));
       return true;
     }
     if (cmd == ".explain") {
@@ -370,11 +394,12 @@ class Shell {
                 ModeName(mode_));
     if (stats_enabled_ && mode_ == Mode::kCqa) {
       std::printf(
-          "candidates=%zu answers=%zu filtered=%zu prover=%zu "
+          "route=%s candidates=%zu answers=%zu filtered=%zu prover=%zu "
           "membership=%zu envelope=%.3fms prove=%.3fms\n",
-          stats.candidates, stats.answers, stats.filtered_shortcuts,
-          stats.prover_invocations, stats.membership_checks,
-          stats.envelope_seconds * 1e3, stats.prove_seconds * 1e3);
+          RouteKindName(stats.route), stats.candidates, stats.answers,
+          stats.filtered_shortcuts, stats.prover_invocations,
+          stats.membership_checks, stats.envelope_seconds * 1e3,
+          stats.prove_seconds * 1e3);
     }
   }
 
@@ -389,6 +414,7 @@ class Shell {
         // up through the Database's DetectOptions); 0 resolves to all
         // hardware threads in both.
         options.num_threads = threads_;
+        options.route = route_;
         return db_.ConsistentAnswers(text, options, stats);
       }
       case Mode::kCore:
@@ -403,6 +429,7 @@ class Shell {
 
   Database db_;
   Mode mode_ = Mode::kCqa;
+  RouteMode route_ = RouteMode::kAuto;
   bool stats_enabled_ = false;
   size_t threads_ = 1;
 };
