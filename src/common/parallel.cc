@@ -1,5 +1,10 @@
 #include "common/parallel.h"
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -11,6 +16,115 @@ size_t ResolveThreadCount(size_t requested) {
   return hw == 0 ? 1 : hw;
 }
 
+namespace {
+
+// One ParallelSlices call: slices are claimed via an atomic cursor by the
+// submitting thread AND any free pool workers, so the caller always makes
+// progress even when every worker is busy with other jobs (no deadlock
+// under nested or concurrent calls). shared_ptr ownership keeps the job
+// alive for stragglers that popped it just before exhaustion.
+struct SliceJob {
+  SliceJob(size_t n, size_t parts,
+           const std::function<void(size_t, size_t, size_t)>& fn)
+      : n(n), parts(parts), fn(fn) {}
+
+  const size_t n;
+  const size_t parts;
+  const std::function<void(size_t, size_t, size_t)>& fn;
+  std::atomic<size_t> next_slice{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t completed = 0;  // guarded by mu
+
+  // Claims and runs slices until the cursor is exhausted.
+  void Work() {
+    for (;;) {
+      size_t p = next_slice.fetch_add(1, std::memory_order_relaxed);
+      if (p >= parts) return;
+      fn(p, n * p / parts, n * (p + 1) / parts);
+      std::lock_guard<std::mutex> lock(mu);
+      ++completed;
+      if (completed == parts) done_cv.notify_all();
+    }
+  }
+
+  void WaitDone() {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return completed == parts; });
+  }
+};
+
+// Lazily-initialized shared pool of hardware_concurrency()-1 helper
+// threads. The serving path calls ParallelSlices per operator per query;
+// spawning transient std::threads there cost more than small slices do.
+class SlicePool {
+ public:
+  static SlicePool& Instance() {
+    static SlicePool pool;
+    return pool;
+  }
+
+  void Run(const std::shared_ptr<SliceJob>& job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      StartWorkersLocked();
+      if (!workers_.empty()) queue_.push_back(job);
+    }
+    work_cv_.notify_all();
+    job->Work();      // the caller is always one of the workers
+    job->WaitDone();  // stragglers may still hold unfinished slices
+  }
+
+  ~SlicePool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+ private:
+  void StartWorkersLocked() {
+    if (started_) return;
+    started_ = true;
+    size_t hw = ResolveThreadCount(0);
+    size_t helpers = hw > 1 ? hw - 1 : 0;
+    workers_.reserve(helpers);
+    for (size_t i = 0; i < helpers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      std::shared_ptr<SliceJob> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+        if (stop_) return;
+        job = queue_.front();
+        // Drop jobs whose slices are all claimed; keep one with work left
+        // at the front so other workers can pick it up too.
+        if (job->next_slice.load(std::memory_order_relaxed) >= job->parts) {
+          queue_.pop_front();
+          continue;
+        }
+      }
+      job->Work();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<SliceJob>> queue_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace
+
 void ParallelSlices(size_t n, size_t parts,
                     const std::function<void(size_t, size_t, size_t)>& fn) {
   if (parts <= 1 || n <= 1) {
@@ -18,14 +132,8 @@ void ParallelSlices(size_t n, size_t parts,
     return;
   }
   if (parts > n) parts = n;
-  std::vector<std::thread> threads;
-  threads.reserve(parts);
-  for (size_t p = 0; p < parts; ++p) {
-    size_t begin = n * p / parts;
-    size_t end = n * (p + 1) / parts;
-    threads.emplace_back(fn, p, begin, end);
-  }
-  for (std::thread& t : threads) t.join();
+  auto job = std::make_shared<SliceJob>(n, parts, fn);
+  SlicePool::Instance().Run(job);
 }
 
 }  // namespace hippo

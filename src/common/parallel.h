@@ -16,10 +16,14 @@ size_t ResolveThreadCount(size_t requested);
 
 /// Runs `fn(part, begin, end)` for `parts` contiguous slices of [0, n)
 /// (slice sizes differ by at most one row). With parts <= 1 (or n == 0)
-/// the single call runs inline on the caller's thread; otherwise one
-/// transient thread per slice is spawned and joined before returning, so
-/// `fn` may capture by reference. Callers own determinism: give each slice
-/// a private output and concatenate in slice order afterwards.
+/// the single call runs inline on the caller's thread; otherwise the
+/// slices are claimed off a shared atomic cursor by a lazily-started
+/// process-wide worker pool (hardware_concurrency - 1 threads, started on
+/// first use) WITH the calling thread participating, and the call returns
+/// only when every slice has finished — so `fn` may capture by reference,
+/// and nested/concurrent calls cannot deadlock (the caller always makes
+/// progress itself). Callers own determinism: give each slice a private
+/// output and concatenate in slice order afterwards.
 void ParallelSlices(size_t n, size_t parts,
                     const std::function<void(size_t, size_t, size_t)>& fn);
 

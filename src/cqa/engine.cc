@@ -93,6 +93,7 @@ Result<ResultSet> HippoEngine::ServeFirstOrder(const PlanNode& original,
   if (body->kind() == PlanKind::kSort) body = &body->child(0);
   ExecContext ctx{&catalog_, nullptr};
   ctx.parallel.num_threads = options.num_threads;
+  ctx.engine = options.exec_engine;
   HIPPO_ASSIGN_OR_RETURN(ResultSet result, Execute(*body, ctx));
   result.schema = original.schema();
   SortAnswers(original, &result.rows);
@@ -147,6 +148,7 @@ Result<ResultSet> HippoEngine::ServeProver(const PlanNode& plan,
   PlanNodePtr envelope = BuildEnvelope(plan);
   ExecContext ctx{&catalog_, nullptr};
   ctx.parallel.num_threads = options.num_threads;
+  ctx.engine = options.exec_engine;
   HIPPO_ASSIGN_OR_RETURN(ResultSet candidates, Execute(*envelope, ctx));
   auto t1 = Clock::now();
 

@@ -57,6 +57,11 @@ struct HippoOptions {
   /// cannot silently masquerade as a perf change.
   std::optional<DetectOptions> detect;
 
+  /// Physical execution engine for envelope evaluation and the first-order
+  /// routes (exec/executor.h): kBatch is the vectorized columnar engine,
+  /// kRow the row-at-a-time oracle. Results are bit-identical either way.
+  ExecEngine exec_engine = ExecEngine::kBatch;
+
   /// Route selection (plan/router.h): kAuto dispatches each query to the
   /// cheapest sound engine (conflict-free plain evaluation → first-order
   /// rewriting → prover); the force modes pin one route and fail with

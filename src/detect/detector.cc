@@ -75,6 +75,12 @@ struct ConflictDetector::GenericShared {
   ExprPtr final_filter;                  ///< atom-0-confined conjuncts
   std::optional<exec::JoinChain> chain;
   std::vector<size_t> rowid_cols;        ///< rowid column of each atom
+  /// Batch-engine state (engine == kBatch): per-atom columnar scans shared
+  /// with the tables' views (columns + rowid; physical index IS the RowId
+  /// row) and the index-tuple join chain over them. `inputs`/`chain` stay
+  /// empty on this path.
+  std::vector<ColumnBatch> batch_inputs;
+  std::optional<exec::BatchJoinChain> batch_chain;
 };
 
 /// Shared read-only state of one foreign key's orphan anti-join: the
@@ -88,6 +94,11 @@ struct ConflictDetector::FkShared {
   ExprPtr condition;
   std::optional<exec::AntiJoinProbe> probe;
   size_t rowid_col = 0;
+  /// Batch-engine state (engine == kBatch): columnar child (with rowid
+  /// column) and parent scans plus the index anti-join over them.
+  ColumnBatch child_batch;
+  ColumnBatch parent_batch;
+  std::optional<exec::BatchAntiJoinProbe> batch_probe;
 };
 
 Status ConflictDetector::DetectGenericPartitionInto(
@@ -99,17 +110,27 @@ Status ConflictDetector::DetectGenericPartitionInto(
 
   std::call_once(shared->once, [&] {
     shared->status = [&]() -> Status {
-      // Materialize every atom's rowid-emitting scan once.
-      shared->inputs.resize(dc.arity());
-      for (size_t i = 0; i < dc.arity(); ++i) {
-        const ConstraintAtom& atom = dc.atoms()[i];
-        const Table& table = catalog_.table(atom.table_id);
-        PlanNodePtr scan =
-            ScanNode::Make(atom.table_id, atom.table_name, atom.alias,
-                           table.schema(), /*emit_rowid=*/true);
-        ExecContext ctx{&catalog_, nullptr};
-        HIPPO_ASSIGN_OR_RETURN(ResultSet rows, Execute(*scan, ctx));
-        shared->inputs[i] = std::move(rows.rows);
+      // Materialize every atom's rowid-emitting scan once. The batch
+      // engine shares the tables' columnar views instead of copying rows.
+      if (options_.engine == ExecEngine::kBatch) {
+        shared->batch_inputs.reserve(dc.arity());
+        for (size_t i = 0; i < dc.arity(); ++i) {
+          const Table& table = catalog_.table(dc.atoms()[i].table_id);
+          shared->batch_inputs.push_back(
+              ScanTableBatch(table, /*emit_rowid=*/true, nullptr));
+        }
+      } else {
+        shared->inputs.resize(dc.arity());
+        for (size_t i = 0; i < dc.arity(); ++i) {
+          const ConstraintAtom& atom = dc.atoms()[i];
+          const Table& table = catalog_.table(atom.table_id);
+          PlanNodePtr scan =
+              ScanNode::Make(atom.table_id, atom.table_name, atom.alias,
+                             table.schema(), /*emit_rowid=*/true);
+          ExecContext ctx{&catalog_, nullptr};
+          HIPPO_ASSIGN_OR_RETURN(ResultSet rows, Execute(*scan, ctx));
+          shared->inputs[i] = std::move(rows.rows);
+        }
       }
 
       // Attach each conjunct at the level where its last atom enters (as
@@ -161,13 +182,24 @@ Status ConflictDetector::DetectGenericPartitionInto(
         if (!rest.empty()) shared->final_filter = AndAll(std::move(rest));
       }
 
-      std::vector<exec::JoinChain::LevelSpec> levels;
-      for (size_t i = 1; i < dc.arity(); ++i) {
-        levels.push_back({&shared->inputs[i], shared->level_conds[i].get(),
-                          dc.atom_width(i) + 1});
+      if (options_.engine == ExecEngine::kBatch) {
+        std::vector<exec::BatchJoinChain::LevelSpec> levels;
+        for (size_t i = 1; i < dc.arity(); ++i) {
+          levels.push_back(
+              {&shared->batch_inputs[i], shared->level_conds[i].get()});
+        }
+        shared->batch_chain.emplace(&shared->batch_inputs[0],
+                                    std::move(levels),
+                                    shared->final_filter.get());
+      } else {
+        std::vector<exec::JoinChain::LevelSpec> levels;
+        for (size_t i = 1; i < dc.arity(); ++i) {
+          levels.push_back({&shared->inputs[i], shared->level_conds[i].get(),
+                            dc.atom_width(i) + 1});
+        }
+        shared->chain.emplace(dc.atom_width(0) + 1, std::move(levels),
+                              shared->final_filter.get());
       }
-      shared->chain.emplace(dc.atom_width(0) + 1, std::move(levels),
-                            shared->final_filter.get());
 
       // The rowid column of atom i sits at atom_offset(i) + i + width(i).
       for (size_t i = 0; i < dc.arity(); ++i) {
@@ -178,6 +210,29 @@ Status ConflictDetector::DetectGenericPartitionInto(
     }();
   });
   HIPPO_RETURN_NOT_OK(shared->status);
+
+  if (options_.engine == ExecEngine::kBatch) {
+    // Index-tuple probe over the shared columnar scans. The scan's
+    // physical index IS the RowId row, so witness rowids come straight
+    // from Physical() — no gather, no Value round-trip.
+    size_t probe_rows = shared->batch_inputs[0].NumRows();
+    size_t begin = probe_rows * partition / num_partitions;
+    size_t end = probe_rows * (partition + 1) / num_partitions;
+    std::vector<uint32_t> tuples;
+    shared->batch_chain->Probe(begin, end, &tuples);
+    size_t arity = shared->batch_chain->tuple_arity();
+    for (size_t t = 0; t + arity <= tuples.size(); t += arity) {
+      std::vector<RowId> edge;
+      edge.reserve(dc.arity());
+      for (size_t i = 0; i < dc.arity(); ++i) {
+        edge.push_back(RowId{dc.atoms()[i].table_id,
+                             shared->batch_inputs[i].Physical(tuples[t + i])});
+      }
+      out->Add(std::move(edge), constraint_index);
+      ++stats->edges_added;
+    }
+    return Status::OK();
+  }
 
   const std::vector<Row>& probe = shared->inputs[0];
   size_t begin = probe.size() * partition / num_partitions;
@@ -311,17 +366,25 @@ Status ConflictDetector::DetectForeignKeyPartitionInto(
     shared->status = [&]() -> Status {
       const Table& child = catalog_.table(fk.child_table());
       const Table& parent = catalog_.table(fk.parent_table());
-      PlanNodePtr child_scan =
-          ScanNode::Make(child.id(), child.name(), child.name(),
-                         child.schema(), /*emit_rowid=*/true);
-      PlanNodePtr parent_scan = ScanNode::Make(
-          parent.id(), parent.name(), parent.name(), parent.schema());
-      ExecContext ctx{&catalog_, nullptr};
-      HIPPO_ASSIGN_OR_RETURN(ResultSet child_rows, Execute(*child_scan, ctx));
-      HIPPO_ASSIGN_OR_RETURN(ResultSet parent_rows,
-                             Execute(*parent_scan, ctx));
-      shared->child_rows = std::move(child_rows.rows);
-      shared->parent_rows = std::move(parent_rows.rows);
+      if (options_.engine == ExecEngine::kBatch) {
+        shared->child_batch =
+            ScanTableBatch(child, /*emit_rowid=*/true, nullptr);
+        shared->parent_batch =
+            ScanTableBatch(parent, /*emit_rowid=*/false, nullptr);
+      } else {
+        PlanNodePtr child_scan =
+            ScanNode::Make(child.id(), child.name(), child.name(),
+                           child.schema(), /*emit_rowid=*/true);
+        PlanNodePtr parent_scan = ScanNode::Make(
+            parent.id(), parent.name(), parent.name(), parent.schema());
+        ExecContext ctx{&catalog_, nullptr};
+        HIPPO_ASSIGN_OR_RETURN(ResultSet child_rows,
+                               Execute(*child_scan, ctx));
+        HIPPO_ASSIGN_OR_RETURN(ResultSet parent_rows,
+                               Execute(*parent_scan, ctx));
+        shared->child_rows = std::move(child_rows.rows);
+        shared->parent_rows = std::move(parent_rows.rows);
+      }
 
       // The anti-join keeps child rows with NO parent match: the orphans.
       // Note the child side carries the trailing rowid column, so parent
@@ -339,13 +402,33 @@ Status ConflictDetector::DetectForeignKeyPartitionInto(
         eqs.back()->set_result_type(TypeId::kBool);
       }
       shared->condition = AndAll(std::move(eqs));
-      shared->probe.emplace(&shared->parent_rows, shared->condition.get(),
-                            left_width);
+      if (options_.engine == ExecEngine::kBatch) {
+        shared->batch_probe.emplace(&shared->child_batch,
+                                    &shared->parent_batch,
+                                    shared->condition.get());
+      } else {
+        shared->probe.emplace(&shared->parent_rows, shared->condition.get(),
+                              left_width);
+      }
       shared->rowid_col = child.schema().NumColumns();
       return Status::OK();
     }();
   });
   HIPPO_RETURN_NOT_OK(shared->status);
+
+  if (options_.engine == ExecEngine::kBatch) {
+    size_t child_rows = shared->child_batch.NumRows();
+    size_t begin = child_rows * partition / num_partitions;
+    size_t end = child_rows * (partition + 1) / num_partitions;
+    std::vector<uint32_t> orphans;
+    shared->batch_probe->Probe(begin, end, &orphans);
+    for (uint32_t idx : orphans) {
+      out->Add({RowId{fk.child_table(), shared->child_batch.Physical(idx)}},
+               constraint_index);
+      ++stats->edges_added;
+    }
+    return Status::OK();
+  }
 
   const std::vector<Row>& child_rows = shared->child_rows;
   size_t begin = child_rows.size() * partition / num_partitions;

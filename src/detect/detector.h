@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "constraints/constraint.h"
 #include "constraints/foreign_key.h"
+#include "exec/executor.h"
 #include "hypergraph/hypergraph.h"
 
 namespace hippo {
@@ -61,6 +62,16 @@ struct DetectOptions {
   /// duplicating build work. Must be >= 1 (Validate); use SIZE_MAX to
   /// disable probe partitioning.
   size_t partition_rows = 8192;
+
+  /// Physical engine for the generic-join and foreign-key probes: kBatch
+  /// probes the tables' shared columnar views with the batch join kernels
+  /// (witness rowids read straight off the scan's physical indexes, no row
+  /// materialization); kRow keeps the row-at-a-time kernels as the
+  /// differential-testing oracle. Both produce identical edges, edge ids,
+  /// and provenance. The FD fast path is engine-independent. Declared last
+  /// so the positional `{fast_path, threads, shard, partition}` brace
+  /// initializers in existing callers stay valid.
+  ExecEngine engine = ExecEngine::kBatch;
 
   /// Rejects nonsensical combinations with InvalidArgument instead of a
   /// silent fallback: zero shard_rows / partition_rows (formerly a hidden

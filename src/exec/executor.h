@@ -13,6 +13,7 @@
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "plan/logical_plan.h"
+#include "storage/column_batch.h"
 #include "types/value.h"
 
 namespace hippo {
@@ -75,6 +76,13 @@ struct ExecParallel {
   size_t min_partition_rows = 4096;
 };
 
+/// Which physical engine Execute uses. Both produce bit-identical
+/// ResultSets (rows AND order); kBatch is the vectorized columnar engine
+/// (typed column vectors, selection-vector filters, index-tuple joins over
+/// Table's lazily-materialized columnar view), kRow is the original
+/// row-at-a-time engine, kept as the differential-testing oracle.
+enum class ExecEngine : uint8_t { kBatch, kRow };
+
 /// Execution environment: the catalog, an optional row mask, and the
 /// intra-operator parallelism knobs.
 struct ExecContext {
@@ -88,10 +96,26 @@ struct ExecContext {
   const Catalog* catalog = nullptr;
   const RowMask* mask = nullptr;
   ExecParallel parallel;
+  ExecEngine engine = ExecEngine::kBatch;
 };
 
 /// Executes a bound plan to completion. With ctx.parallel.num_threads > 1
-/// the result is still bit-identical (rows and order) to the serial run.
+/// the result is still bit-identical (rows and order) to the serial run,
+/// and the batch and row engines agree bit-for-bit.
 Result<ResultSet> Execute(const PlanNode& plan, const ExecContext& ctx);
+
+/// Number of row-range partitions an operator over `rows` input rows
+/// should split into under `parallel`: 1 unless parallelism is enabled AND
+/// every partition gets at least min_partition_rows. Shared by both
+/// engines and the batch kernels.
+size_t ExecPartitionsFor(size_t rows, const ExecParallel& parallel);
+
+/// Zero-copy columnar scan of a table: shares the table's memoized
+/// columnar view (plus its rowid column when `emit_rowid`) and selects the
+/// live rows allowed by `mask` (nullptr = all live rows). The batch's
+/// physical index IS the RowId row. Shared by the executor's Scan and the
+/// detection probes.
+ColumnBatch ScanTableBatch(const Table& table, bool emit_rowid,
+                           const RowMask* mask);
 
 }  // namespace hippo

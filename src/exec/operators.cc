@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/batch_eval.h"
 #include "expr/evaluator.h"
 
 namespace hippo::exec {
@@ -229,6 +230,282 @@ std::vector<Row> IntersectRows(const std::vector<Row>& left,
     if (seen.insert(l).second) out.push_back(l);
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Columnar kernels
+// ---------------------------------------------------------------------------
+
+BatchJoinChain::BatchJoinChain(const ColumnBatch* probe,
+                               std::vector<LevelSpec> levels,
+                               const Expr* final_filter)
+    : probe_(probe), final_filter_(final_filter) {
+  offsets_.push_back(0);
+  offsets_.push_back(probe->NumColumns());
+  levels_.reserve(levels.size());
+  for (LevelSpec& spec : levels) {
+    Level level;
+    level.batch = spec.build;
+    level.condition = spec.condition;
+    size_t prefix_width = offsets_.back();
+    if (spec.condition != nullptr) {
+      JoinSplit split = SplitCondition(*spec.condition, prefix_width);
+      if (split.HasEqui()) {
+        level.has_equi = true;
+        level.left_keys = std::move(split.left_keys);
+        level.right_keys = std::move(split.right_keys);
+        level.residual = std::move(split.residual);
+        const ColumnBatch& b = *level.batch;
+        level.build.reserve(b.NumRows());
+        for (uint32_t j = 0; j < b.NumRows(); ++j) {
+          uint32_t p = b.Physical(j);
+          // Seed with the key arity, matching HashRow of the key tuple;
+          // rows with a NULL key never match and are not built.
+          size_t hash = level.right_keys.size();
+          bool null_key = false;
+          for (int rk : level.right_keys) {
+            const ColumnVector& cv = b.col(static_cast<size_t>(rk));
+            if (cv.IsNull(p)) {
+              null_key = true;
+              break;
+            }
+            HashCombine(&hash, cv.HashAt(p));
+          }
+          if (null_key) continue;
+          level.build[hash].push_back(j);
+        }
+      }
+    }
+    offsets_.push_back(prefix_width + level.batch->NumColumns());
+    levels_.push_back(std::move(level));
+  }
+}
+
+Value BatchJoinChain::TupleValue(const uint32_t* idxs, size_t col) const {
+  size_t s = 0;
+  while (offsets_[s + 1] <= col) ++s;
+  const ColumnBatch& b = segment(s);
+  return b.col(col - offsets_[s]).ValueAt(b.Physical(idxs[s]));
+}
+
+bool BatchJoinChain::HashLeftKey(const uint32_t* idxs, const Level& level,
+                                 size_t* hash) const {
+  size_t seed = level.left_keys.size();
+  for (int lk : level.left_keys) {
+    size_t col = static_cast<size_t>(lk);
+    size_t s = 0;
+    while (offsets_[s + 1] <= col) ++s;
+    const ColumnBatch& b = segment(s);
+    uint32_t p = b.Physical(idxs[s]);
+    const ColumnVector& cv = b.col(col - offsets_[s]);
+    if (cv.IsNull(p)) return false;  // NULL join keys never match
+    HashCombine(&seed, cv.HashAt(p));
+  }
+  *hash = seed;
+  return true;
+}
+
+bool BatchJoinChain::LeftKeyEquals(const uint32_t* idxs, const Level& level,
+                                   uint32_t build_row) const {
+  const ColumnBatch& rb = *level.batch;
+  uint32_t rp = rb.Physical(build_row);
+  for (size_t k = 0; k < level.left_keys.size(); ++k) {
+    size_t col = static_cast<size_t>(level.left_keys[k]);
+    size_t s = 0;
+    while (offsets_[s + 1] <= col) ++s;
+    const ColumnBatch& b = segment(s);
+    uint32_t p = b.Physical(idxs[s]);
+    const ColumnVector& lcv = b.col(col - offsets_[s]);
+    const ColumnVector& rcv =
+        rb.col(static_cast<size_t>(level.right_keys[k]));
+    if (!lcv.EqualsAt(p, rcv, rp)) return false;
+  }
+  return true;
+}
+
+void BatchJoinChain::Descend(size_t level, uint32_t* idxs,
+                             std::vector<uint32_t>* out) const {
+  if (level == levels_.size()) {
+    if (final_filter_ != nullptr) {
+      auto at = [&](size_t col) { return TupleValue(idxs, col); };
+      if (!EvalPredicateOver(*final_filter_, at)) return;
+    }
+    out->insert(out->end(), idxs, idxs + levels_.size() + 1);
+    return;
+  }
+  const Level& L = levels_[level];
+  if (L.has_equi) {
+    size_t hash;
+    if (!HashLeftKey(idxs, L, &hash)) return;
+    auto it = L.build.find(hash);
+    if (it == L.build.end()) return;
+    for (uint32_t j : it->second) {
+      if (!LeftKeyEquals(idxs, L, j)) continue;  // same-hash different key
+      idxs[level + 1] = j;
+      if (L.residual != nullptr) {
+        auto at = [&](size_t col) { return TupleValue(idxs, col); };
+        if (!EvalPredicateOver(*L.residual, at)) continue;
+      }
+      Descend(level + 1, idxs, out);
+    }
+    return;
+  }
+  size_t n = L.batch->NumRows();
+  for (uint32_t j = 0; j < n; ++j) {
+    idxs[level + 1] = j;
+    if (L.condition != nullptr) {
+      auto at = [&](size_t col) { return TupleValue(idxs, col); };
+      if (!EvalPredicateOver(*L.condition, at)) continue;
+    }
+    Descend(level + 1, idxs, out);
+  }
+}
+
+void BatchJoinChain::Probe(size_t begin, size_t end,
+                           std::vector<uint32_t>* out) const {
+  std::vector<uint32_t> idxs(levels_.size() + 1);
+  for (size_t i = begin; i < end; ++i) {
+    idxs[0] = static_cast<uint32_t>(i);
+    Descend(0, idxs.data(), out);
+  }
+}
+
+ColumnBatch BatchJoinChain::Materialize(
+    const std::vector<uint32_t>& tuples) const {
+  size_t arity = tuple_arity();
+  size_t n = tuples.size() / arity;
+  std::vector<ColumnVectorPtr> out_cols;
+  out_cols.reserve(output_width());
+  for (size_t s = 0; s < levels_.size() + 1; ++s) {
+    const ColumnBatch& b = segment(s);
+    for (size_t c = 0; c < b.NumColumns(); ++c) {
+      const ColumnVector& src = b.col(c);
+      auto col = std::make_shared<ColumnVector>(src.type());
+      col->Reserve(n);
+      for (size_t t = 0; t < n; ++t) {
+        col->AppendFrom(src, b.Physical(tuples[t * arity + s]));
+      }
+      out_cols.push_back(std::move(col));
+    }
+  }
+  return ColumnBatch(std::move(out_cols), n);
+}
+
+BatchAntiJoinProbe::BatchAntiJoinProbe(const ColumnBatch* left,
+                                       const ColumnBatch* right,
+                                       const Expr* condition)
+    : left_(left), right_(right), condition_(condition) {
+  JoinSplit split = SplitCondition(*condition, left->NumColumns());
+  has_equi_ = split.HasEqui();
+  if (!has_equi_) return;
+  left_keys_ = std::move(split.left_keys);
+  right_keys_ = std::move(split.right_keys);
+  residual_ = std::move(split.residual);
+  build_.reserve(right_->NumRows());
+  for (uint32_t j = 0; j < right_->NumRows(); ++j) {
+    uint32_t p = right_->Physical(j);
+    size_t hash = right_keys_.size();
+    bool null_key = false;
+    for (int rk : right_keys_) {
+      const ColumnVector& cv = right_->col(static_cast<size_t>(rk));
+      if (cv.IsNull(p)) {
+        null_key = true;
+        break;
+      }
+      HashCombine(&hash, cv.HashAt(p));
+    }
+    if (null_key) continue;
+    build_[hash].push_back(j);
+  }
+}
+
+bool BatchAntiJoinProbe::PairPredicate(const Expr& expr, uint32_t left_row,
+                                       uint32_t right_row) const {
+  size_t lw = left_->NumColumns();
+  auto at = [&](size_t col) {
+    if (col < lw) {
+      return left_->col(col).ValueAt(left_->Physical(left_row));
+    }
+    return right_->col(col - lw).ValueAt(right_->Physical(right_row));
+  };
+  return EvalPredicateOver(expr, at);
+}
+
+void BatchAntiJoinProbe::Probe(size_t begin, size_t end,
+                               std::vector<uint32_t>* out) const {
+  for (size_t i = begin; i < end; ++i) {
+    uint32_t li = static_cast<uint32_t>(i);
+    bool matched = false;
+    if (has_equi_) {
+      uint32_t p = left_->Physical(li);
+      size_t hash = left_keys_.size();
+      bool null_key = false;
+      for (int lk : left_keys_) {
+        const ColumnVector& cv = left_->col(static_cast<size_t>(lk));
+        if (cv.IsNull(p)) {
+          null_key = true;  // NULL key: no partner, the left row survives
+          break;
+        }
+        HashCombine(&hash, cv.HashAt(p));
+      }
+      if (!null_key) {
+        auto it = build_.find(hash);
+        if (it != build_.end()) {
+          for (uint32_t j : it->second) {
+            bool keys_equal = true;
+            uint32_t rp = right_->Physical(j);
+            for (size_t k = 0; k < left_keys_.size(); ++k) {
+              const ColumnVector& lcv =
+                  left_->col(static_cast<size_t>(left_keys_[k]));
+              const ColumnVector& rcv =
+                  right_->col(static_cast<size_t>(right_keys_[k]));
+              if (!lcv.EqualsAt(p, rcv, rp)) {
+                keys_equal = false;
+                break;
+              }
+            }
+            if (!keys_equal) continue;
+            if (residual_ == nullptr || PairPredicate(*residual_, li, j)) {
+              matched = true;
+              break;
+            }
+          }
+        }
+      }
+    } else {
+      for (uint32_t j = 0; j < right_->NumRows(); ++j) {
+        if (PairPredicate(*condition_, li, j)) {
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) out->push_back(li);
+  }
+}
+
+ColumnBatch DedupBatch(const ColumnBatch& batch) {
+  size_t n = batch.NumRows();
+  std::unordered_map<size_t, std::vector<uint32_t>> buckets;
+  buckets.reserve(n);
+  std::vector<uint32_t> keep;
+  keep.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t h = batch.RowHashAt(i);
+    std::vector<uint32_t>& bucket = buckets[h];
+    bool dup = false;
+    for (uint32_t j : bucket) {
+      if (batch.RowEqualsAt(i, batch, j)) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    bucket.push_back(static_cast<uint32_t>(i));
+    keep.push_back(static_cast<uint32_t>(i));
+  }
+  if (keep.size() == n) return batch;  // already a set: keep zero-copy
+  return batch.Narrow(keep);
 }
 
 namespace {

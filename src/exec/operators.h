@@ -16,6 +16,7 @@
 #include "exec/executor.h"
 #include "expr/expr.h"
 #include "plan/logical_plan.h"
+#include "storage/column_batch.h"
 
 namespace hippo::exec {
 
@@ -123,5 +124,107 @@ std::vector<Row> IntersectRows(const std::vector<Row>& left,
 
 /// Removes duplicate rows, preserving first occurrence order.
 std::vector<Row> DedupRows(std::vector<Row> rows);
+
+// ---------------------------------------------------------------------------
+// Columnar (batch) kernels — bit-identical counterparts of the row kernels
+// above. They operate on logical row *indexes* into shared ColumnBatches:
+// joins emit flat index tuples instead of materialized rows, anti-joins emit
+// surviving left indexes (a selection narrowing), and key hashes are
+// computed over column slices via ColumnVector::HashAt (== Value::Hash).
+// ---------------------------------------------------------------------------
+
+/// \brief Batch counterpart of JoinChain: a left-deep chain of hash/NL
+/// joins over ColumnBatches, probed by index tuple.
+///
+/// Probe(out) appends one flat tuple of `tuple_arity()` logical indexes —
+/// (probe row, level-0 build row, ...) — per result, in exactly the order
+/// JoinChain::Probe emits materialized rows for the same inputs: probe
+/// order outer, build-insertion order inner (hash buckets keep insertion
+/// order; equal-hash-different-key candidates are filtered by column
+/// equality, which preserves order), residual and final filters applied at
+/// the same points with identical Kleene semantics. Materialize() gathers
+/// tuples into an output batch whose rows equal the row engine's output.
+class BatchJoinChain {
+ public:
+  struct LevelSpec {
+    /// Build input. Not owned; must outlive the chain.
+    const ColumnBatch* build = nullptr;
+    /// Join condition over concat(prefix, build row); null for a product.
+    const Expr* condition = nullptr;
+  };
+
+  BatchJoinChain(const ColumnBatch* probe, std::vector<LevelSpec> levels,
+                 const Expr* final_filter);
+
+  /// Logical indexes per output tuple: probe + one per level.
+  size_t tuple_arity() const { return levels_.size() + 1; }
+  /// Total output columns across all segments.
+  size_t output_width() const { return offsets_.back(); }
+  /// Segment 0 is the probe batch; segment s >= 1 is level s-1's build.
+  const ColumnBatch& segment(size_t s) const {
+    return s == 0 ? *probe_ : *levels_[s - 1].batch;
+  }
+
+  /// Evaluates probe rows [begin, end) through the chain, appending flat
+  /// index tuples to `out`. Const and thread-safe (shared build tables).
+  void Probe(size_t begin, size_t end, std::vector<uint32_t>* out) const;
+
+  /// Gathers index tuples into a materialized output batch.
+  ColumnBatch Materialize(const std::vector<uint32_t>& tuples) const;
+
+ private:
+  struct Level {
+    const ColumnBatch* batch;
+    bool has_equi = false;
+    std::vector<int> left_keys;   ///< virtual indexes into the prefix
+    std::vector<int> right_keys;  ///< column indexes into `batch`
+    ExprPtr residual;
+    const Expr* condition;
+    /// key hash -> logical build rows with that key hash, insertion order.
+    std::unordered_map<size_t, std::vector<uint32_t>> build;
+  };
+
+  Value TupleValue(const uint32_t* idxs, size_t col) const;
+  bool HashLeftKey(const uint32_t* idxs, const Level& level,
+                   size_t* hash) const;
+  bool LeftKeyEquals(const uint32_t* idxs, const Level& level,
+                     uint32_t build_row) const;
+  void Descend(size_t level, uint32_t* idxs, std::vector<uint32_t>* out) const;
+
+  const ColumnBatch* probe_;
+  std::vector<Level> levels_;
+  const Expr* final_filter_;
+  /// offsets_[s] = first virtual column of segment s; back() = total width.
+  std::vector<size_t> offsets_;
+};
+
+/// \brief Batch counterpart of AntiJoinProbe: left logical indexes with NO
+/// right partner satisfying `condition`, emitted in left order.
+class BatchAntiJoinProbe {
+ public:
+  /// Inputs are not owned and must outlive the probe.
+  BatchAntiJoinProbe(const ColumnBatch* left, const ColumnBatch* right,
+                     const Expr* condition);
+
+  /// Appends every surviving left logical index in [begin, end) to `out`.
+  void Probe(size_t begin, size_t end, std::vector<uint32_t>* out) const;
+
+ private:
+  bool PairPredicate(const Expr& expr, uint32_t left_row,
+                     uint32_t right_row) const;
+
+  const ColumnBatch* left_;
+  const ColumnBatch* right_;
+  const Expr* condition_;
+  bool has_equi_ = false;
+  std::vector<int> left_keys_;
+  std::vector<int> right_keys_;
+  ExprPtr residual_;
+  std::unordered_map<size_t, std::vector<uint32_t>> build_;
+};
+
+/// Removes duplicate logical rows of `batch` (first occurrence wins, same
+/// order DedupRows produces) by narrowing the selection.
+ColumnBatch DedupBatch(const ColumnBatch& batch);
 
 }  // namespace hippo::exec

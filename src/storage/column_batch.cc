@@ -1,0 +1,329 @@
+#include "storage/column_batch.h"
+
+#include "common/status.h"
+
+namespace hippo {
+
+namespace {
+
+bool IsNumericType(TypeId t) {
+  return t == TypeId::kInt || t == TypeId::kDouble;
+}
+
+constexpr size_t kSsoCapacity = 15;  // typical libstdc++/libc++ SSO buffer
+
+size_t StringHeapBytes(const std::string& s) {
+  // Strings at or under the SSO buffer live inline in the object; only
+  // longer ones own a heap allocation (capacity + NUL).
+  return s.capacity() > kSsoCapacity ? s.capacity() + 1 : 0;
+}
+
+}  // namespace
+
+ColumnVector ColumnVector::FromValues(TypeId type, const std::vector<Value>& values) {
+  ColumnVector col(type);
+  col.Reserve(values.size());
+  for (const Value& v : values) col.AppendValue(v);
+  return col;
+}
+
+Value ColumnVector::ValueAt(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  if (mixed_active_) return mixed_[i];
+  switch (type_) {
+    case TypeId::kNull:
+      return Value::Null();
+    case TypeId::kBool:
+      return Value::Bool(bools_[i] != 0);
+    case TypeId::kInt:
+      return Value::Int(ints_[i]);
+    case TypeId::kDouble:
+      return Value::Double(doubles_[i]);
+    case TypeId::kString:
+      return Value::String(strings_[i]);
+  }
+  return Value::Null();
+}
+
+void ColumnVector::Reserve(size_t n) {
+  if (mixed_active_) {
+    mixed_.reserve(n);
+    return;
+  }
+  switch (type_) {
+    case TypeId::kNull:
+      break;
+    case TypeId::kBool:
+      bools_.reserve(n);
+      break;
+    case TypeId::kInt:
+      ints_.reserve(n);
+      break;
+    case TypeId::kDouble:
+      doubles_.reserve(n);
+      break;
+    case TypeId::kString:
+      strings_.reserve(n);
+      break;
+  }
+}
+
+void ColumnVector::EnsureValidBits() {
+  if (!valid_.empty()) return;
+  valid_.assign((size_ + 63) / 64, ~uint64_t{0});
+  // Clear any bits past size_ in the last word so growth stays consistent.
+  size_t tail = size_ % 64;
+  if (tail != 0 && !valid_.empty()) {
+    valid_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+void ColumnVector::MarkNull() {
+  // Called after size_ was incremented for the new (placeholder) cell.
+  EnsureValidBits();
+  size_t i = size_ - 1;
+  if (valid_.size() <= i / 64) valid_.resize(i / 64 + 1, 0);
+  valid_[i / 64] &= ~(uint64_t{1} << (i % 64));
+}
+
+void ColumnVector::SwitchToMixed() {
+  mixed_.clear();
+  mixed_.reserve(size_ + 1);
+  for (size_t i = 0; i < size_; ++i) mixed_.push_back(ValueAt(i));
+  mixed_active_ = true;
+  ints_.clear();
+  doubles_.clear();
+  bools_.clear();
+  strings_.clear();
+  // Validity bits stay authoritative for NULL checks in mixed mode too.
+}
+
+void ColumnVector::AppendValue(const Value& v) {
+  if (!mixed_active_ && !v.is_null() && v.type() != type_) SwitchToMixed();
+  if (mixed_active_) {
+    mixed_.push_back(v);
+    ++size_;
+    if (!valid_.empty() || v.is_null()) {
+      if (v.is_null()) {
+        MarkNull();
+      } else {
+        EnsureValidBits();
+        size_t i = size_ - 1;
+        if (valid_.size() <= i / 64) valid_.resize(i / 64 + 1, 0);
+        valid_[i / 64] |= uint64_t{1} << (i % 64);
+      }
+    }
+    return;
+  }
+  switch (type_) {
+    case TypeId::kNull:
+      break;
+    case TypeId::kBool:
+      bools_.push_back(v.is_null() ? 0 : (v.AsBool() ? 1 : 0));
+      break;
+    case TypeId::kInt:
+      ints_.push_back(v.is_null() ? 0 : v.AsInt());
+      break;
+    case TypeId::kDouble:
+      doubles_.push_back(v.is_null() ? 0.0 : v.AsDouble());
+      break;
+    case TypeId::kString:
+      strings_.push_back(v.is_null() ? std::string() : v.AsString());
+      break;
+  }
+  ++size_;
+  if (v.is_null()) {
+    MarkNull();
+  } else if (!valid_.empty()) {
+    size_t i = size_ - 1;
+    if (valid_.size() <= i / 64) valid_.resize(i / 64 + 1, 0);
+    valid_[i / 64] |= uint64_t{1} << (i % 64);
+  }
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& src, size_t i) {
+  if (src.IsNull(i)) {
+    AppendValue(Value::Null());
+    return;
+  }
+  if (mixed_active_ || src.mixed_active_ || src.type_ != type_) {
+    AppendValue(src.ValueAt(i));
+    return;
+  }
+  switch (type_) {
+    case TypeId::kNull:
+      AppendValue(Value::Null());
+      return;
+    case TypeId::kBool:
+      bools_.push_back(src.bools_[i]);
+      break;
+    case TypeId::kInt:
+      ints_.push_back(src.ints_[i]);
+      break;
+    case TypeId::kDouble:
+      doubles_.push_back(src.doubles_[i]);
+      break;
+    case TypeId::kString:
+      strings_.push_back(src.strings_[i]);
+      break;
+  }
+  ++size_;
+  if (!valid_.empty()) {
+    size_t j = size_ - 1;
+    if (valid_.size() <= j / 64) valid_.resize(j / 64 + 1, 0);
+    valid_[j / 64] |= uint64_t{1} << (j % 64);
+  }
+}
+
+size_t ColumnVector::HashAt(size_t i) const {
+  if (IsNull(i)) return HashNullScalar();
+  if (mixed_active_) return mixed_[i].Hash();
+  switch (type_) {
+    case TypeId::kNull:
+      return HashNullScalar();
+    case TypeId::kBool:
+      return HashBoolScalar(bools_[i] != 0);
+    case TypeId::kInt:
+      return HashNumericScalar(static_cast<double>(ints_[i]));
+    case TypeId::kDouble:
+      return HashNumericScalar(doubles_[i]);
+    case TypeId::kString:
+      return HashStringScalar(strings_[i]);
+  }
+  return 0;
+}
+
+bool ColumnVector::EqualsAt(size_t i, const ColumnVector& other, size_t j) const {
+  bool an = IsNull(i), bn = other.IsNull(j);
+  if (an || bn) return an && bn;
+  if (!mixed_active_ && !other.mixed_active_) {
+    if (IsNumericType(type_) && IsNumericType(other.type_)) {
+      if (type_ == TypeId::kInt && other.type_ == TypeId::kInt) {
+        return ints_[i] == other.ints_[j];
+      }
+      double a = type_ == TypeId::kInt ? static_cast<double>(ints_[i])
+                                       : doubles_[i];
+      double b = other.type_ == TypeId::kInt
+                     ? static_cast<double>(other.ints_[j])
+                     : other.doubles_[j];
+      return a == b;
+    }
+    if (type_ != other.type_) return false;
+    switch (type_) {
+      case TypeId::kNull:
+        return true;
+      case TypeId::kBool:
+        return bools_[i] == other.bools_[j];
+      case TypeId::kInt:
+      case TypeId::kDouble:
+        return false;  // unreachable: numeric pairs handled above
+      case TypeId::kString:
+        return strings_[i] == other.strings_[j];
+    }
+    return false;
+  }
+  return ValueAt(i) == other.ValueAt(j);
+}
+
+int ColumnVector::CompareAt(size_t i, const ColumnVector& other, size_t j) const {
+  if (!mixed_active_ && !other.mixed_active_ && type_ == other.type_ &&
+      !IsNull(i) && !other.IsNull(j)) {
+    switch (type_) {
+      case TypeId::kInt: {
+        int64_t a = ints_[i], b = other.ints_[j];
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      case TypeId::kDouble: {
+        double a = doubles_[i], b = other.doubles_[j];
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      case TypeId::kString: {
+        int c = strings_[i].compare(other.strings_[j]);
+        return c == 0 ? 0 : (c < 0 ? -1 : 1);
+      }
+      default:
+        break;
+    }
+  }
+  return ValueAt(i).Compare(other.ValueAt(j));
+}
+
+size_t ColumnVector::ApproxBytes() const {
+  size_t bytes = valid_.capacity() * sizeof(uint64_t);
+  bytes += ints_.capacity() * sizeof(int64_t);
+  bytes += doubles_.capacity() * sizeof(double);
+  bytes += bools_.capacity() * sizeof(uint8_t);
+  bytes += strings_.capacity() * sizeof(std::string);
+  for (const std::string& s : strings_) bytes += StringHeapBytes(s);
+  bytes += mixed_.capacity() * sizeof(Value);
+  for (const Value& v : mixed_) {
+    if (v.type() == TypeId::kString) bytes += StringHeapBytes(v.AsString());
+  }
+  return bytes;
+}
+
+ColumnBatch ColumnBatch::FromRows(const std::vector<Row>& rows,
+                                  const std::vector<TypeId>& types) {
+  std::vector<ColumnVectorPtr> columns;
+  columns.reserve(types.size());
+  for (size_t c = 0; c < types.size(); ++c) {
+    auto col = std::make_shared<ColumnVector>(types[c]);
+    col->Reserve(rows.size());
+    for (const Row& r : rows) {
+      col->AppendValue(c < r.size() ? r[c] : Value::Null());
+    }
+    columns.push_back(std::move(col));
+  }
+  return ColumnBatch(std::move(columns), rows.size());
+}
+
+Row ColumnBatch::RowAt(size_t row) const {
+  Row out;
+  out.reserve(columns_.size());
+  uint32_t p = Physical(row);
+  for (const ColumnVectorPtr& c : columns_) out.push_back(c->ValueAt(p));
+  return out;
+}
+
+std::vector<Row> ColumnBatch::ToRows() const {
+  std::vector<Row> out;
+  size_t n = NumRows();
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(RowAt(i));
+  return out;
+}
+
+size_t ColumnBatch::RowHashAt(size_t row) const {
+  // Mirrors HashRow: seed with the arity, then fold per-value hashes.
+  size_t seed = columns_.size();
+  uint32_t p = Physical(row);
+  for (const ColumnVectorPtr& c : columns_) HashCombine(&seed, c->HashAt(p));
+  return seed;
+}
+
+bool ColumnBatch::RowEqualsAt(size_t row, const ColumnBatch& other,
+                              size_t other_row) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  uint32_t p = Physical(row), q = other.Physical(other_row);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (!columns_[c]->EqualsAt(p, *other.columns_[c], q)) return false;
+  }
+  return true;
+}
+
+ColumnBatch ColumnBatch::Narrow(const std::vector<uint32_t>& keep_logical)
+    const {
+  auto sel = std::make_shared<std::vector<uint32_t>>();
+  sel->reserve(keep_logical.size());
+  for (uint32_t i : keep_logical) sel->push_back(Physical(i));
+  return WithSelection(std::move(sel));
+}
+
+size_t ColumnBatch::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const ColumnVectorPtr& c : columns_) bytes += c->ApproxBytes();
+  if (selection_) bytes += selection_->capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace hippo

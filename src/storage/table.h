@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "catalog/schema.h"
 #include "common/hash.h"
 #include "common/status.h"
+#include "storage/column_batch.h"
 #include "types/value.h"
 
 namespace hippo {
@@ -48,11 +51,31 @@ struct RowIdHasher {
   size_t operator()(const RowId& r) const { return Mix64(r.Pack()); }
 };
 
+/// \brief Immutable columnar image of a table's physical row slots.
+///
+/// One ColumnVector per schema column over slots [0, num_slots) — including
+/// tombstoned slots, so the physical index of a cell IS its RowId row and
+/// liveness stays a per-scan selection concern. `rowids` is an INT column
+/// holding 0..num_slots-1 for plans that project the row id.
+struct TableColumns {
+  std::vector<ColumnVectorPtr> columns;
+  ColumnVectorPtr rowids;
+  size_t num_slots = 0;
+
+  size_t ApproxBytes() const;
+};
+
 /// \brief A base relation: schema + rows, append-only with set semantics.
 class Table {
  public:
   Table(uint32_t id, std::string name, Schema schema)
       : id_(id), name_(std::move(name)), schema_(std::move(schema)) {}
+
+  // The columnar-view cache sits behind a mutex (lazily built on const,
+  // snapshot-shared tables), so copying needs to be spelled out; the copy
+  // shares the immutable view — both tables image the same slots.
+  Table(const Table& other);
+  Table& operator=(const Table& other);
 
   uint32_t id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -88,17 +111,29 @@ class Table {
   bool Delete(uint32_t row_index);
 
   /// Looks up the RowId of an exact *live* row, if present (O(1) expected).
+  /// `values` is coerced to the column types first (the index stores rows in
+  /// canonical form), so probing an INT column with 2.0 finds the row; an
+  /// uncoercible or wrong-arity probe is simply a miss.
   std::optional<RowId> Find(const Row& values) const;
 
   /// Clears all rows (used by workload generators between configurations).
   void Clear();
 
+  /// Columnar image of the physical slots, built lazily on first use and
+  /// memoized until a write adds a slot (Insert of a NEW row) or Clear().
+  /// Tombstone flips do NOT invalidate it — liveness is per-scan selection,
+  /// not part of the image. Thread-safe on shared snapshots.
+  std::shared_ptr<const TableColumns> columnar() const;
+
   /// Rough resident size of this table in bytes: rows (including string
-  /// payloads), tombstone bits, and the full-row hash index. Used by the
+  /// payloads, SSO-aware), tombstone bits, the full-row hash index with its
+  /// bucket array, and the memoized columnar view's buffers. Used by the
   /// per-snapshot memory accounting (Catalog::ApproxBytes, `.mem`).
   size_t ApproxBytes() const;
 
  private:
+  void InvalidateColumnar();
+
   uint32_t id_;
   std::string name_;
   Schema schema_;
@@ -108,6 +143,10 @@ class Table {
   // Full-row hash index enforcing set semantics and serving Find(); entries
   // for tombstoned rows are kept so a re-insert resurrects the old RowId.
   std::unordered_map<Row, uint32_t, RowHasher, RowEq> index_;
+  // Memoized columnar image; guarded because readers materialize it lazily
+  // on const snapshot-shared tables from concurrent query threads.
+  mutable std::mutex columnar_mu_;
+  mutable std::shared_ptr<const TableColumns> columnar_;
 };
 
 }  // namespace hippo

@@ -132,31 +132,18 @@ bool Value::operator<(const Value& other) const {
 }
 
 size_t Value::Hash() const {
-  size_t seed = 0;
   switch (type_) {
     case TypeId::kNull:
-      HashCombine(&seed, 0x6e756c6cULL);
-      break;
+      return HashNullScalar();
     case TypeId::kBool:
-      HashCombine(&seed, AsBool() ? 2u : 1u);
-      break;
+      return HashBoolScalar(AsBool());
     case TypeId::kInt:
-    case TypeId::kDouble: {
-      // Hash numerics by double value so 5 and 5.0 collide with equality.
-      double d = NumericAsDouble();
-      // Normalize -0.0 to 0.0 (they compare equal).
-      if (d == 0.0) d = 0.0;
-      int64_t bits;
-      static_assert(sizeof(bits) == sizeof(d));
-      std::memcpy(&bits, &d, sizeof(d));
-      HashCombine(&seed, Mix64(static_cast<uint64_t>(bits)));
-      break;
-    }
+    case TypeId::kDouble:
+      return HashNumericScalar(NumericAsDouble());
     case TypeId::kString:
-      HashCombineValue(&seed, AsString());
-      break;
+      return HashStringScalar(AsString());
   }
-  return seed;
+  return 0;
 }
 
 Result<Value> Value::CastTo(TypeId target) const {

@@ -3,10 +3,12 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/status.h"
 
 namespace hippo {
@@ -89,6 +91,39 @@ class Value {
   TypeId type_;
   std::variant<std::monostate, bool, int64_t, double, std::string> data_;
 };
+
+/// \name Scalar hash primitives
+/// Shared by Value::Hash and the columnar engine (Column::HashAt): both
+/// representations of the same logical value MUST hash identically, since
+/// batch joins probe buckets keyed by these hashes. Numerics hash by their
+/// double value so 5 and 5.0 collide with operator==; -0.0 normalizes to
+/// 0.0 (they compare equal).
+/// @{
+inline size_t HashNullScalar() {
+  size_t seed = 0;
+  HashCombine(&seed, 0x6e756c6cULL);
+  return seed;
+}
+inline size_t HashBoolScalar(bool b) {
+  size_t seed = 0;
+  HashCombine(&seed, b ? 2u : 1u);
+  return seed;
+}
+inline size_t HashNumericScalar(double d) {
+  if (d == 0.0) d = 0.0;
+  int64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(d));
+  size_t seed = 0;
+  HashCombine(&seed, Mix64(static_cast<uint64_t>(bits)));
+  return seed;
+}
+inline size_t HashStringScalar(const std::string& s) {
+  size_t seed = 0;
+  HashCombineValue(&seed, s);
+  return seed;
+}
+/// @}
 
 /// A row of values.
 using Row = std::vector<Value>;
