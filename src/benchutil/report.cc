@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 
@@ -113,18 +114,42 @@ std::string FormatBytes(size_t bytes) {
   return StrFormat("%.2f GiB", b / (1024.0 * 1024 * 1024));
 }
 
+namespace {
+
+/// Nearest-rank index: the smallest sample with at least p% of the sample
+/// at or below it — ceil(p/100 * N), 1-based, clamped to [1, N].
+size_t PercentileRank(double p, size_t n) {
+  if (p <= 0) return 1;
+  if (p >= 100) return n;
+  size_t rank =
+      static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return rank;
+}
+
+}  // namespace
+
 double Percentile(std::vector<double> samples, double p) {
   if (samples.empty()) return 0;
+  // A single order statistic needs a selection, not a full sort.
+  size_t rank = PercentileRank(p, samples.size());
+  auto nth = samples.begin() + static_cast<ptrdiff_t>(rank - 1);
+  std::nth_element(samples.begin(), nth, samples.end());
+  return *nth;
+}
+
+std::vector<double> Percentiles(std::vector<double> samples,
+                                const std::vector<double>& ps) {
+  std::vector<double> out(ps.size(), 0.0);
+  if (samples.empty()) return out;
+  // One sort amortized over every requested percentile (the callers ask
+  // for 3–4 at a time per latency log).
   std::sort(samples.begin(), samples.end());
-  if (p <= 0) return samples.front();
-  if (p >= 100) return samples.back();
-  // Nearest-rank: the smallest sample with at least p% of the sample at or
-  // below it — ceil(p/100 * N), 1-based.
-  size_t rank = static_cast<size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
-  if (rank == 0) rank = 1;
-  if (rank > samples.size()) rank = samples.size();
-  return samples[rank - 1];
+  for (size_t i = 0; i < ps.size(); ++i) {
+    out[i] = samples[PercentileRank(ps[i], samples.size()) - 1];
+  }
+  return out;
 }
 
 }  // namespace hippo::bench

@@ -94,9 +94,19 @@ Result<ResultSet> HippoEngine::ServeFirstOrder(const PlanNode& original,
   ExecContext ctx{&catalog_, nullptr};
   ctx.parallel.num_threads = options.num_threads;
   ctx.engine = options.exec_engine;
+  obs::TraceSpan* span = options.trace == nullptr
+                             ? nullptr
+                             : options.trace->StartChild("evaluate");
+  ctx.trace = span;
   HIPPO_ASSIGN_OR_RETURN(ResultSet result, Execute(*body, ctx));
   result.schema = original.schema();
   SortAnswers(original, &result.rows);
+  if (span != nullptr) {
+    span->SetAttr("rows", static_cast<int64_t>(result.rows.size()));
+    span->SetAttr("threads", static_cast<int64_t>(
+                                 ResolveThreadCount(options.num_threads)));
+    span->End();
+  }
   if (stats != nullptr) {
     double secs = Seconds(t0, Clock::now());
     stats->answers += result.rows.size();
@@ -120,6 +130,9 @@ Result<ResultSet> HippoEngine::ConsistentAnswers(const PlanNode& plan,
       ClassifyRoute(plan, catalog_, constraints_, foreign_keys_, &graph_,
                     options.route));
   if (stats != nullptr) stats->route = route.kind;
+  if (options.trace != nullptr) {
+    options.trace->SetAttr("route", RouteKindName(route.kind));
+  }
   switch (route.kind) {
     case RouteKind::kConflictFree:
       return ServeFirstOrder(plan, plan, route.kind, options, stats);
@@ -149,7 +162,16 @@ Result<ResultSet> HippoEngine::ServeProver(const PlanNode& plan,
   ExecContext ctx{&catalog_, nullptr};
   ctx.parallel.num_threads = options.num_threads;
   ctx.engine = options.exec_engine;
+  obs::TraceSpan* envelope_span =
+      options.trace == nullptr ? nullptr
+                               : options.trace->StartChild("envelope");
+  ctx.trace = envelope_span;
   HIPPO_ASSIGN_OR_RETURN(ResultSet candidates, Execute(*envelope, ctx));
+  if (envelope_span != nullptr) {
+    envelope_span->SetAttr("candidates",
+                           static_cast<int64_t>(candidates.rows.size()));
+    envelope_span->End();
+  }
   auto t1 = Clock::now();
 
   // 2. Prover loop over candidates. Candidates are decided independently;
@@ -163,6 +185,10 @@ Result<ResultSet> HippoEngine::ServeProver(const PlanNode& plan,
   size_t prover_clauses = 0;
   size_t prover_edge_choices = 0;
   size_t num_threads = ResolveThreadCount(options.num_threads);
+  size_t workers_used = 1;
+  obs::TraceSpan* prover_span =
+      options.trace == nullptr ? nullptr
+                               : options.trace->StartChild("prover");
   if (num_threads <= 1 || candidates.rows.size() < 2) {
     std::unique_ptr<MembershipProvider> membership =
         MakeProvider(catalog_, options.membership);
@@ -179,6 +205,7 @@ Result<ResultSet> HippoEngine::ServeProver(const PlanNode& plan,
     prover_edge_choices = prover.stats().edge_choices_tried;
   } else {
     size_t workers = std::min(num_threads, candidates.rows.size());
+    workers_used = workers;
     std::vector<char> verdict(candidates.rows.size(), 0);
     std::vector<HippoStats> worker_stats(workers);
     std::vector<Status> worker_status(workers);
@@ -231,6 +258,20 @@ Result<ResultSet> HippoEngine::ServeProver(const PlanNode& plan,
     }
   }
   auto t2 = Clock::now();
+  if (prover_span != nullptr) {
+    prover_span->SetAttr("candidates",
+                         static_cast<int64_t>(candidates.rows.size()));
+    prover_span->SetAttr("answers",
+                         static_cast<int64_t>(answers.rows.size()));
+    prover_span->SetAttr("workers", static_cast<int64_t>(workers_used));
+    prover_span->SetAttr("clauses",
+                         static_cast<int64_t>(prover_clauses));
+    prover_span->SetAttr("edges_touched",
+                         static_cast<int64_t>(prover_edge_choices));
+    prover_span->SetAttr("membership_checks",
+                         static_cast<int64_t>(prover_membership_checks));
+    prover_span->End();
+  }
 
   // 3. Honor a top-level ORDER BY (canonical tie order shared by every
   //    route).

@@ -24,6 +24,7 @@
 #include "constraints/foreign_key.h"
 #include "exec/executor.h"
 #include "hypergraph/hypergraph.h"
+#include "obs/trace.h"
 #include "plan/logical_plan.h"
 #include "plan/router.h"
 
@@ -68,6 +69,14 @@ struct HippoOptions {
   /// NotSupported when it cannot soundly serve the query. Differential
   /// tests and benches use the force modes to compare routes.
   RouteMode route = RouteMode::kAuto;
+
+  /// Optional per-query trace sink (obs/trace.h). When set, the engine
+  /// records the route taken plus child spans for envelope evaluation,
+  /// the prover loop, and — through ExecContext::trace — every executor
+  /// operator (name, wall time, cardinality). Null (the default) keeps
+  /// the query untraced at one-branch-per-phase cost. Tracing never
+  /// changes answers: rows, order, and stats are bit-identical on/off.
+  obs::TraceSpan* trace = nullptr;
 };
 
 struct HippoStats {

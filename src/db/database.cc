@@ -467,6 +467,19 @@ Result<std::string> Database::Explain(const std::string& select_sql) const {
   return out;
 }
 
+Result<std::string> Database::ExplainAnalyze(const std::string& select_sql,
+                                             const cqa::HippoOptions& options,
+                                             cqa::HippoStats* stats) {
+  obs::TraceSpan root("query");
+  cqa::HippoOptions traced = options;
+  traced.trace = &root;
+  HIPPO_ASSIGN_OR_RETURN(ResultSet result,
+                         ConsistentAnswers(select_sql, traced, stats));
+  root.SetAttr("answers", static_cast<int64_t>(result.rows.size()));
+  root.End();
+  return "-- explain analyze --\n" + root.Render();
+}
+
 Result<ResultSet> Database::Query(const std::string& select_sql) const {
   HIPPO_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(select_sql));
   if (optimizer_enabled_) plan = OptimizePlan(*plan);

@@ -78,6 +78,17 @@ class Database {
   /// rewritten plan of a SELECT statement — the EXPLAIN facility.
   Result<std::string> Explain(const std::string& select_sql) const;
 
+  /// EXPLAIN ANALYZE: Explain's execute-and-annotate mode. Runs the query
+  /// for real through ConsistentAnswers with a per-query trace attached
+  /// and renders the executed tree — route taken, then one line per span
+  /// (engine phases and executor operators) with wall time and output
+  /// cardinality. Answers are identical to an untraced run; `stats`
+  /// receives the same HippoStats ConsistentAnswers would produce.
+  Result<std::string> ExplainAnalyze(
+      const std::string& select_sql,
+      const cqa::HippoOptions& options = cqa::HippoOptions(),
+      cqa::HippoStats* stats = nullptr);
+
   /// Plain evaluation over the (possibly inconsistent) instance.
   Result<ResultSet> Query(const std::string& select_sql) const;
 

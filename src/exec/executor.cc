@@ -121,8 +121,8 @@ Result<std::vector<Row>> ExecuteScan(const ScanNode& scan,
   return out;
 }
 
-Result<std::vector<Row>> ExecuteRows(const PlanNode& plan,
-                                     const ExecContext& ctx) {
+Result<std::vector<Row>> ExecuteRowsNode(const PlanNode& plan,
+                                         const ExecContext& ctx) {
   switch (plan.kind()) {
     case PlanKind::kScan:
       return ExecuteScan(static_cast<const ScanNode&>(plan), ctx);
@@ -255,6 +255,23 @@ Result<std::vector<Row>> ExecuteRows(const PlanNode& plan,
     }
   }
   return Status::Internal("unknown plan kind in executor");
+}
+
+/// Trace-aware entry for one row-engine operator: with a trace sink, the
+/// operator (and, via the child context, its whole subtree) runs inside a
+/// child span that records the output cardinality.
+Result<std::vector<Row>> ExecuteRows(const PlanNode& plan,
+                                     const ExecContext& ctx) {
+  if (ctx.trace == nullptr) return ExecuteRowsNode(plan, ctx);
+  obs::TraceSpan* span = ctx.trace->StartChild(plan.NodeLabel());
+  ExecContext child = ctx;
+  child.trace = span;
+  Result<std::vector<Row>> result = ExecuteRowsNode(plan, child);
+  if (result.ok()) {
+    span->SetAttr("rows", static_cast<int64_t>(result.value().size()));
+  }
+  span->End();
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -391,8 +408,8 @@ ColumnBatch ProductBatch(const ColumnBatch& left, const ColumnBatch& right) {
   return ColumnBatch(std::move(cols), n);
 }
 
-Result<ColumnBatch> ExecuteBatch(const PlanNode& plan,
-                                 const ExecContext& ctx) {
+Result<ColumnBatch> ExecuteBatchNode(const PlanNode& plan,
+                                     const ExecContext& ctx) {
   switch (plan.kind()) {
     case PlanKind::kScan: {
       const auto& scan = static_cast<const ScanNode&>(plan);
@@ -529,6 +546,21 @@ Result<ColumnBatch> ExecuteBatch(const PlanNode& plan,
     }
   }
   return Status::Internal("unknown plan kind in executor");
+}
+
+/// Trace-aware entry for one batch-engine operator (see ExecuteRows).
+Result<ColumnBatch> ExecuteBatch(const PlanNode& plan,
+                                 const ExecContext& ctx) {
+  if (ctx.trace == nullptr) return ExecuteBatchNode(plan, ctx);
+  obs::TraceSpan* span = ctx.trace->StartChild(plan.NodeLabel());
+  ExecContext child = ctx;
+  child.trace = span;
+  Result<ColumnBatch> result = ExecuteBatchNode(plan, child);
+  if (result.ok()) {
+    span->SetAttr("rows", static_cast<int64_t>(result.value().NumRows()));
+  }
+  span->End();
+  return result;
 }
 
 }  // namespace

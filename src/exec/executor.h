@@ -12,6 +12,7 @@
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "plan/logical_plan.h"
 #include "storage/column_batch.h"
 #include "types/value.h"
@@ -97,6 +98,14 @@ struct ExecContext {
   const RowMask* mask = nullptr;
   ExecParallel parallel;
   ExecEngine engine = ExecEngine::kBatch;
+
+  /// Optional trace sink: when set, Execute wraps every operator in a
+  /// child span named by NodeLabel() and records its output cardinality.
+  /// Spans are per-operator, never per-row, so tracing cost scales with
+  /// plan size; null (the default) costs one branch per operator.
+  /// Tracing never changes results — rows and order are bit-identical
+  /// either way (tests/trace_differential_test.cc).
+  obs::TraceSpan* trace = nullptr;
 };
 
 /// Executes a bound plan to completion. With ctx.parallel.num_threads > 1

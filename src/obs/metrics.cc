@@ -1,0 +1,265 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+namespace hippo::obs {
+
+namespace {
+
+/// First bucket bound; the grid grows by kGrowth per bucket.
+constexpr double kFirstBound = 1e-6;
+/// 2^(1/4): four buckets per doubling, ~19% relative resolution.
+const double kGrowth = std::pow(2.0, 0.25);
+
+/// Precomputed bound table (built once, read-only afterwards).
+const std::array<double, kHistogramBuckets>& Bounds() {
+  static const std::array<double, kHistogramBuckets> bounds = [] {
+    std::array<double, kHistogramBuckets> b{};
+    double v = kFirstBound;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      b[i] = v;
+      v *= kGrowth;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+size_t ThreadShard() {
+  static thread_local const size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kMetricShards;
+  return shard;
+}
+
+void AppendDouble(std::ostringstream* out, double v) {
+  // Shortest faithful-enough rendering: fixed notation with up to 9
+  // decimals, trailing zeros trimmed, so "3" stays "3" and latencies keep
+  // nanosecond resolution.
+  std::ostringstream tmp;
+  tmp.precision(9);
+  tmp << std::fixed << v;
+  std::string s = tmp.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  *out << s;
+}
+
+}  // namespace
+
+size_t Counter::ShardIndex() { return ThreadShard(); }
+
+double LatencyHistogram::BucketBound(size_t i) {
+  return Bounds()[std::min(i, kHistogramBuckets - 1)];
+}
+
+size_t LatencyHistogram::BucketFor(double value) {
+  const auto& bounds = Bounds();
+  if (!(value > bounds[0])) return 0;  // also catches NaN / negatives
+  auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  if (it == bounds.end()) return kHistogramBuckets - 1;
+  return size_t(it - bounds.begin());
+}
+
+void LatencyHistogram::Record(double value) {
+  Shard& s = shards_[ThreadShard()];
+  s.buckets[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum_nano.fetch_add(int64_t(std::llround(value * 1e9)),
+                       std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  int64_t sum_nano = 0;
+  for (const Shard& s : shards_) {
+    snap.count += s.count.load(std::memory_order_relaxed);
+    sum_nano += s.sum_nano.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < kHistogramBuckets; ++i)
+      snap.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+  }
+  snap.sum = double(sum_nano) * 1e-9;
+  return snap;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank over the bucketed distribution, then linear
+  // interpolation inside the winning bucket.
+  uint64_t rank = uint64_t(std::ceil(q * double(count)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      const double hi = LatencyHistogram::BucketBound(i);
+      const double lo = i == 0 ? 0.0 : LatencyHistogram::BucketBound(i - 1);
+      const double frac = double(rank - seen) / double(buckets[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += buckets[i];
+  }
+  return LatencyHistogram::BucketBound(kHistogramBuckets - 1);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  for (size_t i = 0; i < kHistogramBuckets; ++i)
+    buckets[i] += other.buckets[i];
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::Labeled(
+    const std::string& name,
+    std::initializer_list<std::pair<const char*, std::string>> labels) {
+  if (labels.size() == 0) return name;
+  std::string out = name;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+namespace {
+
+/// Splits `hippo_x_seconds{route="p"}` into base name and label suffix so
+/// histogram sub-series render as `hippo_x_seconds_count{route="p"}`.
+std::pair<std::string, std::string> SplitLabels(const std::string& key) {
+  size_t brace = key.find('{');
+  if (brace == std::string::npos) return {key, ""};
+  return {key.substr(0, brace), key.substr(brace)};
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::DumpPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << name << ' ' << c->Value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << name << ' ' << g->Value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot snap = h->Snapshot();
+    auto [base, labels] = SplitLabels(name);
+    out << base << "_count" << labels << ' ' << snap.count << '\n';
+    out << base << "_sum" << labels << ' ';
+    AppendDouble(&out, snap.sum);
+    out << '\n';
+    static const std::pair<double, const char*> kQuantiles[] = {
+        {0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}};
+    for (const auto& [q, qname] : kQuantiles) {
+      std::string qlabel = std::string("quantile=\"") + qname + "\"}";
+      std::string qlabels =
+          labels.empty() ? "{" + qlabel
+                         : labels.substr(0, labels.size() - 1) + "," + qlabel;
+      out << base << qlabels << ' ';
+      AppendDouble(&out, snap.Quantile(q));
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << JsonEscape(name) << "\":" << c->Value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << JsonEscape(name) << "\":" << g->Value();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    const HistogramSnapshot snap = h->Snapshot();
+    out << '"' << JsonEscape(name) << "\":{\"count\":" << snap.count
+        << ",\"sum\":";
+    AppendDouble(&out, snap.sum);
+    out << ",\"mean\":";
+    AppendDouble(&out, snap.Mean());
+    out << ",\"p50\":";
+    AppendDouble(&out, snap.Quantile(0.5));
+    out << ",\"p95\":";
+    AppendDouble(&out, snap.Quantile(0.95));
+    out << ",\"p99\":";
+    AppendDouble(&out, snap.Quantile(0.99));
+    out << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+MetricsRegistry& Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace hippo::obs

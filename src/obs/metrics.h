@@ -1,0 +1,163 @@
+// Low-overhead metrics primitives: named counters, gauges, and fixed-bucket
+// latency histograms, collected in a registry and dumped as Prometheus-style
+// text exposition or JSON.
+//
+// Hot-path contract: recording into any metric is a handful of relaxed
+// atomic operations on sharded, cache-line-padded slots — no locks, no
+// allocation, no syscalls. The registry mutex is taken only at
+// registration time (get-or-create by name) and when rendering a dump;
+// handles returned by the registry are stable for its lifetime, so callers
+// resolve them once and record through raw pointers.
+//
+// Reads are snapshot-on-read: Value()/Snapshot() sum the shards with
+// relaxed loads. Concurrent recorders may race a snapshot by a few
+// in-flight increments; totals are exact once recorders quiesce (the
+// concurrent-merge test in tests/obs_metrics_test.cc pins this under
+// TSan).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hippo::obs {
+
+/// Shards per metric: recorders pick a shard by hashing their thread id,
+/// so concurrent threads usually touch distinct cache lines. A small
+/// power of two keeps per-metric memory modest while removing almost all
+/// contention at realistic worker counts (the serving stack runs a
+/// handful of workers, not hundreds).
+constexpr size_t kMetricShards = 16;
+
+/// Monotonic counter (sharded).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  static size_t ShardIndex();
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Last-value gauge (single atomic: gauges are set, not accumulated, so
+/// sharding would make the "current value" ambiguous).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Bucket grid shared by every histogram: log-spaced bounds growing by
+/// 2^(1/4) (~19%) per bucket from 1e-6, covering ~1 microsecond to ~4.7
+/// hours of latency — and, since values are plain doubles, unit-less
+/// magnitudes like batch sizes from 1 to ~17e3 land mid-grid with the
+/// same relative resolution. Values above the last bound clamp into the
+/// final bucket; quantiles stay correct up to that saturation point.
+constexpr size_t kHistogramBuckets = 136;
+
+/// One immutable histogram read: cumulative-free per-bucket counts plus
+/// exact sum/count. Quantiles interpolate within the winning bucket, so
+/// p50/p95/p99 have the grid's ~19% relative resolution.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  bool empty() const { return count == 0; }
+  double Mean() const { return count == 0 ? 0 : sum / double(count); }
+  /// q in [0,1]; returns 0 on an empty snapshot.
+  double Quantile(double q) const;
+  /// Pointwise accumulate (for cross-shard / cross-instance merging).
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Fixed-bucket histogram (sharded). Record() is wait-free: one relaxed
+/// fetch_add on the bucket slot, one on the count, plus a CAS-free
+/// double-as-bits accumulation of the sum.
+class LatencyHistogram {
+ public:
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+
+  /// Upper bound of bucket `i` (inclusive; the last bucket also absorbs
+  /// any larger value).
+  static double BucketBound(size_t i);
+  /// Bucket index a value lands in.
+  static size_t BucketFor(double value);
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    /// Sum of recorded values in nanounits (value * 1e9, rounded), so the
+    /// accumulation is a single integer fetch_add instead of a CAS loop
+    /// on a double. Exact for latencies (clock resolution is coarser) and
+    /// counts; converted back to a double on read.
+    std::atomic<int64_t> sum_nano{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Name-keyed registry of metrics. Names follow the Prometheus
+/// convention: `hippo_commit_apply_seconds`, with optional labels
+/// rendered into the key as `hippo_query_seconds{route="prover"}`.
+/// Registration is get-or-create under a mutex; the returned pointers
+/// stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Renders `name{k1="v1",k2="v2"}` for label-qualified metrics.
+  static std::string Labeled(
+      const std::string& name,
+      std::initializer_list<std::pair<const char*, std::string>> labels);
+
+  /// Prometheus-style text exposition: one `name value` line per counter
+  /// and gauge; histograms emit `<name>_count`, `<name>_sum`, and
+  /// summary-style `<name>{quantile="0.5|0.95|0.99"}` lines (compact —
+  /// the 136-bucket grid is not exploded into `_bucket` lines). Lines
+  /// are sorted by name for deterministic output.
+  std::string DumpPrometheus() const;
+
+  /// The same content as a single JSON object:
+  /// {"counters":{...},"gauges":{...},
+  ///  "histograms":{name:{"count":..,"sum":..,"mean":..,
+  ///                      "p50":..,"p95":..,"p99":..}}}.
+  std::string DumpJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/// Process-global registry: tools (hippo_shell) and one-off
+/// instrumentation record here; QueryService owns a private registry per
+/// service instance so concurrent services (and tests) stay hermetic.
+MetricsRegistry& Global();
+
+}  // namespace hippo::obs

@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hippo::obs {
+
+namespace {
+
+std::string FormatMs(double seconds) {
+  char buf[32];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace
+
+TraceSpan* TraceSpan::StartChild(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  children_.emplace_back(std::move(name));
+  return &children_.back();
+}
+
+void TraceSpan::End() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (end_ == Clock::time_point{}) end_ = Clock::now();
+}
+
+double TraceSpan::seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Clock::time_point stop =
+      end_ == Clock::time_point{} ? Clock::now() : end_;
+  return std::chrono::duration<double>(stop - start_).count();
+}
+
+void TraceSpan::SetAttr(const std::string& key, int64_t value) {
+  SetAttr(key, std::to_string(value));
+}
+
+void TraceSpan::SetAttr(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  attrs_.emplace_back(key, value);
+}
+
+std::string TraceSpan::Attr(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+std::vector<const TraceSpan*> TraceSpan::Children() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const TraceSpan*> out;
+  out.reserve(children_.size());
+  for (const TraceSpan& c : children_) out.push_back(&c);
+  return out;
+}
+
+size_t TraceSpan::MaxLabelWidth(size_t depth) const {
+  size_t width = depth * 2 + name_.size();
+  for (const TraceSpan* c : Children()) {
+    width = std::max(width, c->MaxLabelWidth(depth + 1));
+  }
+  return width;
+}
+
+void TraceSpan::RenderInto(std::string* out, size_t depth,
+                           size_t name_width) const {
+  std::string label(depth * 2, ' ');
+  label += name_;
+  if (label.size() < name_width) label.resize(name_width, ' ');
+  *out += label;
+  *out += "  ";
+  *out += FormatMs(seconds());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [k, v] : attrs_) {
+      *out += "  ";
+      *out += k;
+      *out += '=';
+      *out += v;
+    }
+  }
+  *out += '\n';
+  for (const TraceSpan* c : Children()) {
+    c->RenderInto(out, depth + 1, name_width);
+  }
+}
+
+std::string TraceSpan::Render() const {
+  std::string out;
+  RenderInto(&out, 0, MaxLabelWidth(0));
+  return out;
+}
+
+std::string TraceSpan::Summary() const {
+  std::string out = name_;
+  out += ' ';
+  out += FormatMs(seconds());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, v] : attrs_) {
+    out += ' ';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+}  // namespace hippo::obs

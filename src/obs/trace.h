@@ -1,0 +1,74 @@
+// Per-query trace spans: a tree of named, wall-clocked spans with string
+// attributes, threaded through the serving stack as a nullable pointer
+// (ExecContext::trace, HippoOptions::trace). A null pointer means tracing
+// is off and costs one branch per *operator* — spans are never created per
+// row, so the disabled path stays within the F14 overhead contract and the
+// enabled path's cost is proportional to plan size, not data size.
+//
+// Spans are created via StartChild on the parent, which is safe to call
+// from concurrent workers (children live in a deque under a mutex; the
+// returned pointers are stable). Rendering the finished tree produces the
+// EXPLAIN ANALYZE output: one line per span with wall time and attributes
+// (rows, route, candidates, ...), children indented beneath.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hippo::obs {
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name)
+      : name_(std::move(name)), start_(Clock::now()) {}
+
+  /// Creates (and starts) a child span. Thread-safe; the pointer stays
+  /// valid for the parent's lifetime. The caller must End() it (or let
+  /// seconds() read "still running").
+  TraceSpan* StartChild(std::string name);
+
+  /// Stops the clock. Idempotent: the first call wins.
+  void End();
+
+  void SetAttr(const std::string& key, int64_t value);
+  void SetAttr(const std::string& key, const std::string& value);
+
+  const std::string& name() const { return name_; }
+  /// Wall seconds: start → End() (or → now while still running).
+  double seconds() const;
+
+  /// Attribute lookup (tests); empty string when absent.
+  std::string Attr(const std::string& key) const;
+
+  /// Child spans in creation order.
+  std::vector<const TraceSpan*> Children() const;
+
+  /// Renders the span tree: `name ... 12.3 ms  k=v k=v`, children
+  /// indented two spaces per level.
+  std::string Render() const;
+
+  /// One-line summary of the root span: "name 12.3 ms [k=v ...]" — used
+  /// by the slow-query log.
+  std::string Summary() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void RenderInto(std::string* out, size_t depth, size_t name_width) const;
+  size_t MaxLabelWidth(size_t depth) const;
+
+  const std::string name_;
+  const Clock::time_point start_;
+  Clock::time_point end_{};  // epoch = still running
+  mutable std::mutex mu_;
+  std::deque<TraceSpan> children_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+};
+
+}  // namespace hippo::obs

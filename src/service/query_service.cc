@@ -45,12 +45,20 @@ void MergeHippoStats(const cqa::HippoStats& from, cqa::HippoStats* into) {
   into->detect_options_ignored += from.detect_options_ignored;
 }
 
+/// Wall seconds since `from`.
+double SecondsSince(std::chrono::steady_clock::time_point from) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       from)
+      .count();
+}
+
 }  // namespace
 
 QueryService::QueryService(ServiceOptions options)
     : options_(options) {
   options_.num_workers = ResolveThreadCount(options_.num_workers);
   if (options_.max_queue_depth == 0) options_.max_queue_depth = 1;
+  InitMetrics();
   // Commit-path re-detections (bulk commits, constraint DDL) use the
   // configured detect options; the incremental maintainer handles the rest.
   master_.SetDetectOptions(options_.detect);
@@ -66,10 +74,48 @@ QueryService::QueryService(ServiceOptions options)
 
 QueryService::~QueryService() { Shutdown(); }
 
+void QueryService::InitMetrics() {
+  if (!options_.enable_metrics) return;
+  metrics_ = std::make_unique<obs::MetricsRegistry>();
+  obs::MetricsRegistry* r = metrics_.get();
+  m_commits_ = r->GetCounter("hippo_commits_total");
+  m_queries_ = r->GetCounter("hippo_queries_total");
+  m_rejected_ = r->GetCounter("hippo_queries_rejected_total");
+  m_commit_lock_wait_ = r->GetHistogram("hippo_commit_lock_wait_seconds");
+  m_commit_apply_ = r->GetHistogram("hippo_commit_apply_seconds");
+  m_detect_incremental_ = r->GetHistogram(obs::MetricsRegistry::Labeled(
+      "hippo_commit_detect_seconds", {{"kind", "incremental"}}));
+  m_detect_redetect_ = r->GetHistogram(obs::MetricsRegistry::Labeled(
+      "hippo_commit_detect_seconds", {{"kind", "redetect"}}));
+  m_commit_publish_ = r->GetHistogram("hippo_commit_publish_seconds");
+  m_batch_statements_ = r->GetHistogram("hippo_commit_batch_statements");
+  m_admission_wait_ = r->GetHistogram("hippo_admission_wait_seconds");
+  m_queue_wait_ = r->GetHistogram("hippo_queue_wait_seconds");
+  m_queue_depth_ = r->GetGauge("hippo_queue_depth");
+  m_epoch_ = r->GetGauge("hippo_epoch");
+  m_route_cf_ = r->GetHistogram(obs::MetricsRegistry::Labeled(
+      "hippo_query_seconds", {{"route", "conflict_free"}}));
+  m_route_rewrite_ = r->GetHistogram(obs::MetricsRegistry::Labeled(
+      "hippo_query_seconds", {{"route", "rewrite"}}));
+  m_route_prover_ = r->GetHistogram(obs::MetricsRegistry::Labeled(
+      "hippo_query_seconds", {{"route", "prover"}}));
+  m_plain_latency_ = r->GetHistogram(obs::MetricsRegistry::Labeled(
+      "hippo_query_seconds", {{"route", "plain"}}));
+  m_core_latency_ = r->GetHistogram(obs::MetricsRegistry::Labeled(
+      "hippo_query_seconds", {{"route", "core"}}));
+}
+
 Status QueryService::Commit(const std::string& sql) {
+  auto lock_wait_start = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> commit(commit_mu_);
+  // Admission wait of the writer: time spent queued on the exclusive
+  // commit path behind other commits.
+  if (m_commit_lock_wait_ != nullptr) {
+    m_commit_lock_wait_->Record(SecondsSince(lock_wait_start));
+  }
   uint64_t graph_generation = master_.hypergraph_epoch();
-  bool bulk = CountStatements(sql) >= options_.bulk_redetect_statements;
+  size_t statements = CountStatements(sql);
+  bool bulk = statements >= options_.bulk_redetect_statements;
   if (bulk) {
     // Large delta: per-row incremental maintenance would pay a hash-probe
     // per statement; one full (parallel) detection pass is cheaper. Drop
@@ -77,16 +123,35 @@ Status QueryService::Commit(const std::string& sql) {
     master_.DisableIncrementalMaintenance();
     master_.InvalidateHypergraph();
   }
+  auto apply_start = std::chrono::steady_clock::now();
   Status applied = master_.Execute(sql);
+  double apply_seconds = SecondsSince(apply_start);
   // Restore the invariant "master's hypergraph is current and maintained":
   // re-detects eagerly when the graph was invalidated (bulk path above, or
   // constraint DDL inside the batch), no-op otherwise.
+  auto detect_start = std::chrono::steady_clock::now();
   Status restored = master_.EnableIncrementalMaintenance();
+  double detect_seconds = SecondsSince(detect_start);
   Status published = restored.ok() ? Publish() : restored;
+  bool redetected = master_.hypergraph_epoch() != graph_generation;
+  if (m_commits_ != nullptr) {
+    m_commits_->Add(1);
+    m_commit_apply_->Record(apply_seconds);
+    m_batch_statements_->Record(double(statements));
+    if (redetected) {
+      // Bulk/DDL path: detection ran from scratch inside
+      // EnableIncrementalMaintenance.
+      m_detect_redetect_->Record(detect_seconds);
+    } else {
+      // Incremental path: maintenance runs per-statement inside Execute,
+      // so the apply phase IS the incremental detection time.
+      m_detect_incremental_->Record(apply_seconds);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.commits;
-    if (master_.hypergraph_epoch() != graph_generation) {
+    if (redetected) {
       ++stats_.bulk_redetects;
     } else {
       ++stats_.incremental_commits;
@@ -108,6 +173,10 @@ Status QueryService::Publish() {
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     current_ = std::move(snap);
+  }
+  if (m_commit_publish_ != nullptr) {
+    m_commit_publish_->Record(secs);
+    m_epoch_->Set(static_cast<int64_t>(next_epoch_));
   }
   ++next_epoch_;
   {
@@ -144,6 +213,7 @@ std::future<Result<ResultSet>> QueryService::Submit(
   if (!stopping_ && queue_.size() >= options_.max_queue_depth) {
     if (options_.reject_when_full) {
       lock.unlock();
+      if (m_rejected_ != nullptr) m_rejected_->Add(1);
       {
         std::lock_guard<std::mutex> s(stats_mu_);
         ++stats_.queries_rejected;
@@ -152,12 +222,19 @@ std::future<Result<ResultSet>> QueryService::Submit(
           "admission queue full (depth %zu)", options_.max_queue_depth)));
       return fut;
     }
+    // Backpressure: the submitter blocks until a slot frees. Timed only
+    // when it actually blocks, so the uncontended path reads no clock.
+    auto wait_start = std::chrono::steady_clock::now();
     space_cv_.wait(lock, [this] {
       return stopping_ || queue_.size() < options_.max_queue_depth;
     });
+    if (m_admission_wait_ != nullptr) {
+      m_admission_wait_->Record(SecondsSince(wait_start));
+    }
   }
   if (stopping_) {
     lock.unlock();
+    if (m_rejected_ != nullptr) m_rejected_->Add(1);
     {
       std::lock_guard<std::mutex> s(stats_mu_);
       ++stats_.queries_rejected;
@@ -166,7 +243,13 @@ std::future<Result<ResultSet>> QueryService::Submit(
         Status::ResourceExhausted("query service is shut down"));
     return fut;
   }
+  if (metrics_ != nullptr) {
+    job.enqueued = std::chrono::steady_clock::now();
+  }
   queue_.push_back(std::move(job));
+  if (m_queue_depth_ != nullptr) {
+    m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+  }
   lock.unlock();
   queue_cv_.notify_one();
   return fut;
@@ -181,9 +264,16 @@ void QueryService::WorkerLoop() {
       if (queue_.empty()) return;  // stopping, queue drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      if (m_queue_depth_ != nullptr) {
+        m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+      }
     }
     space_cv_.notify_one();
+    if (m_queue_wait_ != nullptr) {
+      m_queue_wait_->Record(SecondsSince(job.enqueued));
+    }
     Result<ResultSet> result = RunJob(&job);
+    if (m_queries_ != nullptr) m_queries_->Add(1);
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.queries_executed;
@@ -194,21 +284,122 @@ void QueryService::WorkerLoop() {
 
 Result<ResultSet> QueryService::RunJob(Job* job) {
   const Snapshot& snap = *job->snapshot;
+  // Untraced, unmeasured fast path: without a registry the read modes run
+  // exactly the pre-observability code (one branch per request).
+  if (metrics_ == nullptr) {
+    switch (job->mode) {
+      case ReadMode::kPlain:
+        return snap.Query(job->sql);
+      case ReadMode::kOverCore:
+        return snap.QueryOverCore(job->sql);
+      case ReadMode::kConsistent: {
+        cqa::HippoStats hippo_stats;
+        Result<ResultSet> rs =
+            snap.ConsistentAnswers(job->sql, job->options, &hippo_stats);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        MergeHippoStats(hippo_stats, &stats_.hippo);
+        return rs;
+      }
+    }
+    return Status::Internal("unknown read mode");
+  }
+  auto start = std::chrono::steady_clock::now();
   switch (job->mode) {
     case ReadMode::kPlain:
-      return snap.Query(job->sql);
-    case ReadMode::kOverCore:
-      return snap.QueryOverCore(job->sql);
+    case ReadMode::kOverCore: {
+      Result<ResultSet> rs = job->mode == ReadMode::kPlain
+                                 ? snap.Query(job->sql)
+                                 : snap.QueryOverCore(job->sql);
+      double secs = SecondsSince(start);
+      (job->mode == ReadMode::kPlain ? m_plain_latency_ : m_core_latency_)
+          ->Record(secs);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      NoteSlowQueryLocked(*job, RouteKind::kNone, secs, nullptr);
+      return rs;
+    }
     case ReadMode::kConsistent: {
       cqa::HippoStats hippo_stats;
       Result<ResultSet> rs =
           snap.ConsistentAnswers(job->sql, job->options, &hippo_stats);
+      double secs = SecondsSince(start);
+      switch (hippo_stats.route) {
+        case RouteKind::kConflictFree:
+          m_route_cf_->Record(secs);
+          break;
+        case RouteKind::kRewriteAbc:
+        case RouteKind::kRewriteKw:
+          m_route_rewrite_->Record(secs);
+          break;
+        case RouteKind::kProver:
+          m_route_prover_->Record(secs);
+          break;
+        case RouteKind::kNone:
+          break;  // failed before routing (parse/classification error)
+      }
       std::lock_guard<std::mutex> lock(stats_mu_);
       MergeHippoStats(hippo_stats, &stats_.hippo);
+      NoteSlowQueryLocked(*job, hippo_stats.route, secs, &hippo_stats);
       return rs;
     }
   }
   return Status::Internal("unknown read mode");
+}
+
+void QueryService::NoteSlowQueryLocked(const Job& job, RouteKind route,
+                                       double seconds,
+                                       const cqa::HippoStats* hippo_stats) {
+  const size_t cap = options_.slow_query_log_size;
+  if (cap == 0) return;
+  // Top-K by latency: replace the current minimum once the log is full.
+  // K is small (default 16), so a linear min scan beats heap bookkeeping.
+  size_t slot = slow_log_.size();
+  if (slow_log_.size() >= cap) {
+    size_t min_i = 0;
+    for (size_t i = 1; i < slow_log_.size(); ++i) {
+      if (slow_log_[i].seconds < slow_log_[min_i].seconds) min_i = i;
+    }
+    if (slow_log_[min_i].seconds >= seconds) return;
+    slot = min_i;
+  } else {
+    slow_log_.emplace_back();
+  }
+  SlowQuery& entry = slow_log_[slot];
+  entry.sql = job.sql;
+  entry.mode = job.mode;
+  entry.route = route;
+  entry.seconds = seconds;
+  entry.epoch = job.snapshot->epoch();
+  if (job.options.trace != nullptr) {
+    entry.summary = job.options.trace->Summary();
+  } else if (hippo_stats != nullptr) {
+    entry.summary = StrFormat(
+        "route=%s candidates=%zu answers=%zu prover=%zu",
+        RouteKindName(route), hippo_stats->candidates, hippo_stats->answers,
+        hippo_stats->prover_invocations);
+  } else {
+    entry.summary = job.mode == ReadMode::kPlain ? "plain" : "core";
+  }
+}
+
+std::vector<QueryService::SlowQuery> QueryService::SlowQueries() const {
+  std::vector<SlowQuery> out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = slow_log_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowQuery& a, const SlowQuery& b) {
+              return a.seconds > b.seconds;
+            });
+  return out;
+}
+
+std::string QueryService::DumpMetrics() const {
+  return metrics_ != nullptr ? metrics_->DumpPrometheus() : std::string();
+}
+
+std::string QueryService::DumpMetricsJson() const {
+  return metrics_ != nullptr ? metrics_->DumpJson() : std::string("{}");
 }
 
 void QueryService::Shutdown() {
@@ -225,8 +416,19 @@ void QueryService::Shutdown() {
 }
 
 ServiceStats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  // Snapshot-on-read: the route histograms are live sharded atomics; the
+  // copies below are consistent totals once recorders quiesce.
+  if (metrics_ != nullptr) {
+    out.conflict_free_latency = m_route_cf_->Snapshot();
+    out.rewrite_latency = m_route_rewrite_->Snapshot();
+    out.prover_latency = m_route_prover_->Snapshot();
+  }
+  return out;
 }
 
 }  // namespace hippo::service

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -36,6 +37,7 @@
 #include "cqa/engine.h"
 #include "db/database.h"
 #include "detect/detector.h"
+#include "obs/metrics.h"
 #include "service/snapshot.h"
 
 namespace hippo::service {
@@ -71,6 +73,20 @@ struct ServiceOptions {
   /// the first commit that needs a re-detect, with a clear status.
   DetectOptions detect{/*use_fd_fast_path=*/true, /*num_threads=*/0,
                        /*shard_rows=*/16384, /*partition_rows=*/8192};
+
+  /// Per-service observability: a private obs::MetricsRegistry with
+  /// commit-phase timers (lock wait, apply, incremental-vs-redetect,
+  /// publish, batch size), admission/queue instrumentation, per-route
+  /// query-latency histograms, and the slow-query log. Recording is a few
+  /// relaxed atomics per event; `false` bypasses all of it (the
+  /// pre-observability hot path — bench_f14_obs_overhead measures the
+  /// difference and CI bounds it).
+  bool enable_metrics = true;
+
+  /// Capacity of the slow-query log: the top-K pool-executed requests by
+  /// latency (any read mode) are retained with route and trace summary.
+  /// 0 disables the log. Only kept when enable_metrics is on.
+  size_t slow_query_log_size = 16;
 };
 
 struct ServiceStats {
@@ -91,6 +107,15 @@ struct ServiceStats {
   /// AccumulateApproxBytes without taxing the commit path.)
   std::vector<double> publish_seconds;
   cqa::HippoStats hippo;             ///< aggregated over pool CQA requests
+
+  /// Per-route latency distributions of pool-executed kConsistent
+  /// requests (obs::LatencyHistogram snapshots taken at stats() time, so
+  /// p50/p95/p99 are real percentiles, not sums/counts). The rewrite
+  /// bucket covers both the ABC and KW first-order methods. Empty when
+  /// ServiceOptions::enable_metrics is false.
+  obs::HistogramSnapshot conflict_free_latency;
+  obs::HistogramSnapshot rewrite_latency;
+  obs::HistogramSnapshot prover_latency;
 };
 
 class QueryService {
@@ -145,6 +170,36 @@ class QueryService {
 
   size_t num_workers() const { return workers_.size(); }
 
+  // --- observability ---------------------------------------------------------
+
+  /// One retained slow-query-log entry (see ServiceOptions::
+  /// slow_query_log_size): the request, its route, latency, epoch, and a
+  /// one-line summary (the caller's trace summary when the request carried
+  /// a trace, otherwise synthesized from its HippoStats).
+  struct SlowQuery {
+    std::string sql;
+    ReadMode mode = ReadMode::kPlain;
+    RouteKind route = RouteKind::kNone;
+    double seconds = 0;
+    uint64_t epoch = 0;
+    std::string summary;
+  };
+
+  /// The slow-query log, sorted by latency descending. Empty when metrics
+  /// are disabled.
+  std::vector<SlowQuery> SlowQueries() const;
+
+  /// The service's metrics registry (null when disabled). Commit-phase
+  /// timers, queue instrumentation, and per-route latency live here.
+  const obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+
+  /// Prometheus-style text exposition of the service registry; empty
+  /// string when metrics are disabled.
+  std::string DumpMetrics() const;
+
+  /// The same snapshot as a single JSON object ("{}" when disabled).
+  std::string DumpMetricsJson() const;
+
  private:
   struct Job {
     ReadMode mode = ReadMode::kPlain;
@@ -152,10 +207,22 @@ class QueryService {
     SnapshotPtr snapshot;
     cqa::HippoOptions options;
     std::promise<Result<ResultSet>> done;
+    /// Enqueue instant for the queue-wait histogram (meaningful only when
+    /// metrics are enabled).
+    std::chrono::steady_clock::time_point enqueued{};
   };
 
   void WorkerLoop();
   Result<ResultSet> RunJob(Job* job);
+
+  /// Resolves the registry handles once at construction (all null when
+  /// metrics are disabled, so every record site is a single branch).
+  void InitMetrics();
+
+  /// Offers one finished pool request to the slow-query log (stats_mu_
+  /// must be held). Keeps the top-K by latency.
+  void NoteSlowQueryLocked(const Job& job, RouteKind route, double seconds,
+                           const cqa::HippoStats* hippo_stats);
 
   /// Captures master_ under the commit lock and swaps it in as the current
   /// snapshot (next epoch).
@@ -181,6 +248,33 @@ class QueryService {
 
   mutable std::mutex stats_mu_;
   ServiceStats stats_;
+  /// Slow-query log (top-K by latency, unordered; sorted on read). Guarded
+  /// by stats_mu_.
+  std::vector<SlowQuery> slow_log_;
+
+  /// Per-service registry (null when ServiceOptions::enable_metrics is
+  /// false) plus handles resolved once at construction. The handles point
+  /// into metrics_, so recording on the hot path is branch + relaxed
+  /// atomics — no map lookups, no locks.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* m_commits_ = nullptr;
+  obs::Counter* m_queries_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::LatencyHistogram* m_commit_lock_wait_ = nullptr;
+  obs::LatencyHistogram* m_commit_apply_ = nullptr;
+  obs::LatencyHistogram* m_detect_incremental_ = nullptr;
+  obs::LatencyHistogram* m_detect_redetect_ = nullptr;
+  obs::LatencyHistogram* m_commit_publish_ = nullptr;
+  obs::LatencyHistogram* m_batch_statements_ = nullptr;
+  obs::LatencyHistogram* m_admission_wait_ = nullptr;
+  obs::LatencyHistogram* m_queue_wait_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
+  obs::Gauge* m_epoch_ = nullptr;
+  obs::LatencyHistogram* m_route_cf_ = nullptr;
+  obs::LatencyHistogram* m_route_rewrite_ = nullptr;
+  obs::LatencyHistogram* m_route_prover_ = nullptr;
+  obs::LatencyHistogram* m_plain_latency_ = nullptr;
+  obs::LatencyHistogram* m_core_latency_ = nullptr;
 };
 
 }  // namespace hippo::service

@@ -60,6 +60,14 @@ class Session {
     return snapshot_->ConsistentAnswers(select_sql, options, stats);
   }
 
+  /// EXPLAIN ANALYZE at the pinned epoch (see Snapshot::ExplainAnalyze).
+  Result<std::string> ExplainAnalyze(
+      const std::string& select_sql,
+      const cqa::HippoOptions& options = cqa::HippoOptions(),
+      cqa::HippoStats* stats = nullptr) const {
+    return snapshot_->ExplainAnalyze(select_sql, options, stats);
+  }
+
   // --- asynchronous reads through the service's worker pool ----------------
 
   std::future<Result<ResultSet>> Submit(

@@ -83,4 +83,18 @@ Result<ResultSet> Snapshot::ConsistentAnswers(const std::string& select_sql,
   return engine.ConsistentAnswers(*plan, options, stats);
 }
 
+Result<std::string> Snapshot::ExplainAnalyze(const std::string& select_sql,
+                                             const cqa::HippoOptions& options,
+                                             cqa::HippoStats* stats) const {
+  obs::TraceSpan root("query");
+  cqa::HippoOptions traced = options;
+  traced.trace = &root;
+  HIPPO_ASSIGN_OR_RETURN(ResultSet result,
+                         ConsistentAnswers(select_sql, traced, stats));
+  root.SetAttr("answers", static_cast<int64_t>(result.rows.size()));
+  root.SetAttr("epoch", static_cast<int64_t>(epoch_));
+  root.End();
+  return "-- explain analyze --\n" + root.Render();
+}
+
 }  // namespace hippo::service

@@ -132,6 +132,14 @@ class Snapshot {
       const cqa::HippoOptions& options = cqa::HippoOptions(),
       cqa::HippoStats* stats = nullptr) const;
 
+  /// EXPLAIN ANALYZE against the frozen instance: executes the query via
+  /// ConsistentAnswers with a trace attached and renders the span tree
+  /// (route, engine phases, per-operator wall time + cardinality).
+  Result<std::string> ExplainAnalyze(
+      const std::string& select_sql,
+      const cqa::HippoOptions& options = cqa::HippoOptions(),
+      cqa::HippoStats* stats = nullptr) const;
+
  private:
   uint64_t epoch_;
   Catalog catalog_;

@@ -1,0 +1,271 @@
+// Unit and concurrency coverage for the obs layer: sharded counters,
+// gauges, the fixed-bucket latency histogram (bucket grid, snapshot,
+// quantiles, merge), the registry's dump formats, and TraceSpan trees.
+//
+// The concurrent battery (recorders racing Snapshot/Merge readers) runs in
+// every lane and is wired into the TSan lane by name — it is the
+// data-race certificate for the "no locks on the hot path" contract.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace hippo::obs {
+namespace {
+
+TEST(Counter, AccumulatesAcrossThreads) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (size_t i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+  c.Add(42);
+  EXPECT_EQ(c.Value(), kThreads * kPerThread + 42);
+}
+
+TEST(Gauge, SetAddValue) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.Value(), -3);
+  g.Set(0);
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(Histogram, BucketGridIsMonotonicAndCoversRange) {
+  double prev = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    double bound = LatencyHistogram::BucketBound(i);
+    EXPECT_GT(bound, prev) << "bucket " << i;
+    prev = bound;
+  }
+  // 1 microsecond to hours: the serving stack's full latency range.
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketBound(0), 1e-6);
+  EXPECT_GT(LatencyHistogram::BucketBound(kHistogramBuckets - 1), 10000.0);
+
+  // BucketFor is consistent with the bounds (inclusive upper bound).
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    EXPECT_EQ(LatencyHistogram::BucketFor(LatencyHistogram::BucketBound(i)),
+              i);
+  }
+  // Out-of-range values clamp instead of crashing.
+  EXPECT_EQ(LatencyHistogram::BucketFor(0.0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(-5.0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1e12), kHistogramBuckets - 1);
+}
+
+TEST(Histogram, SnapshotCountSumMean) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.Snapshot().empty());
+  h.Record(0.001);
+  h.Record(0.003);
+  h.Record(0.002);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.sum, 0.006, 1e-9);
+  EXPECT_NEAR(s.Mean(), 0.002, 1e-9);
+}
+
+TEST(Histogram, QuantilesHaveGridResolution) {
+  LatencyHistogram h;
+  // 100 samples at 1ms, 100 at 10ms: p50 must sit near the low mode and
+  // p99 near the high mode, within the grid's ~19% relative resolution.
+  for (int i = 0; i < 100; ++i) h.Record(0.001);
+  for (int i = 0; i < 100; ++i) h.Record(0.010);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_NEAR(s.Quantile(0.25), 0.001, 0.001 * 0.25);
+  EXPECT_NEAR(s.Quantile(0.99), 0.010, 0.010 * 0.25);
+  // Degenerate quantiles stay inside the recorded range.
+  EXPECT_GT(s.Quantile(0.0), 0.0);
+  EXPECT_LE(s.Quantile(1.0), LatencyHistogram::BucketBound(
+                                 LatencyHistogram::BucketFor(0.010)) *
+                                 1.0001);
+  EXPECT_EQ(HistogramSnapshot().Quantile(0.5), 0.0);
+}
+
+TEST(Histogram, MergeAccumulatesPointwise) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 10; ++i) a.Record(0.001);
+  for (int i = 0; i < 30; ++i) b.Record(0.1);
+  HistogramSnapshot sa = a.Snapshot();
+  sa.Merge(b.Snapshot());
+  EXPECT_EQ(sa.count, 40u);
+  EXPECT_NEAR(sa.sum, 10 * 0.001 + 30 * 0.1, 1e-6);
+  // After the merge the upper quartiles come from b's mode.
+  EXPECT_NEAR(sa.Quantile(0.9), 0.1, 0.1 * 0.25);
+}
+
+TEST(Registry, HandlesAreStableAndTyped) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("hippo_test_total");
+  Counter* c2 = reg.GetCounter("hippo_test_total");
+  EXPECT_EQ(c1, c2);  // get-or-create: same handle every time
+  Gauge* g = reg.GetGauge("hippo_test_depth");
+  LatencyHistogram* h = reg.GetHistogram("hippo_test_seconds");
+  EXPECT_NE(static_cast<void*>(c1), static_cast<void*>(g));
+  c1->Add(3);
+  g->Set(-2);
+  h->Record(0.5);
+  EXPECT_EQ(reg.GetCounter("hippo_test_total")->Value(), 3u);
+}
+
+TEST(Registry, LabeledRendersPrometheusKey) {
+  EXPECT_EQ(MetricsRegistry::Labeled("hippo_query_seconds",
+                                     {{"route", "prover"}}),
+            "hippo_query_seconds{route=\"prover\"}");
+  EXPECT_EQ(MetricsRegistry::Labeled("m", {{"a", "1"}, {"b", "x"}}),
+            "m{a=\"1\",b=\"x\"}");
+  EXPECT_EQ(MetricsRegistry::Labeled("m", {}), "m");
+}
+
+TEST(Registry, DumpPrometheusFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("hippo_ops_total")->Add(5);
+  reg.GetGauge("hippo_depth")->Set(3);
+  LatencyHistogram* h = reg.GetHistogram(
+      MetricsRegistry::Labeled("hippo_wait_seconds", {{"kind", "io"}}));
+  h->Record(0.25);
+  h->Record(0.25);
+  std::string text = reg.DumpPrometheus();
+  EXPECT_NE(text.find("hippo_ops_total 5"), std::string::npos) << text;
+  EXPECT_NE(text.find("hippo_depth 3"), std::string::npos) << text;
+  // Histogram explodes into _count/_sum plus quantile summary lines with
+  // the label set preserved.
+  EXPECT_NE(text.find("hippo_wait_seconds_count{kind=\"io\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("hippo_wait_seconds_sum{kind=\"io\"} 0.5"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("hippo_wait_seconds{kind=\"io\",quantile=\"0.99\"}"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Registry, DumpJsonIsWellFormedEnoughToGrep) {
+  MetricsRegistry reg;
+  reg.GetCounter("hippo_ops_total")->Add(1);
+  reg.GetHistogram("hippo_wait_seconds")->Record(0.5);
+  std::string json = reg.DumpJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"hippo_ops_total\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+}
+
+// The TSan certificate: recorders hammer one histogram and one counter
+// while readers snapshot, merge, and dump concurrently. Totals must be
+// exact after the recorders quiesce.
+TEST(Concurrency, RecordersRaceSnapshotsAndMerges) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("hippo_race_total");
+  LatencyHistogram* h = reg.GetHistogram("hippo_race_seconds");
+  constexpr size_t kWriters = 4;
+  constexpr size_t kPerWriter = 20000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerWriter; ++i) {
+        c->Add();
+        h->Record(1e-5 * double(1 + (i + t) % 100));
+      }
+    });
+  }
+  // Two readers: one snapshots + merges, one renders dumps (exercising
+  // the registry mutex against lock-free recorders).
+  threads.emplace_back([&] {
+    HistogramSnapshot acc;
+    while (!done.load(std::memory_order_acquire)) {
+      acc.Merge(h->Snapshot());
+      (void)c->Value();
+    }
+  });
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)reg.DumpPrometheus();
+      (void)reg.DumpJson();
+      // Registration racing dumps is the other mutex edge.
+      (void)reg.GetCounter("hippo_race_extra_total");
+    }
+  });
+  for (size_t t = 0; t < kWriters; ++t) threads[t].join();
+  done.store(true, std::memory_order_release);
+  threads[kWriters].join();
+  threads[kWriters + 1].join();
+  EXPECT_EQ(c->Value(), kWriters * kPerWriter);
+  EXPECT_EQ(h->Snapshot().count, kWriters * kPerWriter);
+}
+
+TEST(TraceSpan, TreeAttrsAndRender) {
+  TraceSpan root("query");
+  root.SetAttr("route", std::string("prover"));
+  TraceSpan* child = root.StartChild("envelope");
+  child->SetAttr("rows", int64_t{42});
+  TraceSpan* grand = child->StartChild("scan p");
+  grand->End();
+  child->End();
+  root.SetAttr("route", std::string("rewrite"));  // upsert, not append
+  root.End();
+
+  EXPECT_EQ(root.Attr("route"), "rewrite");
+  EXPECT_EQ(child->Attr("rows"), "42");
+  EXPECT_EQ(root.Children().size(), 1u);
+  EXPECT_GE(root.seconds(), child->seconds());
+
+  std::string render = root.Render();
+  EXPECT_NE(render.find("query"), std::string::npos);
+  EXPECT_NE(render.find("envelope"), std::string::npos);
+  EXPECT_NE(render.find("scan p"), std::string::npos);
+  EXPECT_NE(render.find("rows=42"), std::string::npos) << render;
+  // Children indent under their parent.
+  EXPECT_LT(render.find("query"), render.find("envelope"));
+
+  std::string summary = root.Summary();
+  EXPECT_EQ(summary.find("query"), 0u) << summary;
+  EXPECT_NE(summary.find("route=rewrite"), std::string::npos) << summary;
+}
+
+TEST(TraceSpan, ConcurrentChildrenKeepStablePointers) {
+  TraceSpan root("parallel");
+  constexpr size_t kThreads = 8;
+  std::vector<TraceSpan*> spans(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TraceSpan* s = root.StartChild("worker " + std::to_string(t));
+      s->SetAttr("index", int64_t(t));
+      s->End();
+      spans[t] = s;
+    });
+  }
+  for (auto& t : threads) t.join();
+  root.End();
+  EXPECT_EQ(root.Children().size(), kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    // The pointer returned by StartChild stays valid as siblings arrive.
+    EXPECT_EQ(spans[t]->Attr("index"), std::to_string(t));
+  }
+}
+
+}  // namespace
+}  // namespace hippo::obs

@@ -1,0 +1,78 @@
+// Pins the exact nearest-rank percentile semantics of bench::Percentile
+// (selection via nth_element) and the batched bench::Percentiles (one
+// sort), which the serving driver and the concurrency bench read their
+// p50/p95/p99 rows from. Nearest-rank: the smallest sample such that at
+// least p% of the sample is at or below it — ceil(p/100 * N), 1-based.
+#include "benchutil/report.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hippo::bench {
+namespace {
+
+TEST(Percentile, EmptyAndSingle) {
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+  EXPECT_EQ(Percentile({}, 0), 0.0);
+  // A single sample is every percentile.
+  EXPECT_EQ(Percentile({3.5}, 0), 3.5);
+  EXPECT_EQ(Percentile({3.5}, 50), 3.5);
+  EXPECT_EQ(Percentile({3.5}, 100), 3.5);
+}
+
+TEST(Percentile, OddSizeNearestRank) {
+  // Sorted: {1, 2, 3, 4, 5}. Nearest-rank indices (1-based):
+  //   p50 -> ceil(2.5) = 3 -> 3;  p40 -> ceil(2.0) = 2 -> 2;
+  //   p95 -> ceil(4.75) = 5 -> 5; p0 -> 1; p100 -> 5.
+  std::vector<double> s = {5, 3, 1, 4, 2};  // unsorted on purpose
+  EXPECT_EQ(Percentile(s, 50), 3.0);
+  EXPECT_EQ(Percentile(s, 40), 2.0);
+  EXPECT_EQ(Percentile(s, 95), 5.0);
+  EXPECT_EQ(Percentile(s, 0), 1.0);
+  EXPECT_EQ(Percentile(s, 100), 5.0);
+}
+
+TEST(Percentile, EvenSizeNearestRank) {
+  // Sorted: {10, 20, 30, 40}. p50 -> ceil(2.0) = 2 -> 20 (nearest-rank
+  // takes the lower middle, no averaging); p75 -> ceil(3.0) = 3 -> 30;
+  // p76 -> ceil(3.04) = 4 -> 40.
+  std::vector<double> s = {40, 10, 30, 20};
+  EXPECT_EQ(Percentile(s, 50), 20.0);
+  EXPECT_EQ(Percentile(s, 75), 30.0);
+  EXPECT_EQ(Percentile(s, 76), 40.0);
+  EXPECT_EQ(Percentile(s, 25), 10.0);
+  EXPECT_EQ(Percentile(s, 99), 40.0);
+}
+
+TEST(Percentile, OutOfRangePClamps) {
+  std::vector<double> s = {2, 1, 3};
+  EXPECT_EQ(Percentile(s, -10), 1.0);   // below 0 -> minimum
+  EXPECT_EQ(Percentile(s, 250), 3.0);   // above 100 -> maximum
+}
+
+TEST(Percentile, DuplicatesAndTies) {
+  std::vector<double> s = {1, 1, 1, 9};
+  EXPECT_EQ(Percentile(s, 50), 1.0);
+  EXPECT_EQ(Percentile(s, 75), 1.0);
+  EXPECT_EQ(Percentile(s, 76), 9.0);
+}
+
+TEST(Percentiles, MatchesSingleCallExactly) {
+  std::vector<double> samples = {0.9, 0.1, 0.5, 0.7, 0.3, 0.2,
+                                 0.8, 0.4, 0.6, 1.0};
+  std::vector<double> ps = {0, 25, 50, 75, 90, 95, 99, 100};
+  std::vector<double> batched = Percentiles(samples, ps);
+  ASSERT_EQ(batched.size(), ps.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(batched[i], Percentile(samples, ps[i])) << "p" << ps[i];
+  }
+}
+
+TEST(Percentiles, EmptyInputs) {
+  EXPECT_EQ(Percentiles({}, {50, 99}), (std::vector<double>{0.0, 0.0}));
+  EXPECT_TRUE(Percentiles({1.0, 2.0}, {}).empty());
+}
+
+}  // namespace
+}  // namespace hippo::bench

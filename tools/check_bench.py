@@ -4,6 +4,7 @@
 Usage:
   tools/check_bench.py --baseline BENCH_baseline.json --current DIR_OR_FILE...
                        [--max-ratio 3.0] [--require F5,F8a,F11a]
+                       [--overhead-limit F14a:ratio vs off:1.35]
 
 `--current` accepts JSONL files produced by the HIPPO_BENCH_JSON hook in
 src/benchutil/report.cc (one table object per line), or directories of
@@ -25,6 +26,15 @@ shows up in the larger rows of the same sweep.
 `--require` lists caption keys that MUST be present in the current run —
 this keeps the gate from passing vacuously when a bench binary silently
 stops emitting its table.
+
+`--overhead-limit KEY:COLUMN:LIMIT` (repeatable) is an ABSOLUTE
+assertion on the current run, independent of the baseline: every cell of
+COLUMN in the table keyed KEY that parses as a bare float must be <=
+LIMIT. This is how the observability bench's instrumentation-overhead
+ratio (traced vs untraced wall time, emitted as a plain float column) is
+gated — a ratio is already normalized, so comparing it against a
+baseline ratio would let a slow-creep regression hide behind the 3x
+rule. Column names may not contain ':'.
 
 Exit status: 0 = pass, 1 = regression or missing required table,
 2 = usage/input error.
@@ -163,6 +173,62 @@ def compare(baseline_tables, current_tables, max_ratio, min_baseline,
     return violations, warnings, comparisons
 
 
+def parse_overhead_limits(specs):
+    """['F14a:ratio vs off:1.35'] -> [('F14a', 'ratio vs off', 1.35)]."""
+    out = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            sys.exit(f"error: bad --overhead-limit '{spec}' "
+                     f"(expected KEY:COLUMN:LIMIT)")
+        key, column, limit = parts
+        try:
+            out.append((key.strip(), column.strip(), float(limit)))
+        except ValueError:
+            sys.exit(f"error: bad --overhead-limit limit in '{spec}'")
+    return out
+
+
+def check_overhead_limits(current_tables, limits):
+    """Absolute ratio gate: float cells of (table key, column) <= limit.
+    Returns (violations, checked). A limit whose table or column is
+    missing from the current run is itself a violation — the assertion
+    must not pass vacuously."""
+    violations = []
+    checked = 0
+    by_key = index_tables(current_tables)
+    for key, column, limit in limits:
+        table = by_key.get(key)
+        if table is None:
+            violations.append(f"{key}: table missing from the current run "
+                              f"(--overhead-limit {key}:{column}:{limit})")
+            continue
+        try:
+            col_idx = table["columns"].index(column)
+        except ValueError:
+            violations.append(f"{key}: no column '{column}' "
+                              f"(has {table['columns']})")
+            continue
+        cells = 0
+        for row in table["rows"]:
+            if col_idx >= len(row):
+                continue
+            try:
+                value = float(row[col_idx])
+            except ValueError:
+                continue  # "-" and annotated cells are not gated
+            cells += 1
+            checked += 1
+            if value > limit:
+                violations.append(
+                    f"{key} [{row[0] if row else '?'}] {column}: "
+                    f"{value:.3f} > limit {limit:.3f}")
+        if cells == 0:
+            violations.append(f"{key}: no float cells in column "
+                              f"'{column}' — nothing gated")
+    return violations, checked
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__,
@@ -177,6 +243,10 @@ def main():
     ap.add_argument("--require", default="",
                     help="comma-separated caption keys that must be present "
                          "in the current run")
+    ap.add_argument("--overhead-limit", action="append", default=[],
+                    metavar="KEY:COLUMN:LIMIT",
+                    help="absolute gate: float cells of COLUMN in table KEY "
+                         "must be <= LIMIT (repeatable)")
     args = ap.parse_args()
 
     baseline, baseline_tables = load_baseline(args.baseline)
@@ -200,10 +270,14 @@ def main():
         baseline_tables, current_tables, args.max_ratio, args.min_baseline,
         downgrade_parallel=single_core)
 
+    overhead_violations, overhead_checked = check_overhead_limits(
+        current_tables, parse_overhead_limits(args.overhead_limit))
+
     print(f"checked {comparisons} duration cells across "
           f"{len(current_tables)} tables "
           f"(baseline host_cores={baseline.get('host_cores', '?')}, "
-          f"max ratio {args.max_ratio:.1f}x)")
+          f"max ratio {args.max_ratio:.1f}x) "
+          f"+ {overhead_checked} absolute overhead-ratio cells")
     ok = True
     if warnings:
         print(f"warning: {len(warnings)} parallel-sweep cells past the "
@@ -219,6 +293,12 @@ def main():
         print(f"FAIL: {len(violations)} cells regressed past "
               f"{args.max_ratio:.1f}x:")
         for v in violations:
+            print(f"  {v}")
+    if overhead_violations:
+        ok = False
+        print(f"FAIL: {len(overhead_violations)} absolute overhead-ratio "
+              f"violations:")
+        for v in overhead_violations:
             print(f"  {v}")
     if ok:
         print("PASS: no duration cell regressed past the threshold")

@@ -12,10 +12,14 @@
 //   hippo_serve_driver [--rows N] [--conflict-rate F] [--readers R]
 //                      [--writers W] [--ops N] [--workers N] [--queue N]
 //                      [--mode cqa|plain|core] [--seed S] [--smoke]
+//                      [--metrics-out=FILE] [--metrics-json=FILE]
 //
 // --ops is the total number of read requests across all readers; each
 // writer commits until the readers finish. --smoke shrinks everything to
-// CI-smoke size. Exit status: 0 on success, 2 on error.
+// CI-smoke size. --metrics-out writes the service's Prometheus text
+// exposition at exit; --metrics-json writes the same snapshot as one JSON
+// object (machine-readable, consumed by the ctest smoke). Exit status:
+// 0 on success, 2 on error.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -30,6 +34,8 @@
 #include "benchutil/workload.h"
 #include "common/rng.h"
 #include "common/str_util.h"
+#include "obs/metrics.h"
+#include "plan/router.h"
 #include "service/query_service.h"
 #include "service/session.h"
 
@@ -39,7 +45,7 @@ using hippo::Rng;
 using hippo::Status;
 using hippo::StrFormat;
 using hippo::bench::FormatSeconds;
-using hippo::bench::Percentile;
+using hippo::bench::Percentiles;
 using hippo::bench::QuerySet;
 using hippo::bench::TextTable;
 using hippo::service::QueryService;
@@ -55,6 +61,8 @@ struct DriverConfig {
   size_t queue_depth = 256;
   QueryService::ReadMode mode = QueryService::ReadMode::kConsistent;
   uint64_t seed = 42;
+  std::string metrics_out;   // Prometheus text exposition path ("" = off)
+  std::string metrics_json;  // JSON metrics snapshot path ("" = off)
 };
 
 int Fail(const std::string& message) {
@@ -200,12 +208,11 @@ int Run(const DriverConfig& config) {
                                  std::vector<double> lat) {
     if (lat.empty()) return;
     size_t n = lat.size();
+    std::vector<double> ps = Percentiles(lat, {50, 95, 99, 100});
     table.AddRow({role, std::to_string(nthreads), std::to_string(n),
                   StrFormat("%.1f ops/s", n / wall),
-                  FormatSeconds(Percentile(lat, 50)),
-                  FormatSeconds(Percentile(lat, 95)),
-                  FormatSeconds(Percentile(lat, 99)),
-                  FormatSeconds(Percentile(lat, 100))});
+                  FormatSeconds(ps[0]), FormatSeconds(ps[1]),
+                  FormatSeconds(ps[2]), FormatSeconds(ps[3])});
   };
   hippo::service::ServiceStats stats = service.stats();
   add_role("reader", config.readers, reads);
@@ -232,23 +239,42 @@ int Run(const DriverConfig& config) {
       (unsigned long long)stats.queries_rejected);
   {
     // Per-route serving breakdown (consistent-read requests only; the
-    // router classifies each request against its pinned snapshot).
-    const hippo::cqa::HippoStats& h = stats.hippo;
-    size_t routed =
-        h.routed_conflict_free + h.routed_rewrite + h.routed_prover;
+    // router classifies each request against its pinned snapshot). The
+    // quantiles come from the service's lock-free route histograms, so
+    // they are real tail latencies rather than sum/count means.
+    TextTable routes({"route", "ops", "mean", "p50", "p95", "p99"});
+    auto add_route = [&routes](const std::string& name,
+                               const hippo::obs::HistogramSnapshot& snap) {
+      if (snap.empty()) return;
+      routes.AddRow({name, std::to_string(snap.count),
+                     FormatSeconds(snap.Mean()),
+                     FormatSeconds(snap.Quantile(0.50)),
+                     FormatSeconds(snap.Quantile(0.95)),
+                     FormatSeconds(snap.Quantile(0.99))});
+    };
+    add_route("conflict-free", stats.conflict_free_latency);
+    add_route("rewrite", stats.rewrite_latency);
+    add_route("prover", stats.prover_latency);
+    size_t routed = stats.hippo.routed_conflict_free +
+                    stats.hippo.routed_rewrite + stats.hippo.routed_prover;
     if (routed > 0) {
-      auto mean = [](double secs, size_t n) {
-        return FormatSeconds(n == 0 ? 0.0 : secs / n);
-      };
-      std::printf(
-          "routes: %zu conflict-free (mean %s), %zu rewrite (mean %s), "
-          "%zu prover (mean %s)\n",
-          h.routed_conflict_free,
-          mean(h.conflict_free_route_seconds, h.routed_conflict_free).c_str(),
-          h.routed_rewrite,
-          mean(h.rewrite_route_seconds, h.routed_rewrite).c_str(),
-          h.routed_prover,
-          mean(h.prover_route_seconds, h.routed_prover).c_str());
+      routes.Print(StrFormat("route latencies (%zu routed requests)",
+                             routed));
+    }
+  }
+  {
+    // Slowest requests the service retained (ring buffer, top-K by
+    // latency) — each with its route and one-line trace summary.
+    std::vector<QueryService::SlowQuery> slow = service.SlowQueries();
+    if (!slow.empty()) {
+      std::printf("slow-query log (%zu entries):\n", slow.size());
+      size_t shown = std::min<size_t>(slow.size(), 5);
+      for (size_t i = 0; i < shown; ++i) {
+        std::printf("  %s  epoch %llu  %s  [%s]\n",
+                    FormatSeconds(slow[i].seconds).c_str(),
+                    (unsigned long long)slow[i].epoch,
+                    slow[i].summary.c_str(), slow[i].sql.c_str());
+      }
     }
   }
   std::printf("final epoch %llu, %zu conflict edges\n",
@@ -274,6 +300,29 @@ int Run(const DriverConfig& config) {
       hippo::bench::FormatBytes(marginal).c_str(),
       full == 0 ? 0.0 : 100.0 * marginal / full,
       (unsigned long long)before->epoch());
+
+  // Metrics snapshots at exit: the Prometheus text exposition and/or the
+  // machine-readable JSON object, both straight from the service registry.
+  auto write_file = [](const std::string& path, const std::string& body) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    return std::fclose(f) == 0 && ok;
+  };
+  if (!config.metrics_out.empty()) {
+    if (!write_file(config.metrics_out, service.DumpMetrics())) {
+      return Fail("cannot write --metrics-out file: " + config.metrics_out);
+    }
+    std::printf("metrics: wrote Prometheus exposition to %s\n",
+                config.metrics_out.c_str());
+  }
+  if (!config.metrics_json.empty()) {
+    if (!write_file(config.metrics_json, service.DumpMetricsJson())) {
+      return Fail("cannot write --metrics-json file: " + config.metrics_json);
+    }
+    std::printf("metrics: wrote JSON snapshot to %s\n",
+                config.metrics_json.c_str());
+  }
   return 0;
 }
 
@@ -282,7 +331,8 @@ int Usage() {
       stderr,
       "usage: hippo_serve_driver [--rows N] [--conflict-rate F]\n"
       "       [--readers R] [--writers W] [--ops N] [--workers N]\n"
-      "       [--queue N] [--mode cqa|plain|core] [--seed S] [--smoke]\n");
+      "       [--queue N] [--mode cqa|plain|core] [--seed S] [--smoke]\n"
+      "       [--metrics-out=FILE] [--metrics-json=FILE]\n");
   return 2;
 }
 
@@ -319,6 +369,12 @@ int main(int argc, char** argv) {
       size_t seed;
       if (!next_value(&seed)) return Usage();
       config.seed = seed;
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      config.metrics_out = arg.substr(std::strlen("--metrics-out="));
+      if (config.metrics_out.empty()) return Usage();
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      config.metrics_json = arg.substr(std::strlen("--metrics-json="));
+      if (config.metrics_json.empty()) return Usage();
     } else if (arg == "--conflict-rate") {
       if (++i >= argc) return Usage();
       config.conflict_rate = std::strtod(argv[i], nullptr);

@@ -32,7 +32,9 @@
 // other statement.
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -44,6 +46,7 @@
 #include "common/str_util.h"
 #include "db/conflict_report.h"
 #include "db/database.h"
+#include "obs/metrics.h"
 
 namespace hippo::shell {
 namespace {
@@ -158,8 +161,12 @@ class Shell {
           ".threads [N]         detection/prover threads (0 = all cores)\n"
           ".route auto|cf|rewrite|prover   cqa-mode route selection\n"
           ".explain SELECT ...  show plan / envelope / rewriting / route\n"
+          ".explain analyze SELECT ...  execute and show per-operator "
+          "timings\n"
+          ".metrics             Prometheus-style dump of shell metrics\n"
           ".tables              tables and row counts\n"
-          ".quit\n");
+          ".quit\n"
+          "EXPLAIN [ANALYZE] SELECT ...; also works as a statement\n");
       return true;
     }
     if (cmd == ".mode") {
@@ -213,14 +220,18 @@ class Shell {
     if (cmd == ".explain") {
       size_t rest = line.find(' ');
       if (rest == std::string::npos) {
-        std::printf("usage: .explain SELECT ...\n");
+        std::printf("usage: .explain [analyze] SELECT ...\n");
         return true;
       }
-      auto text = db_.Explain(line.substr(rest + 1));
-      if (!text.ok()) {
-        std::printf("error: %s\n", text.status().ToString().c_str());
+      RunExplain(line.substr(rest + 1));
+      return true;
+    }
+    if (cmd == ".metrics") {
+      std::string dump = obs::Global().DumpPrometheus();
+      if (dump.empty()) {
+        std::printf("(no metrics recorded yet)\n");
       } else {
-        std::printf("%s", text.value().c_str());
+        std::printf("%s", dump.c_str());
       }
       return true;
     }
@@ -369,15 +380,69 @@ class Shell {
     return true;
   }
 
+  /// Serves ".explain [analyze] SELECT ..." and the SQL-statement form:
+  /// plain EXPLAIN renders the plans; EXPLAIN ANALYZE executes the query
+  /// with a trace and renders per-operator wall time + cardinality.
+  void RunExplain(const std::string& body) {
+    size_t start = body.find_first_not_of(" \t\n");
+    if (start == std::string::npos) {
+      std::printf("usage: .explain [analyze] SELECT ...\n");
+      return;
+    }
+    bool analyze =
+        EqualsIgnoreCase(std::string(body, start, 7), "analyze") &&
+        (start + 7 >= body.size() ||
+         std::isspace(static_cast<unsigned char>(body[start + 7])));
+    Result<std::string> text{std::string()};
+    if (analyze) {
+      size_t sql = body.find_first_not_of(" \t\n", start + 7);
+      if (sql == std::string::npos) {
+        std::printf("usage: .explain analyze SELECT ...\n");
+        return;
+      }
+      cqa::HippoOptions options;
+      options.num_threads = threads_;
+      options.route = route_;
+      text = db_.ExplainAnalyze(body.substr(sql), options);
+    } else {
+      text = db_.Explain(body.substr(start));
+    }
+    if (!text.ok()) {
+      std::printf("error: %s\n", text.status().ToString().c_str());
+    } else {
+      std::printf("%s", text.value().c_str());
+    }
+  }
+
+  /// Handles a leading EXPLAIN [ANALYZE] keyword on a SQL statement.
+  /// Returns true when the statement was an EXPLAIN and has been served.
+  bool TryExplainStatement(const std::string& text) {
+    size_t start = text.find_first_not_of(" \t\n");
+    if (start == std::string::npos) return false;
+    if (!EqualsIgnoreCase(std::string(text, start, 7), "explain")) {
+      return false;
+    }
+    size_t after = start + 7;
+    if (after < text.size() &&
+        !std::isspace(static_cast<unsigned char>(text[after]))) {
+      return false;  // identifier merely starting with "explain"
+    }
+    RunExplain(after < text.size() ? text.substr(after) : "");
+    return true;
+  }
+
   void RunStatement(const std::string& text) {
     if (text.find_first_not_of(" \t\n") == std::string::npos) return;
+    if (TryExplainStatement(text)) return;
     // SELECT goes through the current answering mode; anything else is DDL.
     size_t start = text.find_first_not_of(" \t\n(");
     bool is_select =
         start != std::string::npos &&
         EqualsIgnoreCase(std::string(text, start, 6), "select");
+    auto t0 = std::chrono::steady_clock::now();
     if (!is_select) {
       Status st = db_.Execute(text);
+      RecordStatement("execute", t0);
       if (!st.ok()) {
         std::printf("error: %s\n", st.ToString().c_str());
       }
@@ -385,6 +450,7 @@ class Shell {
     }
     cqa::HippoStats stats;
     Result<ResultSet> rs = RunSelect(text, &stats);
+    RecordStatement(ModeName(mode_), t0);
     if (!rs.ok()) {
       std::printf("error: %s\n", rs.status().ToString().c_str());
       return;
@@ -401,6 +467,21 @@ class Shell {
           stats.membership_checks, stats.envelope_seconds * 1e3,
           stats.prove_seconds * 1e3);
     }
+  }
+
+  /// Records one finished statement into the process-global metrics
+  /// registry (surfaced by `.metrics`): a per-kind latency histogram plus
+  /// a total counter. `kind` is the answering mode or "execute" for DDL.
+  void RecordStatement(const char* kind,
+                       std::chrono::steady_clock::time_point t0) {
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    obs::MetricsRegistry& reg = obs::Global();
+    reg.GetCounter("hippo_shell_statements_total")->Add(1);
+    reg.GetHistogram(obs::MetricsRegistry::Labeled(
+                         "hippo_shell_statement_seconds", {{"kind", kind}}))
+        ->Record(secs);
   }
 
   Result<ResultSet> RunSelect(const std::string& text,

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Smoke test: hippo_serve_driver's exit-time metrics dumps are well-formed.
+#
+# Runs the driver at CI-smoke size with both dump flags, then checks that
+# the JSON snapshot parses (when python3 is available) and that both dumps
+# name the commit-pipeline phases the service promises to instrument.
+#
+# Usage: smoke_metrics_dump.sh <path-to-hippo_serve_driver>
+set -eu
+
+driver="$1"
+out_dir="${TMPDIR:-/tmp}/hippo_metrics_smoke.$$"
+mkdir -p "$out_dir"
+trap 'rm -rf "$out_dir"' EXIT
+
+json="$out_dir/metrics.json"
+prom="$out_dir/metrics.prom"
+"$driver" --smoke --metrics-json="$json" --metrics-out="$prom" \
+  > "$out_dir/stdout.txt"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$json"
+fi
+
+# Commit-phase keys (apply, detect, publish) plus the serving-side basics
+# must all be present in the machine-readable snapshot.
+for key in \
+    hippo_commit_apply_seconds \
+    'hippo_commit_detect_seconds{kind=\"incremental\"}' \
+    hippo_commit_publish_seconds \
+    hippo_commit_lock_wait_seconds \
+    hippo_commit_batch_statements \
+    hippo_commits_total \
+    hippo_queue_wait_seconds; do
+  if ! grep -F -q -- "$key" "$json"; then
+    echo "missing key in JSON dump: $key" >&2
+    exit 1
+  fi
+done
+
+# The Prometheus exposition carries the same histograms as _count/_sum
+# series with quantile summary lines.
+for key in \
+    hippo_commit_apply_seconds_count \
+    hippo_commit_publish_seconds_sum \
+    'hippo_commit_apply_seconds{quantile="0.99"}' \
+    hippo_epoch; do
+  if ! grep -F -q -- "$key" "$prom"; then
+    echo "missing key in Prometheus dump: $key" >&2
+    exit 1
+  fi
+done
+
+echo "metrics dump smoke OK"
