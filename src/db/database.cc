@@ -535,6 +535,28 @@ void Database::InvalidateHypergraph() {
   hypergraph_.reset();
 }
 
+bool Database::hypergraph_current() const {
+  std::lock_guard<std::mutex> lock(hypergraph_mu_);
+  return hypergraph_.has_value();
+}
+
+std::unique_ptr<Database> Database::ForkShared() {
+  auto fork = std::make_unique<Database>();
+  fork->catalog_ = catalog_.Share();
+  fork->constraints_.reserve(constraints_.size());
+  for (const DenialConstraint& dc : constraints_) {
+    fork->constraints_.push_back(dc.Clone());
+  }
+  fork->foreign_keys_ = foreign_keys_;
+  fork->detect_options_ = detect_options_;
+  fork->optimizer_enabled_ = optimizer_enabled_;
+  // No hypergraph and no maintainer: the fork's first
+  // EnableIncrementalMaintenance runs a fresh (typically parallel)
+  // detection over its own state — that is the async round's background
+  // re-detect.
+  return fork;
+}
+
 Result<ResultSet> Database::QueryOverCore(const std::string& select_sql) {
   HIPPO_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(select_sql));
   HIPPO_ASSIGN_OR_RETURN(const ConflictHypergraph* graph, Hypergraph());

@@ -185,6 +185,26 @@ class Database {
   /// A writer-path operation: requires exclusion from concurrent readers.
   void InvalidateHypergraph();
 
+  /// True when a built conflict hypergraph is cached — i.e. no
+  /// invalidation is pending and reads will not trigger a re-detection.
+  /// The commit pipeline uses this to notice that a statement it
+  /// classified as plain DML actually invalidated the graph (hidden DDL)
+  /// and to restore the maintained-graph invariant before publishing.
+  bool hypergraph_current() const;
+
+  /// A structurally shared copy-on-write fork of this database: every
+  /// table is pointer-shared via Catalog::Share (either side's next write
+  /// clones only the touched table), constraints are deep-copied, foreign
+  /// keys and options are copied. The fork starts with no hypergraph and
+  /// incremental maintenance off — it is a private lineage for the
+  /// service's asynchronous bulk/DDL commit rounds: apply the bulk there,
+  /// re-detect in the background, replay overtaking small commits, then
+  /// swap the fork in as the new master (a pointer swap).
+  ///
+  /// A writer-path operation on *this* database too (Share marks the
+  /// tables shared): requires the same exclusion as DML.
+  std::unique_ptr<Database> ForkShared();
+
   /// Switches to incremental maintenance: the conflict hypergraph is kept
   /// up to date across INSERT/DELETE/UPDATE instead of being recomputed
   /// from scratch on the next read (the long-running-activity scenario of

@@ -56,6 +56,13 @@ struct IncrementalStats {
 /// Non-owning: the catalog, constraint lists, and graph must outlive the
 /// detector, and the constraint lists must not change while it is in use
 /// (Database rebuilds the detector whenever a constraint is added).
+///
+/// Replay contract (service commit pipeline): because OnInsert/OnDelete
+/// depend only on the graph/instance state they are applied to — not on
+/// wall time or on which thread applies them — re-executing the same DML
+/// sequence against a re-detected fork of the instance converges to the
+/// same edges and provenance as maintaining the original. That is what
+/// makes the pipeline's async-round replay sound (DESIGN.md §5).
 class IncrementalDetector {
  public:
   /// Builds the auxiliary indexes from the current (live) instance. `graph`

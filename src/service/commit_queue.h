@@ -1,0 +1,133 @@
+// service::MpmcRing — the bounded MPMC admission ring of the commit
+// pipeline (Vyukov's bounded-queue design: one cell per slot, each stamped
+// with a sequence number that encodes whether the cell is free, full, or
+// being written).
+//
+// The enqueue position doubles as the *commit ticket*: it increases
+// monotonically across wrap-arounds, so TryPush hands every admitted
+// request a globally ordered sequence number. The pipeline pops strictly
+// in ticket order — the ring's FIFO IS the serial order the service
+// promises for commits (see DESIGN.md §5).
+//
+// Concurrency contract in QueryService: pushes are serialized by a short
+// critical section (the admission gate also checks shutdown, so a request
+// can never be stranded un-popped), pops come from the single pipeline
+// thread without any lock, and CanPush/CanPop are used as condition-
+// variable predicates. The cell protocol is nevertheless full MPMC, so
+// none of those callers rely on external exclusion for memory safety.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace hippo::service {
+
+template <typename T>
+class MpmcRing {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 1).
+  explicit MpmcRing(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  /// Claims the next slot and moves `*item` into it. Returns false (item
+  /// untouched) when the ring is full. On success `*ticket` (when non-null)
+  /// receives the monotonically increasing enqueue position — written
+  /// BEFORE the move, so `ticket` may point into `*item` itself (the
+  /// commit pipeline stores it as the request's sequence number).
+  bool TryPush(T* item, uint64_t* ticket = nullptr) {
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      size_t seq = cell.seq.load(std::memory_order_acquire);
+      intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          if (ticket != nullptr) *ticket = static_cast<uint64_t>(pos);
+          cell.value = std::move(*item);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // full: the slot still holds an unpopped value
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Pops the oldest admitted item in ticket order. Returns false when the
+  /// head slot is empty — including the transient window where a producer
+  /// has claimed the slot but not finished writing it (the consumer simply
+  /// retries after the producer's post-publish notify).
+  bool TryPop(T* out) {
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      size_t seq = cell.seq.load(std::memory_order_acquire);
+      intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          *out = std::move(cell.value);
+          cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // empty (or head still being written)
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// True when the head slot holds a fully published item. Used as a cv
+  /// predicate by the pipeline thread; approximate under concurrency in
+  /// the benign direction (a fresh push after the check just means one
+  /// more wakeup).
+  bool CanPop() const {
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    return cells_[pos & mask_].seq.load(std::memory_order_acquire) ==
+           pos + 1;
+  }
+
+  /// True when the tail slot is free. Used as the backpressure predicate
+  /// by producers (who push under the admission gate, so the answer is
+  /// exact for the caller that holds it).
+  bool CanPush() const {
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    return cells_[pos & mask_].seq.load(std::memory_order_acquire) == pos;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_ = 0;
+  // Ever-increasing claim positions (wrap handled by masking); the enqueue
+  // position is exposed to callers as the admission ticket.
+  std::atomic<size_t> enqueue_pos_{0};
+  std::atomic<size_t> dequeue_pos_{0};
+};
+
+}  // namespace hippo::service

@@ -43,6 +43,19 @@ class Session {
   /// Re-pins to the service's latest published snapshot.
   void Refresh() { snapshot_ = service_->snapshot(); }
 
+  // --- writes ----------------------------------------------------------------
+
+  /// Read-your-writes: commits `sql` through the service's asynchronous
+  /// pipeline, waits for its epoch to publish, and re-pins the session to
+  /// the snapshot that contains the commit (the receipt's snapshot — not
+  /// "latest", which could already be a later epoch from another writer).
+  /// On rejection the pinned snapshot is unchanged.
+  CommitReceipt CommitAndRefresh(std::string sql) {
+    CommitReceipt receipt = service_->CommitAsync(std::move(sql)).get();
+    if (receipt.snapshot != nullptr) snapshot_ = receipt.snapshot;
+    return receipt;
+  }
+
   // --- synchronous reads on the caller's thread ----------------------------
 
   Result<ResultSet> Query(const std::string& select_sql) const {

@@ -12,7 +12,10 @@ Result<SnapshotPtr> Snapshot::Capture(Database* db, uint64_t epoch) {
   // Both halves are structural shares: every table and every hypergraph
   // partition is pointer-shared with the master and cloned only when the
   // master next mutates it (copy-on-write). One make_shared allocation via
-  // the pass-key constructor.
+  // the pass-key constructor. `db` may be either lineage of an async
+  // commit round (the serving master or the re-detected fork about to be
+  // swapped in) — the shares keep the captured state alive independently
+  // of which Database object survives the swap.
   HIPPO_ASSIGN_OR_RETURN(ConflictHypergraph graph, db->ShareHypergraph());
   // The constraint set is tiny relative to the instance; a deep copy keeps
   // the snapshot self-contained under later constraint DDL on the master.

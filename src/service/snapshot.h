@@ -17,7 +17,15 @@
 // publisher swaps in a new snapshot for the next epoch while readers holding
 // an older epoch keep it alive for as long as their queries run. Readers
 // therefore never block writers and writers never block readers; the only
-// serialized section is the commit path itself (see QueryService).
+// serialized section is the commit pipeline's apply+capture step itself
+// (see QueryService).
+//
+// Capture is lineage-agnostic: during an asynchronous bulk/DDL round the
+// service captures epochs from the still-serving master while the fork
+// re-detects in the background, and the post-swap epoch from the fork.
+// Either way the tables a snapshot shares stay alive through the
+// shared_ptr slots in its own catalog copy — swapping (and destroying)
+// the master Database never invalidates a published snapshot.
 #pragma once
 
 #include <cstdint>

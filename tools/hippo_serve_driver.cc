@@ -4,15 +4,17 @@
 // (p/q with FDs a -> b and a controlled conflict rate), then drives it with
 // R closed-loop reader threads (each submits SELECTs through the service's
 // worker pool and waits for the answer) while W writer threads stream small
-// FD-churn commits. Prints per-role throughput and p50/p95/p99 latency plus
-// the service's own counters — the live-traffic complement to
+// FD-churn commits through the asynchronous pipeline (CommitAsync), each
+// keeping --inflight receipts outstanding so consecutive commits coalesce
+// into group commits. Prints per-role throughput and p50/p95/p99 latency
+// plus the service's own counters — the live-traffic complement to
 // bench_f9_concurrency's controlled sweeps.
 //
 // Usage:
 //   hippo_serve_driver [--rows N] [--conflict-rate F] [--readers R]
 //                      [--writers W] [--ops N] [--workers N] [--queue N]
-//                      [--mode cqa|plain|core] [--seed S] [--smoke]
-//                      [--metrics-out=FILE] [--metrics-json=FILE]
+//                      [--inflight N] [--mode cqa|plain|core] [--seed S]
+//                      [--smoke] [--metrics-out=FILE] [--metrics-json=FILE]
 //
 // --ops is the total number of read requests across all readers; each
 // writer commits until the readers finish. --smoke shrinks everything to
@@ -22,6 +24,8 @@
 // 0 on success, 2 on error.
 #include <algorithm>
 #include <atomic>
+#include <deque>
+#include <future>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -48,6 +52,7 @@ using hippo::bench::FormatSeconds;
 using hippo::bench::Percentiles;
 using hippo::bench::QuerySet;
 using hippo::bench::TextTable;
+using hippo::service::CommitReceipt;
 using hippo::service::QueryService;
 using hippo::service::ServiceOptions;
 
@@ -59,6 +64,7 @@ struct DriverConfig {
   size_t total_ops = 200;
   size_t workers = 0;  // 0 = all hardware threads
   size_t queue_depth = 256;
+  size_t inflight = 4;  // outstanding CommitAsync receipts per writer
   QueryService::ReadMode mode = QueryService::ReadMode::kConsistent;
   uint64_t seed = 42;
   std::string metrics_out;   // Prometheus text exposition path ("" = off)
@@ -154,6 +160,32 @@ int Run(const DriverConfig& config) {
   for (size_t w = 0; w < config.writers; ++w) {
     threads.emplace_back([&, w] {
       Rng rng(config.seed + 1000 + w);
+      // Pipelined writes: keep up to --inflight CommitAsync receipts
+      // outstanding so consecutive commits coalesce into one group commit
+      // (one incremental-maintenance pass, one published epoch).
+      struct Pending {
+        std::future<CommitReceipt> receipt;
+        std::chrono::steady_clock::time_point submitted;
+      };
+      std::deque<Pending> window;
+      auto reap_front = [&] {
+        Pending p = std::move(window.front());
+        window.pop_front();
+        CommitReceipt receipt = p.receipt.get();
+        auto c1 = std::chrono::steady_clock::now();
+        if (!receipt.status.ok()) {
+          // Surface the first failure; the final count fails the run.
+          if (write_errors.fetch_add(1) == 0) {
+            std::fprintf(stderr, "hippo_serve_driver: commit failed: %s\n",
+                         receipt.status.ToString().c_str());
+          }
+          return;
+        }
+        write_lat[w].push_back(
+            std::chrono::duration<double>(c1 - p.submitted).count());
+        ++commits;
+      };
+      const size_t inflight = std::max<size_t>(config.inflight, 1);
       while (!readers_done.load()) {
         // FD churn: a conflicting insert, sometimes drained by a delete.
         size_t key = rng.Uniform(config.rows);
@@ -162,21 +194,13 @@ int Run(const DriverConfig& config) {
                 ? StrFormat("DELETE FROM p WHERE a = %zu AND b >= 1000", key)
                 : StrFormat("INSERT INTO p VALUES (%zu, %llu)", key,
                             (unsigned long long)(1000 + rng.Uniform(1000)));
-        auto c0 = std::chrono::steady_clock::now();
-        Status st = service.Commit(script);
-        auto c1 = std::chrono::steady_clock::now();
-        if (!st.ok()) {
-          // Surface the first failure; the final count fails the run.
-          if (write_errors.fetch_add(1) == 0) {
-            std::fprintf(stderr, "hippo_serve_driver: commit failed: %s\n",
-                         st.ToString().c_str());
-          }
-          continue;
-        }
-        write_lat[w].push_back(
-            std::chrono::duration<double>(c1 - c0).count());
-        ++commits;
+        Pending p;
+        p.submitted = std::chrono::steady_clock::now();
+        p.receipt = service.CommitAsync(std::move(script));
+        window.push_back(std::move(p));
+        if (window.size() >= inflight) reap_front();
       }
+      while (!window.empty()) reap_front();
     });
   }
   // Readers exit on their own; writers watch the flag.
@@ -229,11 +253,15 @@ int Run(const DriverConfig& config) {
                         config.rows, service.num_workers(),
                         FormatSeconds(wall).c_str()));
   std::printf(
-      "service: %llu commits (%llu incremental, %llu re-detect), "
+      "service: %llu commits (%llu incremental, %llu re-detect) in %llu "
+      "groups (max group %zu), %llu async rounds (%llu replayed), "
       "%llu epochs published, %llu pool queries, %llu rejected\n",
       (unsigned long long)stats.commits,
       (unsigned long long)stats.incremental_commits,
       (unsigned long long)stats.bulk_redetects,
+      (unsigned long long)stats.commit_groups, stats.max_group_size,
+      (unsigned long long)stats.async_redetects,
+      (unsigned long long)stats.replayed_commits,
       (unsigned long long)stats.snapshots_published,
       (unsigned long long)stats.queries_executed,
       (unsigned long long)stats.queries_rejected);
@@ -331,7 +359,8 @@ int Usage() {
       stderr,
       "usage: hippo_serve_driver [--rows N] [--conflict-rate F]\n"
       "       [--readers R] [--writers W] [--ops N] [--workers N]\n"
-      "       [--queue N] [--mode cqa|plain|core] [--seed S] [--smoke]\n"
+      "       [--queue N] [--inflight N] [--mode cqa|plain|core]\n"
+      "       [--seed S] [--smoke]\n"
       "       [--metrics-out=FILE] [--metrics-json=FILE]\n");
   return 2;
 }
@@ -365,6 +394,8 @@ int main(int argc, char** argv) {
       if (!next_value(&config.workers)) return Usage();
     } else if (arg == "--queue") {
       if (!next_value(&config.queue_depth)) return Usage();
+    } else if (arg == "--inflight") {
+      if (!next_value(&config.inflight)) return Usage();
     } else if (arg == "--seed") {
       size_t seed;
       if (!next_value(&seed)) return Usage();

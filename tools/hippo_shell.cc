@@ -7,6 +7,14 @@
 //   $ ./build/tools/hippo_shell               # interactive
 //   $ ./build/tools/hippo_shell < script.sql  # batch
 //
+// The shell fronts a service::QueryService rather than a bare Database:
+// every write goes through the asynchronous group-commit pipeline
+// (CommitAsync) and reports the epoch it published at plus the size of the
+// group it coalesced into; SELECTs evaluate against the current immutable
+// snapshot. Meta commands that need the mutable master (repair counting,
+// aggregates, maintenance toggles) use the service's serialized
+// WithMaster escape hatch.
+//
 // Statements end with ';'. Meta commands start with '.':
 //   .mode plain|cqa|core|rewriting|allrepairs   answering mode for SELECTs
 //   .stats on|off                               print pipeline statistics
@@ -21,12 +29,15 @@
 //   .threads [N]                                detection/prover threads
 //                                               (0 = all hardware threads)
 //   .route auto|cf|rewrite|prover               cqa-mode route selection
+//   .serve                                      commit-pipeline statistics
 //   .tables                                     list tables and sizes
 //   .help                                       this text
 //   .quit
 //
 // The `--threads N` command-line flag sets the same knob before the first
-// statement runs.
+// statement runs (it feeds ServiceOptions::threads, the one unified knob
+// that EffectiveOptions::Resolve fans out to the read pool, commit-path
+// detection, and the per-query prover loop).
 //
 // DML (INSERT/DELETE/UPDATE) and COPY t FROM/TO 'file.csv' run like any
 // other statement.
@@ -47,9 +58,17 @@
 #include "db/conflict_report.h"
 #include "db/database.h"
 #include "obs/metrics.h"
+#include "service/query_service.h"
+#include "service/snapshot.h"
 
 namespace hippo::shell {
 namespace {
+
+using service::CommitReceipt;
+using service::EffectiveOptions;
+using service::QueryService;
+using service::ServiceOptions;
+using service::SnapshotPtr;
 
 enum class Mode { kPlain, kCqa, kCore, kRewriting, kAllRepairs };
 
@@ -82,16 +101,20 @@ const char* ModeName(Mode m) {
   return "?";
 }
 
+ServiceOptions ShellOptions(size_t threads) {
+  ServiceOptions options;
+  // The one unified knob: EffectiveOptions::Resolve derives the read-pool
+  // width, commit-path detection threads, and per-query parallelism from
+  // it. threads == 1 (the shell default) reproduces the historical
+  // single-threaded shell behavior exactly.
+  options.threads = threads;
+  return options;
+}
+
 class Shell {
  public:
-  /// Sets the worker-thread count for conflict detection and the prover
-  /// loop (0 = one per hardware thread, as resolved by ResolveThreadCount).
-  void SetThreads(size_t threads) {
-    threads_ = threads;
-    DetectOptions detect;
-    detect.num_threads = threads;
-    db_.SetDetectOptions(detect);
-  }
+  explicit Shell(size_t threads)
+      : threads_(threads), service_(ShellOptions(threads)) {}
 
   int Run(std::istream& in, bool interactive) {
     std::string buffer;
@@ -163,7 +186,9 @@ class Shell {
           ".explain SELECT ...  show plan / envelope / rewriting / route\n"
           ".explain analyze SELECT ...  execute and show per-operator "
           "timings\n"
-          ".metrics             Prometheus-style dump of shell metrics\n"
+          ".serve               commit-pipeline statistics\n"
+          ".metrics             Prometheus-style dump of shell + service "
+          "metrics\n"
           ".tables              tables and row counts\n"
           ".quit\n"
           "EXPLAIN [ANALYZE] SELECT ...; also works as a statement\n");
@@ -227,7 +252,7 @@ class Shell {
       return true;
     }
     if (cmd == ".metrics") {
-      std::string dump = obs::Global().DumpPrometheus();
+      std::string dump = service_.DumpMetrics() + obs::Global().DumpPrometheus();
       if (dump.empty()) {
         std::printf("(no metrics recorded yet)\n");
       } else {
@@ -235,47 +260,65 @@ class Shell {
       }
       return true;
     }
+    if (cmd == ".serve") {
+      service::ServiceStats stats = service_.stats();
+      std::printf(
+          "commits: %llu (%llu incremental, %llu re-detect) in %llu "
+          "groups (max group %zu)\n"
+          "async rounds: %llu (%llu small commits replayed)\n"
+          "epochs published: %llu (current %llu)\n",
+          (unsigned long long)stats.commits,
+          (unsigned long long)stats.incremental_commits,
+          (unsigned long long)stats.bulk_redetects,
+          (unsigned long long)stats.commit_groups, stats.max_group_size,
+          (unsigned long long)stats.async_redetects,
+          (unsigned long long)stats.replayed_commits,
+          (unsigned long long)stats.snapshots_published,
+          (unsigned long long)service_.epoch());
+      return true;
+    }
     if (cmd == ".conflicts") {
-      auto g = db_.Hypergraph();
-      if (!g.ok()) {
-        std::printf("error: %s\n", g.status().ToString().c_str());
-      } else {
-        std::printf("%s\n", g.value()->StatsString().c_str());
-      }
+      std::printf("%s\n",
+                  service_.snapshot()->hypergraph().StatsString().c_str());
       return true;
     }
     if (cmd == ".mem") {
+      SnapshotPtr snap = service_.snapshot();
       std::printf("catalog: %zu tables, %zu rows, %s\n",
-                  db_.catalog().TableNames().size(),
-                  db_.catalog().TotalRows(),
-                  bench::FormatBytes(db_.catalog().ApproxBytes()).c_str());
-      auto g = db_.Hypergraph();
-      if (!g.ok()) {
-        std::printf("error: %s\n", g.status().ToString().c_str());
-      } else {
-        std::printf("hypergraph: %zu edges, %s\n", g.value()->NumEdges(),
-                    bench::FormatBytes(g.value()->ApproxBytes()).c_str());
-      }
+                  snap->catalog().TableNames().size(),
+                  snap->catalog().TotalRows(),
+                  bench::FormatBytes(snap->catalog().ApproxBytes()).c_str());
+      std::printf("hypergraph: %zu edges, %s\n",
+                  snap->hypergraph().NumEdges(),
+                  bench::FormatBytes(snap->hypergraph().ApproxBytes()).c_str());
       return true;
     }
     if (cmd == ".constraints") {
-      for (const auto& dc : db_.constraints()) {
+      SnapshotPtr snap = service_.snapshot();
+      for (const auto& dc : snap->constraints()) {
         std::printf("%s\n", dc.ToString().c_str());
       }
-      for (const auto& fk : db_.foreign_keys()) {
+      for (const auto& fk : snap->foreign_keys()) {
         std::printf("%s\n", fk.ToString().c_str());
       }
-      if (db_.constraints().empty() && db_.foreign_keys().empty()) {
+      if (snap->constraints().empty() && snap->foreign_keys().empty()) {
         std::printf("(none)\n");
       }
       return true;
     }
     if (cmd == ".repairs") {
       size_t limit = 100000;
-      if (args.size() > 1) limit = std::stoul(args[1]);
-      auto count = db_.CountRepairs(limit);
-      if (!count.ok()) {
-        std::printf("error: %s\n", count.status().ToString().c_str());
+      if (args.size() > 1 && !ParseCount(args[1], &limit)) {
+        std::printf("usage: .repairs [limit]\n");
+        return true;
+      }
+      Result<size_t> count{size_t{0}};
+      Status st = service_.WithMaster([&](Database& db) {
+        count = db.CountRepairs(limit);
+        return count.status();
+      });
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
       } else {
         std::printf("repairs: %zu\n", count.value());
       }
@@ -292,9 +335,13 @@ class Shell {
         return true;
       }
       std::string col = args.size() >= 4 ? args[3] : "";
-      auto range = db_.RangeConsistentAggregate(args[2], fn.value(), col);
-      if (!range.ok()) {
-        std::printf("error: %s\n", range.status().ToString().c_str());
+      Result<cqa::AggRange> range{cqa::AggRange()};
+      Status st = service_.WithMaster([&](Database& db) {
+        range = db.RangeConsistentAggregate(args[2], fn.value(), col);
+        return range.status();
+      });
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
       } else {
         std::printf("%s(%s.%s) in every repair: %s\n",
                     cqa::AggFnToString(fn.value()), args[2].c_str(),
@@ -303,30 +350,49 @@ class Shell {
       return true;
     }
     if (cmd == ".report") {
-      auto report = GenerateConflictReport(&db_);
-      if (!report.ok()) {
-        std::printf("error: %s\n", report.status().ToString().c_str());
+      Result<std::string> report{std::string()};
+      Status st = service_.WithMaster([&](Database& db) {
+        report = GenerateConflictReport(&db);
+        return report.status();
+      });
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
       } else {
         std::printf("%s", report.value().c_str());
       }
       return true;
     }
     if (cmd == ".incremental") {
-      if (args.size() > 1 && ToLower(args[1]) == "on") {
-        Status st = db_.EnableIncrementalMaintenance();
-        if (!st.ok()) {
-          std::printf("error: %s\n", st.ToString().c_str());
-          return true;
+      bool turn_on = args.size() > 1 && ToLower(args[1]) == "on";
+      bool turn_off = args.size() > 1 && ToLower(args[1]) == "off";
+      bool enabled = false;
+      IncrementalStats stats;
+      Status st = service_.WithMaster([&](Database& db) {
+        if (turn_on) {
+          Status enable = db.EnableIncrementalMaintenance();
+          if (!enable.ok()) return enable;
+        } else if (turn_off) {
+          // Allowed, but the commit pipeline re-enables maintenance on the
+          // next commit (its published-graph invariant); "off" effectively
+          // lasts until then.
+          db.DisableIncrementalMaintenance();
         }
-      } else if (args.size() > 1 && ToLower(args[1]) == "off") {
-        db_.DisableIncrementalMaintenance();
+        enabled = db.incremental_maintenance_enabled();
+        stats = db.incremental_stats();
+        return Status::OK();
+      });
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        return true;
       }
-      auto stats = db_.incremental_stats();
       std::printf("incremental maintenance: %s (+%zu/-%zu edges over "
                   "%zu inserts, %zu deletes)\n",
-                  db_.incremental_maintenance_enabled() ? "on" : "off",
-                  stats.edges_added, stats.edges_removed, stats.inserts,
-                  stats.deletes);
+                  enabled ? "on" : "off", stats.edges_added,
+                  stats.edges_removed, stats.inserts, stats.deletes);
+      if (turn_off) {
+        std::printf("note: the commit pipeline restores maintenance on the "
+                    "next commit\n");
+      }
       return true;
     }
     if (cmd == ".groupagg") {
@@ -342,10 +408,15 @@ class Shell {
       }
       std::string col = args[3] == "-" ? "" : args[3];
       std::vector<std::string> group_cols(args.begin() + 4, args.end());
-      auto result = db_.GroupedRangeConsistentAggregate(args[2], fn.value(),
-                                                        col, group_cols);
-      if (!result.ok()) {
-        std::printf("error: %s\n", result.status().ToString().c_str());
+      Result<std::vector<cqa::GroupRange>> result{
+          std::vector<cqa::GroupRange>()};
+      Status st = service_.WithMaster([&](Database& db) {
+        result = db.GroupedRangeConsistentAggregate(args[2], fn.value(), col,
+                                                    group_cols);
+        return result.status();
+      });
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
         return true;
       }
       for (const cqa::GroupRange& g : result.value()) {
@@ -360,17 +431,33 @@ class Shell {
           std::printf("usage: .threads [N] (0 = all hardware threads)\n");
           return true;
         }
-        SetThreads(n);
-        std::printf("hypergraph invalidated; next detection uses the new "
-                    "thread count\n");
+        threads_ = n;
+        // Re-resolve the unified knob on the live master (the read-pool
+        // width stays as constructed; detection and the prover loop pick
+        // up the new count). WithMaster rebuilds the invalidated graph and
+        // publishes the re-detected epoch.
+        DetectOptions detect;
+        detect.num_threads = n;
+        Status st = service_.WithMaster(
+            [&](Database& db) {
+              db.SetDetectOptions(detect);
+              return Status::OK();
+            },
+            /*publish=*/true);
+        if (!st.ok()) {
+          std::printf("error: %s\n", st.ToString().c_str());
+          return true;
+        }
+        std::printf("hypergraph re-detected with the new thread count\n");
       }
       std::printf("threads: %zu (resolved: %zu)\n", threads_,
                   ResolveThreadCount(threads_));
       return true;
     }
     if (cmd == ".tables") {
-      for (const std::string& name : db_.catalog().TableNames()) {
-        auto t = db_.catalog().GetTable(name);
+      SnapshotPtr snap = service_.snapshot();
+      for (const std::string& name : snap->catalog().TableNames()) {
+        auto t = snap->catalog().GetTable(name);
         std::printf("%s (%zu rows)\n", name.c_str(),
                     t.value()->NumLiveRows());
       }
@@ -403,9 +490,15 @@ class Shell {
       cqa::HippoOptions options;
       options.num_threads = threads_;
       options.route = route_;
-      text = db_.ExplainAnalyze(body.substr(sql), options);
+      text = service_.snapshot()->ExplainAnalyze(body.substr(sql), options);
     } else {
-      text = db_.Explain(body.substr(start));
+      // Plain EXPLAIN renders plans only (no execution); the master is the
+      // convenient place to plan since Snapshot does not expose it.
+      Status st = service_.WithMaster([&](Database& db) {
+        text = db.Explain(body.substr(start));
+        return text.status();
+      });
+      if (!st.ok() && text.ok()) text = st;
     }
     if (!text.ok()) {
       std::printf("error: %s\n", text.status().ToString().c_str());
@@ -434,18 +527,23 @@ class Shell {
   void RunStatement(const std::string& text) {
     if (text.find_first_not_of(" \t\n") == std::string::npos) return;
     if (TryExplainStatement(text)) return;
-    // SELECT goes through the current answering mode; anything else is DDL.
+    // SELECT goes through the current answering mode; anything else is a
+    // commit through the asynchronous pipeline.
     size_t start = text.find_first_not_of(" \t\n(");
     bool is_select =
         start != std::string::npos &&
         EqualsIgnoreCase(std::string(text, start, 6), "select");
     auto t0 = std::chrono::steady_clock::now();
     if (!is_select) {
-      Status st = db_.Execute(text);
+      CommitReceipt receipt = service_.CommitAsync(text).get();
       RecordStatement("execute", t0);
-      if (!st.ok()) {
-        std::printf("error: %s\n", st.ToString().c_str());
+      if (!receipt.status.ok()) {
+        std::printf("error: %s\n", receipt.status.ToString().c_str());
+        return;
       }
+      std::printf("committed: epoch %llu (group of %zu%s)\n",
+                  (unsigned long long)receipt.epoch, receipt.group_size,
+                  receipt.phases.redetected ? ", re-detected" : "");
       return;
     }
     cqa::HippoStats stats;
@@ -471,7 +569,7 @@ class Shell {
 
   /// Records one finished statement into the process-global metrics
   /// registry (surfaced by `.metrics`): a per-kind latency histogram plus
-  /// a total counter. `kind` is the answering mode or "execute" for DDL.
+  /// a total counter. `kind` is the answering mode or "execute" for DML.
   void RecordStatement(const char* kind,
                        std::chrono::steady_clock::time_point t0) {
     double secs = std::chrono::duration<double>(
@@ -488,31 +586,47 @@ class Shell {
                               cqa::HippoStats* stats) {
     switch (mode_) {
       case Mode::kPlain:
-        return db_.Query(text);
+        return service_.snapshot()->Query(text);
       case Mode::kCqa: {
         cqa::HippoOptions options;
         // Shell thread count drives the prover loop too (detection picks it
-        // up through the Database's DetectOptions); 0 resolves to all
+        // up through the master's DetectOptions); 0 resolves to all
         // hardware threads in both.
         options.num_threads = threads_;
         options.route = route_;
-        return db_.ConsistentAnswers(text, options, stats);
+        return service_.snapshot()->ConsistentAnswers(text, options, stats);
       }
       case Mode::kCore:
-        return db_.QueryOverCore(text);
-      case Mode::kRewriting:
-        return db_.ConsistentAnswersByRewriting(text);
-      case Mode::kAllRepairs:
-        return db_.ConsistentAnswersAllRepairs(text);
+        return service_.snapshot()->QueryOverCore(text);
+      case Mode::kRewriting: {
+        // The first-order baselines are not snapshot methods; run them on
+        // the master, serialized with the pipeline.
+        Result<ResultSet> rs{ResultSet()};
+        Status st = service_.WithMaster([&](Database& db) {
+          rs = db.ConsistentAnswersByRewriting(text);
+          return rs.status();
+        });
+        if (!st.ok() && rs.ok()) return Result<ResultSet>(st);
+        return rs;
+      }
+      case Mode::kAllRepairs: {
+        Result<ResultSet> rs{ResultSet()};
+        Status st = service_.WithMaster([&](Database& db) {
+          rs = db.ConsistentAnswersAllRepairs(text);
+          return rs.status();
+        });
+        if (!st.ok() && rs.ok()) return Result<ResultSet>(st);
+        return rs;
+      }
     }
     return Status::Internal("unknown mode");
   }
 
-  Database db_;
+  size_t threads_;
+  QueryService service_;
   Mode mode_ = Mode::kCqa;
   RouteMode route_ = RouteMode::kAuto;
   bool stats_enabled_ = false;
-  size_t threads_ = 1;
 };
 
 }  // namespace
@@ -520,13 +634,13 @@ class Shell {
 
 int main(int argc, char** argv) {
   bool interactive = isatty(0);
-  hippo::shell::Shell shell;
+  size_t threads = 1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    size_t threads = 0;
+    size_t parsed = 0;
     if (arg == "--threads" && i + 1 < argc &&
-        hippo::shell::ParseCount(argv[i + 1], &threads)) {
-      shell.SetThreads(threads);
+        hippo::shell::ParseCount(argv[i + 1], &parsed)) {
+      threads = parsed;
       ++i;
     } else {
       std::fprintf(stderr,
@@ -534,6 +648,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  hippo::shell::Shell shell(threads);
   if (interactive) {
     std::printf(
         "hippo shell — consistent query answering over inconsistent "
